@@ -1,0 +1,86 @@
+"""Ablation benchmarks A1-A3 (design choices called out in DESIGN.md)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    ablate_aggregation,
+    ablate_allocators,
+    ablate_install_latency,
+    ablate_k_paths,
+    ablate_ordering,
+    ablate_schedulers,
+    ablate_weighted_shuffle,
+    render_ablation,
+)
+
+
+def test_a1_aggregation_policy(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_aggregation(ratio=10, seed=seeds[0]))
+    print()
+    print(render_ablation("A1 — aggregation granularity (nutch, 1:10)", rows))
+    by = {r.label: r for r in rows}
+    peak = lambda r: int(r.detail.split()[0].split("=")[1])
+    # rack-pair conserves forwarding state (the §IV motivation)...
+    assert peak(by["rack_pair"]) < peak(by["server_pair"]) / 4
+    # ...at a bounded JCT cost
+    assert by["rack_pair"].jct < by["server_pair"].jct * 1.5
+
+
+def test_a2_scheduler_families(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_schedulers(ratio=10, seed=seeds[0]))
+    print()
+    print(render_ablation("A2 — scheduler families (sort 12GB, 1:10)", rows))
+    print(
+        "(note: on elephant-only sort an idealised reactive rescheduler is\n"
+        " competitive with prediction; Pythia's structural edge is on small-\n"
+        " flow shuffles — see the Nutch assertion in the integration tests)"
+    )
+    by = {r.label: r for r in rows}
+    assert by["pythia"].jct < by["ecmp"].jct * 0.8
+    assert by["hedera"].jct < by["ecmp"].jct * 0.8
+
+
+def test_a2b_ordering(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_ordering(ratio=10, seed=seeds[0]))
+    print()
+    print(render_ablation("A2b — allocation ordering (skewed sort, 1:10)", rows))
+    by = {r.label: r for r in rows}
+    # §VI: criticality-aware ordering must not lose to FIFO packing
+    assert by["criticality (pythia)"].jct <= by["arrival (flowcomb-style)"].jct * 1.02
+
+
+def test_a1b_allocation_algorithms(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_allocators(ratio=10, seed=seeds[0]))
+    print()
+    print(render_ablation("A1b — allocation algorithms (sort 12GB, 1:10)", rows))
+    jcts = [r.jct for r in rows]
+    # all three are load-aware: none should collapse to ECMP-like times
+    assert max(jcts) < min(jcts) * 1.5
+
+
+def test_w1_weighted_shuffle(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_weighted_shuffle(ratio=10))
+    print()
+    print(render_ablation("W1 — weighted shuffle (5:1 skewed sort, 1:10)", rows))
+    by = {r.label: r for r in rows}
+    # no-harm at the job level; the mechanism shows in fetch durations
+    assert by["weighted"].jct <= by["unweighted"].jct * 1.05
+
+
+def test_a3a_k_paths(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_k_paths(seed=seeds[0]))
+    print()
+    print(render_ablation("A3a — k-shortest-paths fan-out (leaf-spine, 4 spines)", rows))
+    by = {r.label: r for r in rows}
+    # more paths, more usable bisection: k=4 must beat k=1
+    assert by["k=4"].jct < by["k=1"].jct
+
+
+def test_a3b_install_latency(benchmark, seeds):
+    rows = run_once(benchmark, lambda: ablate_install_latency(ratio=10, seed=seeds[0]))
+    print()
+    print(render_ablation("A3b — rule-install latency sensitivity (sort, 1:10)", rows))
+    by = {r.label: r for r in rows}
+    fallbacks = lambda r: int(r.detail.split("=")[1])
+    # at hardware speed rules win the race; at 5s/rule they lose it
+    assert fallbacks(by["4ms/rule"]) <= fallbacks(by["5000ms/rule"])
+    assert by["4ms/rule"].jct <= by["5000ms/rule"].jct * 1.05

@@ -1,0 +1,36 @@
+"""Benchmark: iterative PageRank chain (per-round savings compound)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.chain import run_chain
+from repro.workloads.pagerank import pagerank_chain
+
+
+def test_pagerank_chain(benchmark, scale, seeds):
+    iterations = 4
+
+    def run_both():
+        out = {}
+        for scheduler in ("ecmp", "pythia"):
+            chain = pagerank_chain(
+                graph_gb=8.0 * scale, iterations=iterations, num_reducers=20
+            )
+            out[scheduler] = run_chain(chain, scheduler=scheduler, ratio=10, seed=seeds[0])
+        return out
+
+    results = run_once(benchmark, run_both)
+    print()
+    print(f"PageRank chain — {iterations} iterations at 1:10 over-subscription")
+    rows = []
+    for name, r in results.items():
+        rows.append((name, r.total_seconds, r.mean_iteration))
+    print(format_table(["scheduler", "chain total (s)", "mean iteration (s)"], rows))
+    per_iter = [
+        e - p
+        for e, p in zip(
+            results["ecmp"].iteration_jcts, results["pythia"].iteration_jcts
+        )
+    ]
+    print("per-iteration savings (s):", [f"{s:.1f}" for s in per_iter])
+    assert results["pythia"].total_seconds < results["ecmp"].total_seconds * 0.85
+    assert sum(1 for s in per_iter if s > 0) >= iterations - 1

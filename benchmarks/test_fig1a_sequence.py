@@ -1,0 +1,15 @@
+"""Benchmark F1a: regenerate the Figure 1a toy-sort sequence diagram."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1a_sequence import run_fig1a
+
+
+def test_fig1a_sequence_diagram(benchmark):
+    result = run_once(benchmark, run_fig1a)
+    print()
+    print(result.render(width=90))
+    # the two §II observations the figure exists to show:
+    assert result.reducer_byte_ratio == pytest.approx(5.0, rel=1e-6)
+    assert result.shuffle_fraction > 0.1, "shuffle must be a visible phase"

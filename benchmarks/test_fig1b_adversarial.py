@@ -1,0 +1,25 @@
+"""Benchmark F1b: regenerate the Figure 1b adversarial-allocation demo."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.fig1b_adversarial import run_fig1b
+
+
+def test_fig1b_adversarial_allocation(benchmark):
+    def run_both():
+        return run_fig1b("ecmp"), run_fig1b("pythia")
+
+    ecmp, pythia = run_once(benchmark, run_both)
+    print()
+    print("Figure 1b — 159MB flow vs a 95%-loaded path")
+    print(
+        format_table(
+            ["scheduler", "flow-1 path", "flow-1 (s)", "flow-2 path", "flow-2 (s)"],
+            [
+                (r.scheduler, r.flow1_trunk, r.flow1_seconds, r.flow2_trunk, r.flow2_seconds)
+                for r in (ecmp, pythia)
+            ],
+        )
+    )
+    assert ecmp.adversarial and not pythia.adversarial
+    assert pythia.flow1_seconds < ecmp.flow1_seconds / 3

@@ -1,0 +1,25 @@
+"""Benchmark F3: regenerate Figure 3 (Nutch JCT vs over-subscription).
+
+Shape assertions against the paper: Pythia wins at loaded ratios with
+the maximum speedup at 1:20; Pythia's completion time stays close to
+its unloaded value (the flat curve) while ECMP's grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_nutch import render_fig3, run_fig3
+
+
+def test_fig3_nutch_sweep(benchmark, scale, seeds):
+    rows = run_once(benchmark, lambda: run_fig3(pages=5e6 * scale, seeds=seeds))
+    print()
+    print(render_fig3(rows))
+    by_label = {r.label: r for r in rows}
+    r20 = by_label["1:20"]
+    r10 = by_label["1:10"]
+    unloaded = by_label["none"]
+    assert r20.speedup > 0.15, "paper: 46% at 1:20 — must stay double-digit"
+    assert r20.speedup >= r10.speedup * 0.9, "speedup peaks toward 1:20"
+    # the flat-Pythia claim: "comparable to the ... job completion time
+    # measured in a network without over-subscription"
+    assert r20.t_pythia < unloaded.t_pythia * 1.6
+    assert r20.t_ecmp > unloaded.t_ecmp * 1.4, "ECMP must visibly degrade"

@@ -1,0 +1,25 @@
+"""Benchmark F4: regenerate Figure 4 (Sort JCT vs over-subscription).
+
+Shape assertions: Pythia outperforms ECMP at every loaded ratio (the
+paper reports up to 43 %), but — unlike Nutch — cannot hold sort flat,
+because sort's shuffle volume exceeds any single path's residual.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_sort import render_fig4, run_fig4
+
+
+def test_fig4_sort_sweep(benchmark, scale, seeds):
+    rows = run_once(
+        benchmark, lambda: run_fig4(input_gb=48.0 * scale, seeds=seeds)
+    )
+    print()
+    print(render_fig4(rows))
+    by_label = {r.label: r for r in rows}
+    unloaded = by_label["none"]
+    for label in ("1:10", "1:20"):
+        assert by_label[label].speedup > 0.2, f"pythia must clearly win at {label}"
+    # sort is NOT flat under Pythia (the Fig 3 vs Fig 4 contrast)
+    assert by_label["1:20"].t_pythia > unloaded.t_pythia * 1.8
+    # near-idle point: no meaningful regression
+    assert abs(unloaded.speedup) < 0.08

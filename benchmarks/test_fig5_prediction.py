@@ -1,0 +1,22 @@
+"""Benchmark F5: regenerate Figure 5 (prediction promptness/accuracy).
+
+Shape assertions: predictions lead the measured traffic by seconds
+(comfortably above the 3-5 ms/flow programming budget), never lag it,
+and over-estimate the sourced volume by a few percent (paper: 3-7 %).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_prediction import run_fig5
+
+
+def test_fig5_prediction_efficacy(benchmark, scale, seeds):
+    result = run_once(
+        benchmark, lambda: run_fig5(input_gb=60.0 * scale, seed=seeds[0])
+    )
+    print()
+    print(result.render())
+    assert result.never_lags, "prediction must never lag the wire (§V-C)"
+    assert result.min_lead_seconds > 1.0, "lead must be seconds, not ms"
+    assert result.min_lead_seconds / 0.005 > 100, "wide margin over install budget"
+    lo, hi = result.overestimate_range
+    assert 0.02 <= lo and hi <= 0.08, f"overestimate band {lo:.3f}..{hi:.3f}"

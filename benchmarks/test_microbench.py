@@ -1,0 +1,56 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+These are classic pytest-benchmark loops (many iterations) over the
+three routines that dominate experiment wall time — the max-min
+solver, Yen's k-shortest paths, and the ECMP hash — so performance
+regressions in the substrate show up directly in the benchmark table.
+"""
+
+import numpy as np
+
+from repro.sdn.ecmp import ecmp_index
+from repro.simnet.fairshare import maxmin_rates
+from repro.simnet.flows import TCP, FiveTuple
+from repro.simnet.paths import k_shortest_paths
+from repro.simnet.topology import fat_tree, two_rack
+
+
+def _flow_set(nflows: int, nlinks: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    paths = [
+        np.sort(rng.choice(nlinks, size=4, replace=False)).astype(np.intp)
+        for _ in range(nflows)
+    ]
+    caps = rng.uniform(1e7, 1.25e8, nlinks)
+    return paths, caps
+
+
+def test_maxmin_100_flows(benchmark):
+    paths, caps = _flow_set(100, 48)
+    rates = benchmark(maxmin_rates, paths, caps)
+    assert rates.min() > 0
+
+
+def test_maxmin_1000_flows(benchmark):
+    paths, caps = _flow_set(1000, 48)
+    rates = benchmark(maxmin_rates, paths, caps)
+    assert rates.min() > 0
+
+
+def test_yen_two_rack(benchmark):
+    topo = two_rack()
+    paths = benchmark(k_shortest_paths, topo, "h00", "h14", 4)
+    assert len(paths) == 2
+
+
+def test_yen_fat_tree(benchmark):
+    topo = fat_tree(4)
+    hosts = [h.name for h in topo.hosts()]
+    paths = benchmark(k_shortest_paths, topo, hosts[0], hosts[-1], 4)
+    assert len(paths) == 4
+
+
+def test_ecmp_hash(benchmark):
+    ft = FiveTuple("10.0.0", "10.1.4", 50060, 48231, TCP)
+    idx = benchmark(ecmp_index, ft, 4)
+    assert 0 <= idx < 4

@@ -1,0 +1,28 @@
+"""Benchmark: multi-tenant job stream (the §I production motivation).
+
+Not a paper figure — the authors evaluated one job at a time — but the
+deployment scenario the paper targets: a cluster running a stream of
+heterogeneous MapReduce jobs over an over-subscribed fabric.  Reports
+mean/p95 job completion time and makespan under ECMP vs Pythia.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.mix import compare_mix
+
+
+def test_workload_mix_stream(benchmark, seeds):
+    results = run_once(benchmark, lambda: compare_mix(ratio=10, n_jobs=8, seed=seeds[0]))
+    print()
+    print("Workload mix — 8-job stream at 1:10 over-subscription")
+    print(
+        format_table(
+            ["scheduler", "mean JCT (s)", "p95 JCT (s)", "makespan (s)"],
+            [
+                (name, r.mean_jct, r.p95_jct, r.makespan)
+                for name, r in results.items()
+            ],
+        )
+    )
+    assert results["pythia"].mean_jct < results["ecmp"].mean_jct * 0.9
+    assert results["pythia"].p95_jct < results["ecmp"].p95_jct

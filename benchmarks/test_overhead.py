@@ -1,0 +1,24 @@
+"""Benchmark V-C: regenerate the instrumentation-overhead analysis."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.overhead import render_overhead, run_overhead
+from repro.workloads import nutch_indexing_job, sort_job
+
+
+def test_instrumentation_overhead(benchmark, scale, seeds):
+    def run_rows():
+        return [
+            run_overhead(lambda: sort_job(input_gb=24.0 * scale), ratio=10, seed=seeds[0]),
+            run_overhead(lambda: nutch_indexing_job(pages=5e6 * scale), ratio=10, seed=seeds[0]),
+        ]
+
+    rows = run_once(benchmark, run_rows)
+    print()
+    print(render_overhead(rows))
+    for row in rows:
+        # the direct CPU cost shows up in the map phase, inside the band
+        assert 0.0 < row.map_inflation < 0.06
+        # the job-level impact is bounded by (and usually far below) it
+        assert abs(row.jct_impact) < 0.06
+        # and the scheduling benefit must survive paying for it
+        assert row.net_speedup_vs_ecmp > 0.0

@@ -1,0 +1,29 @@
+"""Benchmark: fabric-scaling study (control-plane footprint vs size)."""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.experiments.scale import run_scale_study
+
+
+def test_scale_study(benchmark, seeds):
+    points = run_once(benchmark, lambda: run_scale_study(seed=seeds[0]))
+    print()
+    print("Fabric scaling — constant per-host load, Pythia, unloaded network")
+    print(
+        format_table(
+            ["fabric", "hosts", "JCT (s)", "predictions", "rule installs",
+             "peak rules", "fallbacks"],
+            [
+                (p.label, p.hosts, p.jct, p.predictions, p.rules_installed,
+                 p.peak_rules, p.fallbacks)
+                for p in points
+            ],
+        )
+    )
+    by_hosts = sorted(points, key=lambda p: p.hosts)
+    # constant per-host load: JCT must not blow up with fabric size
+    assert by_hosts[-1].jct < by_hosts[0].jct * 2.5
+    # control-plane state grows with the server-pair count, but every
+    # run must stay rule-driven (no fallback storm at scale)
+    for p in points:
+        assert p.fallbacks <= 0.05 * max(1, p.predictions * 2)

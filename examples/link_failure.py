@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Fault-tolerance scenario: a trunk cable dies mid-shuffle.
+
+§IV claims the routing graph "is updated at the event of link or
+switch failure", giving fault tolerance for free.  This example kills
+one of the two inter-rack trunks twenty seconds into a sort job and
+shows all three schedulers finishing anyway — Pythia re-allocating its
+aggregates and repairing in-flight flows, ECMP re-hashing onto the
+surviving path.
+
+    python examples/link_failure.py
+"""
+
+from repro.experiments.common import run_experiment
+from repro.workloads import sort_job
+
+
+def trunk_fault(sim, topo):
+    sim.schedule(20.0, topo.fail_cable, "tor0", "trunk0")
+
+
+def main() -> None:
+    print("sort 12GB; trunk0 fails at t=20s\n")
+    for scheduler in ("ecmp", "hedera", "pythia"):
+        clean = run_experiment(
+            sort_job(input_gb=12.0), scheduler=scheduler, ratio=None, seed=1
+        )
+        broken = run_experiment(
+            sort_job(input_gb=12.0), scheduler=scheduler, ratio=None, seed=1,
+            fault=trunk_fault,
+        )
+        repairs = broken.policy_stats["repairs"]
+        stranded = broken.policy_stats["stranded"]
+        print(
+            f"  {scheduler:>6}: healthy {clean.jct:6.1f}s -> one-trunk "
+            f"{broken.jct:6.1f}s  ({repairs} flows repaired, {stranded} stranded)"
+        )
+    print("\nevery scheduler completes: the surviving trunk carries the job.")
+
+
+if __name__ == "__main__":
+    main()

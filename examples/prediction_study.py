@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Figure 5 scenario: how early and how accurately Pythia predicts.
+
+Runs the paper's 60 GB integer sort (scaled to 12 GB by default; pass
+``--paper-scale`` for 60 GB) with NetFlow probes on every server, then
+compares each server's *predicted* cumulative shuffle egress against
+the volume *measured* on the wire — the paper's promptness/accuracy
+analysis.  Expected shape: predictions lead the wire by seconds
+(versus a 3-5 ms/flow programming budget), never lag it, and
+over-estimate the final volume by a few percent.
+
+    python examples/prediction_study.py [--paper-scale]
+"""
+
+import sys
+
+from repro.analysis.report import format_series
+from repro.experiments.fig5_prediction import run_fig5
+
+
+def main() -> None:
+    gb = 60.0 if "--paper-scale" in sys.argv else 12.0
+    result = run_fig5(input_gb=gb)
+    print(result.render())
+
+    # sketch the two curves for the busiest server, like the figure
+    busiest = max(
+        result.evaluations.values(), key=lambda e: e.measured_cumulative[-1]
+    )
+    print(f"\ncumulative egress curves for {busiest.server}:")
+    print(format_series("predicted", busiest.predicted_times, busiest.predicted_cumulative))
+    print(format_series("measured ", busiest.measured_times, busiest.measured_cumulative))
+    print(
+        f"\nrule-programming budget is ~4ms/flow; the minimum lead of "
+        f"{result.min_lead_seconds:.1f}s leaves a {result.min_lead_seconds / 0.004:,.0f}x "
+        "safety margin (the paper's §V-C argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Forwarding-state conservation: rack-pair aggregation (§IV).
+
+"Large-scale future SDN network setups may force routing at the level
+of server aggregations, e.g. racks or sets of racks (PODs).  Pythia can
+easily respond to such a requirement by populating the flow aggregation
+module with server location-awareness and an appropriate aggregation
+policy."
+
+This example runs the same Nutch job with the paper's default
+server-pair aggregation and with the rack-pair policy, then expands the
+installed rules into per-switch TCAM entries to show the state saving —
+and that job completion time barely moves.
+
+    python examples/rack_aggregation.py
+"""
+
+from repro.core.config import PythiaConfig
+from repro.experiments.common import run_experiment
+from repro.sdn.switch_tables import SwitchTableView
+from repro.workloads import nutch_indexing_job
+
+
+def main() -> None:
+    print("nutch indexing at 1:10 over-subscription, two aggregation policies\n")
+    for policy in ("server_pair", "rack_pair"):
+        res = run_experiment(
+            nutch_indexing_job(pages=2e6),
+            scheduler="pythia",
+            ratio=10,
+            seed=1,
+            pythia_config=PythiaConfig(aggregation=policy),
+        )
+        view = SwitchTableView(res.topology, res.controller.programmer)
+        occupancy = view.occupancy()
+        busiest = max(occupancy, key=occupancy.get)
+        print(
+            f"  {policy:>11}: JCT {res.jct:6.1f}s | rules installed "
+            f"{res.policy_stats['rules_installed']:4d} | peak table "
+            f"{res.policy_stats['peak_rules']:3d} | max TCAM/switch "
+            f"{occupancy[busiest]:3d} (at {busiest})"
+        )
+    print(
+        "\nrack-pair wildcards (src/dst address prefixes) collapse the rule"
+        "\nset to one entry per rack pair while flows still follow the"
+        "\nallocator's trunk choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

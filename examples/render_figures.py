@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG files (no plotting libraries).
+
+Writes Figure 1a (sequence diagram), Figure 3/4 (grouped bars) and
+Figure 5 (cumulative predicted-vs-measured curves) into ``./figures/``
+using the built-in SVG writers.  Scaled down so it finishes in about a
+minute; bump SCALE for paper-sized inputs.
+
+    python examples/render_figures.py
+"""
+
+from pathlib import Path
+
+from repro.analysis.svg import svg_grouped_bars, svg_series, svg_timeline, write_svg
+from repro.analysis.timeline import job_timeline
+from repro.experiments.fig1a_sequence import run_fig1a
+from repro.experiments.fig3_nutch import run_fig3
+from repro.experiments.fig4_sort import run_fig4
+from repro.experiments.fig5_prediction import run_fig5
+
+SCALE = 0.2
+OUT = Path("figures")
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+
+    fig1a = run_fig1a()
+    write_svg(
+        svg_timeline(job_timeline(fig1a.result.run), title="Figure 1a — toy sort sequence diagram"),
+        OUT / "fig1a_sequence.svg",
+    )
+    print(f"wrote {OUT / 'fig1a_sequence.svg'}")
+
+    rows3 = run_fig3(pages=5e6 * SCALE, seeds=(1,))
+    write_svg(
+        svg_grouped_bars(
+            [r.label for r in rows3],
+            {"ECMP": [r.t_ecmp for r in rows3], "Pythia": [r.t_pythia for r in rows3]},
+            title="Figure 3 — Nutch JCT vs over-subscription",
+        ),
+        OUT / "fig3_nutch.svg",
+    )
+    print(f"wrote {OUT / 'fig3_nutch.svg'}")
+
+    rows4 = run_fig4(input_gb=48.0 * SCALE, seeds=(1,))
+    write_svg(
+        svg_grouped_bars(
+            [r.label for r in rows4],
+            {"ECMP": [r.t_ecmp for r in rows4], "Pythia": [r.t_pythia for r in rows4]},
+            title="Figure 4 — Sort JCT vs over-subscription",
+        ),
+        OUT / "fig4_sort.svg",
+    )
+    print(f"wrote {OUT / 'fig4_sort.svg'}")
+
+    fig5 = run_fig5(input_gb=60.0 * SCALE)
+    busiest = max(fig5.evaluations.values(), key=lambda e: e.measured_cumulative[-1])
+    write_svg(
+        svg_series(
+            {
+                "predicted": (busiest.predicted_times, busiest.predicted_cumulative),
+                "measured": (busiest.measured_times, busiest.measured_cumulative),
+            },
+            title=f"Figure 5 — cumulative shuffle egress of {busiest.server}",
+            x_label="time (s)",
+            y_label="bytes",
+        ),
+        OUT / "fig5_prediction.svg",
+    )
+    print(f"wrote {OUT / 'fig5_prediction.svg'}")
+    print(
+        f"\nprediction lead {fig5.min_lead_seconds:.1f}s; "
+        f"overestimate {100 * fig5.overestimate_range[0]:.1f}%"
+        f"..{100 * fig5.overestimate_range[1]:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Pythia (IPDPS 2014) reproduction: predictive SDN optimization for
+Hadoop MapReduce shuffle traffic, on a simulated datacenter.
+
+The one-call entry point is :func:`repro.experiments.run_experiment`;
+the packages underneath mirror the paper's architecture:
+
+* :mod:`repro.simnet` — fluid flow-level network substrate;
+* :mod:`repro.sdn` — controller services and baseline schedulers;
+* :mod:`repro.hadoop` — Hadoop 1.x MapReduce execution model;
+* :mod:`repro.instrumentation` — Pythia's per-server sensing half;
+* :mod:`repro.core` — Pythia's scheduling half (the contribution);
+* :mod:`repro.workloads` / :mod:`repro.analysis` /
+  :mod:`repro.experiments` — benchmarks, measurement, figure runners.
+
+``python -m repro`` exposes the same functionality as a CLI.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import PythiaConfig, PythiaScheduler
+from repro.experiments import RunResult, run_experiment
+from repro.hadoop import ClusterConfig, HadoopCluster, JobSpec
+from repro.workloads import make_workload
+
+__all__ = [
+    "__version__",
+    "run_experiment",
+    "RunResult",
+    "make_workload",
+    "JobSpec",
+    "ClusterConfig",
+    "HadoopCluster",
+    "PythiaConfig",
+    "PythiaScheduler",
+]

@@ -1,0 +1,43 @@
+"""Measurement post-processing and reporting.
+
+* :mod:`repro.analysis.timeline` — Figure 1a sequence diagrams.
+* :mod:`repro.analysis.prediction_eval` — Figure 5 promptness/accuracy.
+* :mod:`repro.analysis.speedup` — Figures 3/4 JCT comparison tables.
+* :mod:`repro.analysis.report` — ASCII tables and series rendering.
+"""
+
+from repro.analysis.export import export_run, load_run, run_to_dict
+from repro.analysis.lead_model import lead_sensitivity_sweep, predicted_lead_bounds
+from repro.analysis.prediction_eval import PredictionEvaluation, evaluate_prediction
+from repro.analysis.report import format_grouped_bars, format_series, format_table
+from repro.analysis.report_html import run_report_html, write_report
+from repro.analysis.speedup import SweepRow, speedup, sweep_table
+from repro.analysis.svg import svg_grouped_bars, svg_series, svg_timeline, write_svg
+from repro.analysis.timeline import Segment, job_timeline, render_timeline
+from repro.analysis.utilization import UtilizationRecorder
+
+__all__ = [
+    "PredictionEvaluation",
+    "evaluate_prediction",
+    "format_series",
+    "format_grouped_bars",
+    "format_table",
+    "SweepRow",
+    "speedup",
+    "sweep_table",
+    "Segment",
+    "job_timeline",
+    "render_timeline",
+    "export_run",
+    "load_run",
+    "run_to_dict",
+    "predicted_lead_bounds",
+    "lead_sensitivity_sweep",
+    "run_report_html",
+    "write_report",
+    "svg_timeline",
+    "svg_series",
+    "svg_grouped_bars",
+    "write_svg",
+    "UtilizationRecorder",
+]

@@ -1,0 +1,104 @@
+"""Result export: serialise an experiment run to JSON and back.
+
+Lets users archive runs, diff them across code versions, or analyse
+them with external tooling, without pickling live simulator objects.
+The export is lossy by design — it captures the *measurements* (task
+records, fetches, per-server egress series, scheduler statistics), not
+the machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Union
+
+from repro.experiments.common import RunResult
+
+EXPORT_VERSION = 1
+
+
+def run_to_dict(result: RunResult) -> dict[str, Any]:
+    """Flatten a RunResult into JSON-serialisable measurements."""
+    run = result.run
+    spec = run.spec
+    payload: dict[str, Any] = {
+        "version": EXPORT_VERSION,
+        "scheduler": result.scheduler,
+        "ratio": result.ratio,
+        "seed": result.seed,
+        "jct": run.jct,
+        "spec": {
+            "name": spec.name,
+            "input_bytes": spec.input_bytes,
+            "num_maps": spec.num_maps,
+            "num_reducers": spec.num_reducers,
+            "map_output_ratio": spec.map_output_ratio,
+        },
+        "job": {
+            "job_id": run.job_id,
+            "submitted_at": run.submitted_at,
+            "completed_at": run.completed_at,
+            "map_locality": run.map_locality,
+            "speculative_attempts": run.speculative_attempts,
+        },
+        "maps": [
+            {"task_id": r.task_id, "node": r.node, "start": r.start, "end": r.end}
+            for r in run.maps.values()
+        ],
+        "reduces": [
+            {
+                "task_id": r.task_id,
+                "node": r.node,
+                "start": r.start,
+                "shuffle_end": r.shuffle_end,
+                "sort_end": r.sort_end,
+                "end": r.end,
+            }
+            for r in run.reduces.values()
+        ],
+        "fetches": [
+            {
+                "map_id": f.map_id,
+                "reducer_id": f.reducer_id,
+                "src": f.src,
+                "dst": f.dst,
+                "app_bytes": f.app_bytes,
+                "wire_bytes": f.wire_bytes,
+                "local": f.local,
+                "start": f.start,
+                "end": f.end,
+            }
+            for f in run.fetches
+        ],
+        "policy_stats": dict(result.policy_stats),
+        "netflow": {
+            server: {
+                "times": result.netflow.series(server)[0].tolist(),
+                "cumulative_bytes": result.netflow.series(server)[1].tolist(),
+            }
+            for server in result.netflow.servers()
+        },
+    }
+    if result.collector is not None:
+        payload["predictions"] = [
+            asdict(entry) for entry in result.collector.log
+        ]
+    return payload
+
+
+def export_run(result: RunResult, path: Union[str, Path]) -> Path:
+    """Write a run's measurements as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(run_to_dict(result), indent=1, sort_keys=True))
+    return path
+
+
+def load_run(path: Union[str, Path]) -> dict[str, Any]:
+    """Load an exported run (plain dict; see :data:`EXPORT_VERSION`)."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("version")
+    if version != EXPORT_VERSION:
+        raise ValueError(f"unsupported export version {version!r}")
+    return data

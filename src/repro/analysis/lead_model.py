@@ -1,0 +1,111 @@
+"""Analytical model of prediction timeliness (§V-C's on-going work).
+
+The paper closes its prediction study with: "the timeliness of
+prediction depends on the time gap between a map task finish event and
+the event of a reducer task starting to fetch data from the finished
+mapper ... we are currently working on modeling the problem using
+relevant Hadoop parameters as input and designing experiments to
+confirm this insensitivity."  This module is that future-work item:
+
+* :func:`predicted_lead_bounds` — a closed-form lower/expected bound on
+  the minimum prediction lead from the Hadoop timing parameters the
+  simulator models (reduce-attempt startup, the two-hop heartbeat
+  completion-event path, spill-decode latency);
+* :func:`lead_sensitivity_sweep` — the confirming experiment: measure
+  the lead while sweeping ``parallel_copies`` (the paper's conjecture
+  is that the parallel-transfer limit does *not* erode the lead — it
+  only queues fetches later, which widens leads) and ``heartbeat``
+  (which *does* move it, linearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.common import run_experiment
+from repro.hadoop.cluster import ClusterConfig
+from repro.instrumentation.middleware import InstrumentationConfig
+from repro.workloads.sort import sort_job
+
+
+@dataclass(frozen=True)
+class LeadBounds:
+    """Closed-form bounds on the minimum prediction lead (seconds)."""
+
+    lower: float
+    expected: float
+
+
+def predicted_lead_bounds(
+    cluster: ClusterConfig,
+    instrumentation: InstrumentationConfig | None = None,
+) -> LeadBounds:
+    """Model the minimum map-finish -> fetch-start gap.
+
+    A spill's prediction reaches the collector after
+    ``detection_delay + decode + mgmt_latency``.  The earliest a fetch
+    for that spill can start is bounded below by the reduce-attempt
+    startup (when the map finished before the reducer was up — always
+    true for the first wave under slowstart) and shifted by the
+    heartbeat phase alignment: the event rides the source tracker's
+    next heartbeat (U(0, h)) and the reducer's next poll (U(0, h)).
+
+    lower  = reduce_startup - sensing latency        (best-case alignment)
+    expected = reduce_startup + h (two half-beats) - sensing latency
+    """
+    instrumentation = instrumentation or InstrumentationConfig()
+    sensing = (
+        instrumentation.detection_delay
+        + instrumentation.decoder.decode_base
+        + instrumentation.mgmt_latency
+    )
+    h = cluster.heartbeat
+    return LeadBounds(
+        lower=max(0.0, cluster.reduce_startup - sensing),
+        expected=max(0.0, cluster.reduce_startup + h - sensing),
+    )
+
+
+@dataclass(frozen=True)
+class LeadSample:
+    """One (parameter, value, measured lead) observation."""
+    parameter: str
+    value: float
+    min_lead: float
+
+
+def _measure_min_lead(cluster: ClusterConfig, seed: int, input_gb: float) -> float:
+    from repro.analysis.prediction_eval import evaluate_all_servers
+
+    res = run_experiment(
+        sort_job(input_gb=input_gb, num_reducers=10),
+        scheduler="pythia",
+        ratio=None,
+        seed=seed,
+        cluster_config=cluster,
+    )
+    assert res.collector is not None
+    evals = evaluate_all_servers(res.collector, res.netflow)
+    return min(e.min_lead_seconds for e in evals.values())
+
+
+def lead_sensitivity_sweep(
+    parallel_copies: Sequence[int] = (2, 5, 10),
+    heartbeats: Sequence[float] = (1.0, 3.0, 5.0),
+    seed: int = 1,
+    input_gb: float = 6.0,
+) -> list[LeadSample]:
+    """Measure the minimum lead while sweeping the two §V-C parameters."""
+    samples: list[LeadSample] = []
+    for pc in parallel_copies:
+        cluster = ClusterConfig(parallel_copies=pc)
+        samples.append(
+            LeadSample("parallel_copies", pc, _measure_min_lead(cluster, seed, input_gb))
+        )
+    for h in heartbeats:
+        cluster = ClusterConfig(heartbeat=h)
+        samples.append(
+            LeadSample("heartbeat", h, _measure_min_lead(cluster, seed, input_gb))
+        )
+    return samples

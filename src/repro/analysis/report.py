@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and series for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule; numbers right-aligned."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def format_grouped_bars(
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 50,
+    unit: str = "s",
+) -> str:
+    """Horizontal grouped bar chart (one group per category).
+
+    Used to render the paper's Figure 3/4 bar groups (ECMP vs Pythia
+    per over-subscription ratio) in plain text.
+    """
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=0.0)
+    if peak <= 0:
+        return "(no data)"
+    label_w = max(len(name) for name in series)
+    cat_w = max(len(c) for c in categories)
+    lines = []
+    for i, cat in enumerate(categories):
+        for j, (name, vals) in enumerate(series.items()):
+            value = vals[i]
+            bar = "#" * max(1, int(value / peak * width))
+            prefix = f"{cat:>{cat_w}} " if j == 0 else " " * (cat_w + 1)
+            lines.append(f"{prefix}{name:<{label_w}} {bar} {value:.1f}{unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], width: int = 60
+) -> str:
+    """A crude sparkline-style rendering of one (x, y) series."""
+    if len(xs) == 0:
+        return f"{name}: (empty)"
+    lo, hi = min(ys), max(ys)
+    span = max(hi - lo, 1e-12)
+    glyphs = " .:-=+*#%@"
+    cells = []
+    step = max(1, len(xs) // width)
+    for i in range(0, len(xs), step):
+        level = int((ys[i] - lo) / span * (len(glyphs) - 1))
+        cells.append(glyphs[level])
+    return f"{name} [{lo:.3g}..{hi:.3g}]: {''.join(cells)}"

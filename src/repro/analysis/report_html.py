@@ -1,0 +1,99 @@
+"""Self-contained HTML report for one experiment run.
+
+Combines the run's headline numbers, phase coverage, scheduler
+statistics, the sequence-diagram SVG and the per-server shuffle-egress
+chart into a single HTML file with no external assets — the artefact
+to attach to a ticket or share with a colleague.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.svg import svg_series, svg_timeline
+from repro.analysis.timeline import job_timeline, phase_fractions
+from repro.experiments.common import RunResult
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f2f2f2; }
+.figure { margin: 1em 0; }
+"""
+
+
+def _kv_table(rows: list[tuple[str, str]]) -> str:
+    body = "".join(
+        f"<tr><th style='text-align:left'>{escape(k)}</th><td>{escape(v)}</td></tr>"
+        for k, v in rows
+    )
+    return f"<table>{body}</table>"
+
+
+def run_report_html(result: RunResult, title: str = "") -> str:
+    """Render one run as a standalone HTML document string."""
+    run = result.run
+    title = title or f"{run.spec.name} under {result.scheduler}"
+    ratio = "none" if result.ratio is None else f"1:{result.ratio:g}"
+    header = _kv_table(
+        [
+            ("job", run.spec.name),
+            ("scheduler", result.scheduler),
+            ("over-subscription", ratio),
+            ("seed", str(result.seed)),
+            ("job completion time", f"{run.jct:.1f} s"),
+            ("maps / reducers", f"{len(run.maps)} / {len(run.reduces)}"),
+            ("remote shuffle fraction", f"{run.remote_fraction():.0%}"),
+        ]
+    )
+    phases = phase_fractions(run)
+    phase_table = _kv_table(
+        [(phase, f"{frac:.0%} of job time") for phase, frac in phases.items()]
+    )
+    stats_table = _kv_table(
+        [(k, str(v)) for k, v in sorted(result.policy_stats.items())]
+    )
+    timeline_svg = svg_timeline(
+        job_timeline(run), title="sequence diagram", width=900
+    )
+    egress_series = {
+        server: tuple(result.netflow.series(server))
+        for server in result.netflow.servers()
+    }
+    if egress_series:
+        egress_svg = svg_series(
+            {k: (t, c) for k, (t, c) in egress_series.items()},
+            title="cumulative shuffle egress per server",
+            x_label="time (s)",
+            y_label="bytes",
+            width=900,
+        )
+    else:
+        egress_svg = "<p>(no remote shuffle traffic)</p>"
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{escape(title)}</title>
+<style>{_STYLE}</style></head>
+<body>
+<h1>{escape(title)}</h1>
+{header}
+<h2>Phase coverage</h2>
+{phase_table}
+<h2>Scheduler statistics</h2>
+{stats_table}
+<h2>Sequence diagram</h2>
+<div class="figure">{timeline_svg}</div>
+<h2>Shuffle egress</h2>
+<div class="figure">{egress_svg}</div>
+</body></html>
+"""
+
+
+def write_report(result: RunResult, path: Union[str, Path], title: str = "") -> Path:
+    """Write the HTML report; returns the path."""
+    path = Path(path)
+    path.write_text(run_report_html(result, title=title))
+    return path

@@ -1,0 +1,102 @@
+"""Per-reducer shuffle wait decomposition.
+
+Explains *where* a reducer's shuffle time went — the quantity that
+ultimately decides job completion behind the barrier:
+
+* **discovery wait** — map finished, but the reducer has not learned of
+  it yet (heartbeat completion-event path);
+* **queue wait** — the fetch is known but parked behind the
+  parallel-copy limit;
+* **transfer time** — bytes actually moving (where path choice, and
+  hence Pythia, matters).
+
+Used to attribute ECMP-vs-Pythia differences to transfer time rather
+than the Hadoop mechanics both share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hadoop.job import JobRun
+
+
+@dataclass(frozen=True)
+class ReducerBreakdown:
+    """Summed fetch-time components of one reducer."""
+
+    reducer_id: int
+    node: str
+    fetches: int
+    #: sum over fetches of (enqueue time - source map finish time).
+    discovery_wait: float
+    #: sum over fetches of (fetch start - enqueue time).
+    queue_wait: float
+    #: sum over fetches of (fetch end - fetch start).
+    transfer_time: float
+    #: wall-clock shuffle span of this reducer.
+    shuffle_span: float
+
+
+def shuffle_breakdown(run: JobRun) -> list[ReducerBreakdown]:
+    """Decompose every reducer's shuffle into its wait components."""
+    map_end = {m: rec.end for m, rec in run.maps.items()}
+    out: list[ReducerBreakdown] = []
+    for rid, rec in sorted(run.reduces.items()):
+        fetches = [f for f in run.fetches if f.reducer_id == rid]
+        discovery = 0.0
+        queue = 0.0
+        transfer = 0.0
+        for f in fetches:
+            if f.start is None or f.end is None:
+                continue
+            finished = map_end.get(f.map_id)
+            if finished is not None:
+                discovery += max(0.0, f.enqueued - finished)
+            queue += max(0.0, f.start - f.enqueued)
+            transfer += f.end - f.start
+        span = 0.0
+        if rec.shuffle_start is not None and rec.shuffle_end is not None:
+            span = rec.shuffle_end - rec.shuffle_start
+        out.append(
+            ReducerBreakdown(
+                reducer_id=rid,
+                node=rec.node,
+                fetches=len(fetches),
+                discovery_wait=discovery,
+                queue_wait=queue,
+                transfer_time=transfer,
+                shuffle_span=span,
+            )
+        )
+    return out
+
+
+def total_transfer_time(run: JobRun) -> float:
+    """Summed transfer time across all reducers (the Pythia-sensitive part)."""
+    return float(sum(b.transfer_time for b in shuffle_breakdown(run)))
+
+
+def breakdown_table(run: JobRun) -> list[tuple]:
+    """Rows for :func:`repro.analysis.report.format_table`."""
+    return [
+        (
+            f"reduce-{b.reducer_id}@{b.node}",
+            b.fetches,
+            b.discovery_wait,
+            b.queue_wait,
+            b.transfer_time,
+            b.shuffle_span,
+        )
+        for b in shuffle_breakdown(run)
+    ]
+
+
+def mean_transfer_seconds(run: JobRun) -> float:
+    """Average per-fetch transfer time across the whole job."""
+    durations = [
+        f.end - f.start for f in run.fetches if f.start is not None and f.end is not None
+    ]
+    return float(np.mean(durations)) if durations else 0.0

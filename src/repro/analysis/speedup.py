@@ -1,0 +1,59 @@
+"""Job-completion-time comparison tables (Figures 3 and 4).
+
+The paper reports, per over-subscription ratio, the ECMP and Pythia
+completion times plus the relative speedup — "the maximum speedup was
+obtained for the 1:20 over-subscription ratio case where Pythia
+improved job performance by 46 %".  Speedup here follows that reading:
+``(t_ecmp - t_pythia) / t_ecmp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def speedup(t_baseline: float, t_optimized: float) -> float:
+    """Relative improvement of the optimised time over the baseline."""
+    if t_baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return (t_baseline - t_optimized) / t_baseline
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One over-subscription point of a Figure 3/4 sweep.
+
+    ``t_*`` are seed-averaged; ``std_*`` carry the across-seed sample
+    standard deviation (0 for single-seed sweeps).
+    """
+
+    ratio: Optional[float]
+    t_ecmp: float
+    t_pythia: float
+    std_ecmp: float = 0.0
+    std_pythia: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Relative improvement of Pythia over ECMP at this point."""
+        return speedup(self.t_ecmp, self.t_pythia)
+
+    @property
+    def label(self) -> str:
+        """Human-readable ratio label (e.g. '1:10')."""
+        return "none" if self.ratio is None else f"1:{self.ratio:g}"
+
+
+def sweep_table(rows: list[SweepRow]) -> list[tuple[str, str, str, float]]:
+    """(label, ecmp, pythia, speedup_pct) rows; times carry +-std when known."""
+
+    def fmt(mean: float, std: float) -> str:
+        if std > 0:
+            return f"{mean:.1f} ±{std:.1f}"
+        return f"{mean:.1f}"
+
+    return [
+        (r.label, fmt(r.t_ecmp, r.std_ecmp), fmt(r.t_pythia, r.std_pythia), 100.0 * r.speedup)
+        for r in rows
+    ]

@@ -1,0 +1,211 @@
+"""SVG renderings of the paper's figures (no external dependencies).
+
+The authors built "a custom visualization tool" for sequence diagrams
+like Figure 1a (§II).  This module is that tool for the reproduction:
+hand-rolled SVG writers for sequence diagrams (Gantt), line series
+(Figure 5's cumulative curves) and grouped bars (Figures 3/4), each
+returning a standalone SVG document string.
+
+The markup is deliberately simple — `<rect>`, `<line>`, `<text>` — so
+tests can validate it with ``xml.etree`` and humans can read it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+from xml.sax.saxutils import escape
+
+from repro.analysis.timeline import Segment
+
+_PHASE_COLORS = {
+    "map": "#4c72b0",
+    "shuffle": "#dd8452",
+    "sort": "#937860",
+    "reduce": "#55a868",
+}
+_SERIES_COLORS = ("#4c72b0", "#dd8452", "#55a868", "#c44e52", "#8172b3", "#937860")
+_FAMILY = 'font-family="Helvetica,Arial,sans-serif"'
+_FONT = f'{_FAMILY} font-size="11"'
+
+
+def _doc(width: int, height: int, body: list[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    caption = (
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" {_FAMILY} '
+        f'font-size="13" font-weight="bold">{escape(title)}</text>'
+    )
+    return "\n".join([head, caption, *body, "</svg>"])
+
+
+def svg_timeline(
+    segments: Sequence[Segment],
+    title: str = "job sequence diagram",
+    width: int = 860,
+    row_height: int = 18,
+) -> str:
+    """Figure-1a style Gantt chart of task phases."""
+    if not segments:
+        raise ValueError("no segments to draw")
+    rows: list[str] = []
+    for seg in segments:
+        if seg.row not in rows:
+            rows.append(seg.row)
+    t0 = min(s.start for s in segments)
+    t1 = max(s.end for s in segments)
+    span = max(t1 - t0, 1e-9)
+    label_w, pad, top = 140, 10, 28
+    plot_w = width - label_w - 2 * pad
+    height = top + row_height * len(rows) + 40
+    body: list[str] = []
+    for i, row in enumerate(rows):
+        y = top + i * row_height
+        body.append(
+            f'<text x="{label_w - 6}" y="{y + row_height - 6}" '
+            f'text-anchor="end" {_FONT}>{escape(row)}</text>'
+        )
+    for seg in segments:
+        y = top + rows.index(seg.row) * row_height + 2
+        x = label_w + (seg.start - t0) / span * plot_w
+        w = max(1.0, seg.duration / span * plot_w)
+        color = _PHASE_COLORS.get(seg.phase, "#999999")
+        tip = f"{seg.row} {seg.phase} [{seg.start:.1f}s..{seg.end:.1f}s] {seg.detail}"
+        body.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" height="{row_height - 4}" '
+            f'fill="{color}"><title>{escape(tip)}</title></rect>'
+        )
+    axis_y = top + row_height * len(rows) + 8
+    body.append(
+        f'<line x1="{label_w}" y1="{axis_y}" x2="{label_w + plot_w}" y2="{axis_y}" '
+        'stroke="#333" stroke-width="1"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = label_w + frac * plot_w
+        body.append(
+            f'<text x="{x:.0f}" y="{axis_y + 14}" text-anchor="middle" {_FONT}>'
+            f"{t0 + frac * span:.1f}s</text>"
+        )
+    legend_x = label_w
+    for i, (phase, color) in enumerate(_PHASE_COLORS.items()):
+        x = legend_x + i * 90
+        body.append(
+            f'<rect x="{x}" y="{axis_y + 20}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{x + 14}" y="{axis_y + 29}" {_FONT}>{phase}</text>'
+        )
+    return _doc(width, height + 12, body, title)
+
+
+def svg_series(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "series",
+    x_label: str = "time (s)",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """Figure-5 style line chart: named (xs, ys) series."""
+    if not series or all(len(xs) == 0 for xs, _ in series.values()):
+        raise ValueError("no data to draw")
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    x0, x1 = min(xs_all), max(xs_all)
+    y0, y1 = min(ys_all), max(ys_all)
+    xspan = max(x1 - x0, 1e-12)
+    yspan = max(y1 - y0, 1e-12)
+    left, right, top, bottom = 70, 20, 30, 50
+    pw, ph = width - left - right, height - top - bottom
+
+    def px(x: float) -> float:
+        return left + (x - x0) / xspan * pw
+
+    def py(y: float) -> float:
+        return top + ph - (y - y0) / yspan * ph
+
+    body = [
+        f'<line x1="{left}" y1="{top + ph}" x2="{left + pw}" y2="{top + ph}" stroke="#333"/>',
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{top + ph}" stroke="#333"/>',
+        f'<text x="{left + pw / 2:.0f}" y="{height - 8}" text-anchor="middle" {_FONT}>'
+        f"{escape(x_label)}</text>",
+        f'<text x="14" y="{top + ph / 2:.0f}" {_FONT} '
+        f'transform="rotate(-90 14 {top + ph / 2:.0f})" text-anchor="middle">'
+        f"{escape(y_label)}</text>",
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        body.append(
+            f'<text x="{left + frac * pw:.0f}" y="{top + ph + 16}" '
+            f'text-anchor="middle" {_FONT}>{x0 + frac * xspan:.3g}</text>'
+        )
+        body.append(
+            f'<text x="{left - 6}" y="{py(y0 + frac * yspan) + 4:.0f}" '
+            f'text-anchor="end" {_FONT}>{y0 + frac * yspan:.3g}</text>'
+        )
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = _SERIES_COLORS[i % len(_SERIES_COLORS)]
+        points = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys))
+        body.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        body.append(
+            f'<rect x="{left + pw - 150}" y="{top + 4 + i * 16}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{left + pw - 136}" y="{top + 13 + i * 16}" {_FONT}>{escape(name)}</text>'
+        )
+    return _doc(width, height, body, title)
+
+
+def svg_grouped_bars(
+    categories: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "comparison",
+    y_label: str = "seconds",
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """Figure-3/4 style grouped bars (one group per category)."""
+    if not categories or not series:
+        raise ValueError("no data to draw")
+    peak = max(max(vals) for vals in series.values())
+    if peak <= 0:
+        raise ValueError("all values are zero")
+    left, right, top, bottom = 60, 20, 30, 50
+    pw, ph = width - left - right, height - top - bottom
+    group_w = pw / len(categories)
+    bar_w = group_w * 0.8 / len(series)
+    body = [
+        f'<line x1="{left}" y1="{top + ph}" x2="{left + pw}" y2="{top + ph}" stroke="#333"/>',
+        f'<text x="14" y="{top + ph / 2:.0f}" {_FONT} '
+        f'transform="rotate(-90 14 {top + ph / 2:.0f})" text-anchor="middle">'
+        f"{escape(y_label)}</text>",
+    ]
+    for ci, cat in enumerate(categories):
+        gx = left + ci * group_w + group_w * 0.1
+        for si, (name, vals) in enumerate(series.items()):
+            v = vals[ci]
+            h = v / peak * ph
+            x = gx + si * bar_w
+            color = _SERIES_COLORS[si % len(_SERIES_COLORS)]
+            body.append(
+                f'<rect x="{x:.1f}" y="{top + ph - h:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{escape(f'{cat} {name}: {v:.1f}')}</title></rect>"
+            )
+        body.append(
+            f'<text x="{left + ci * group_w + group_w / 2:.0f}" y="{top + ph + 16}" '
+            f'text-anchor="middle" {_FONT}>{escape(cat)}</text>'
+        )
+    for i, name in enumerate(series):
+        color = _SERIES_COLORS[i % len(_SERIES_COLORS)]
+        body.append(
+            f'<rect x="{left + 8 + i * 110}" y="{top + 2}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{left + 22 + i * 110}" y="{top + 11}" {_FONT}>{escape(name)}</text>'
+        )
+    return _doc(width, height, body, title)
+
+
+def write_svg(svg: str, path: Union[str, Path]) -> Path:
+    """Write an SVG document to disk; returns the path."""
+    path = Path(path)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,119 @@
+"""Job sequence diagrams (the paper's Figure 1a visualisation tool).
+
+"Figure 1a depicts the sequence diagram of the execution of a toy-sized
+sort job ... obtained by a custom visualization tool we have developed"
+— map tasks, per-reducer shuffle, and reduce phases on a shared time
+axis, which makes both observations of §II visible: the shuffle phase
+dominating job time, and the skewed per-reducer volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hadoop.job import JobRun
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One bar of the sequence diagram."""
+
+    row: str         # e.g. "map-2@h01" or "reduce-0@h10"
+    phase: str       # "map" | "shuffle" | "sort" | "reduce"
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+
+def job_timeline(run: JobRun) -> list[Segment]:
+    """Extract the phase segments of one job execution."""
+    segments: list[Segment] = []
+    for map_id, rec in sorted(run.maps.items()):
+        if rec.start is None or rec.end is None:
+            continue
+        segments.append(
+            Segment(row=f"map-{map_id}@{rec.node}", phase="map", start=rec.start, end=rec.end)
+        )
+    per_reducer_bytes = run.reducer_bytes()
+    for rid, rec in sorted(run.reduces.items()):
+        row = f"reduce-{rid}@{rec.node}"
+        if rec.shuffle_start is not None and rec.shuffle_end is not None:
+            segments.append(
+                Segment(
+                    row=row,
+                    phase="shuffle",
+                    start=rec.shuffle_start,
+                    end=rec.shuffle_end,
+                    detail=f"{per_reducer_bytes[rid] / 1e6:.0f}MB",
+                )
+            )
+        if rec.shuffle_end is not None and rec.sort_end is not None:
+            segments.append(
+                Segment(row=row, phase="sort", start=rec.shuffle_end, end=rec.sort_end)
+            )
+        if rec.sort_end is not None and rec.end is not None:
+            segments.append(Segment(row=row, phase="reduce", start=rec.sort_end, end=rec.end))
+    return segments
+
+
+_PHASE_GLYPH = {"map": "M", "shuffle": "s", "sort": "o", "reduce": "R"}
+
+
+def render_timeline(segments: list[Segment], width: int = 78) -> str:
+    """ASCII Gantt chart of the segments, one row per task."""
+    if not segments:
+        return "(empty timeline)"
+    t0 = min(s.start for s in segments)
+    t1 = max(s.end for s in segments)
+    span = max(t1 - t0, 1e-9)
+    rows: dict[str, list[Segment]] = {}
+    for seg in segments:
+        rows.setdefault(seg.row, []).append(seg)
+    label_w = max(len(r) for r in rows) + 1
+    scale = (width - label_w) / span
+    lines = [
+        f"{'':<{label_w}}t0={t0:.1f}s " + "-" * max(0, width - label_w - 14) + f" t1={t1:.1f}s"
+    ]
+    for row in rows:
+        canvas = [" "] * (width - label_w)
+        for seg in rows[row]:
+            a = int((seg.start - t0) * scale)
+            b = max(a + 1, int((seg.end - t0) * scale))
+            glyph = _PHASE_GLYPH.get(seg.phase, "?")
+            for i in range(a, min(b, len(canvas))):
+                canvas[i] = glyph
+        detail = " ".join(s.detail for s in rows[row] if s.detail)
+        lines.append(f"{row:<{label_w}}{''.join(canvas)} {detail}".rstrip())
+    lines.append("legend: M=map  s=shuffle  o=sort/merge  R=reduce")
+    return "\n".join(lines)
+
+
+def phase_fractions(run: JobRun) -> dict[str, float]:
+    """Fraction of job wall time covered by each phase (union of tasks)."""
+    segments = job_timeline(run)
+    jct = run.jct
+    out: dict[str, float] = {}
+    for phase in ("map", "shuffle", "sort", "reduce"):
+        intervals = sorted(
+            (s.start, s.end) for s in segments if s.phase == phase
+        )
+        covered = 0.0
+        cur_a: float | None = None
+        cur_b = 0.0
+        for a, b in intervals:
+            if cur_a is None:
+                cur_a, cur_b = a, b
+            elif a <= cur_b:
+                cur_b = max(cur_b, b)
+            else:
+                covered += cur_b - cur_a
+                cur_a, cur_b = a, b
+        if cur_a is not None:
+            covered += cur_b - cur_a
+        out[phase] = covered / jct if jct > 0 else 0.0
+    return out

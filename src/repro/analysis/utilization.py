@@ -1,0 +1,90 @@
+"""Link-utilization time series: record and render.
+
+The controller's link-stats service keeps only an EWMA snapshot; this
+recorder keeps the whole history, which is what Figure 1b's per-path
+utilisation annotations and any post-hoc congestion analysis need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.report import format_series
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+
+
+@dataclass
+class UtilizationRecorder:
+    """Samples every link's utilisation on a fixed period.
+
+    Started explicitly and stopped explicitly (or via ``record_for``),
+    so it never keeps the event queue alive by accident.
+    """
+
+    sim: Simulator
+    network: Network
+    period: float = 1.0
+    times: list[float] = field(default_factory=list)
+    samples: list[np.ndarray] = field(default_factory=list)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(0.0, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (lets the event queue drain)."""
+        self._running = False
+
+    def record_for(self, duration: float) -> None:
+        """Start now, stop automatically after ``duration`` seconds."""
+        self.start()
+        self.sim.schedule(duration, self.stop)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.network.sample_counters()
+        links = self.network.topology.links
+        self.times.append(self.sim.now)
+        self.samples.append(np.array([l.utilization for l in links]))
+        self.sim.schedule(self.period, self._tick)
+
+    # ------------------------------------------------------------------
+    def series(self, lid: int) -> tuple[np.ndarray, np.ndarray]:
+        """(times, utilisation in [0,1]) of one link."""
+        if not self.samples:
+            return np.array([]), np.array([])
+        return np.asarray(self.times), np.stack(self.samples)[:, lid]
+
+    def mean_utilization(self, lid: int) -> float:
+        """Mean recorded utilisation of one link."""
+        _, u = self.series(lid)
+        return float(u.mean()) if u.size else 0.0
+
+    def peak_utilization(self, lid: int) -> float:
+        """Peak recorded utilisation of one link."""
+        _, u = self.series(lid)
+        return float(u.max()) if u.size else 0.0
+
+    def hottest_links(self, top: int = 5) -> list[tuple[int, float]]:
+        """(link id, mean utilisation) for the busiest links."""
+        links = self.network.topology.links
+        means = [(l.lid, self.mean_utilization(l.lid)) for l in links]
+        return sorted(means, key=lambda kv: -kv[1])[:top]
+
+    def render(self, lids: list[int], width: int = 60) -> str:
+        """Sparkline per requested link, labelled src->dst."""
+        out = []
+        links = self.network.topology.links
+        for lid in lids:
+            t, u = self.series(lid)
+            label = f"{links[lid].src}->{links[lid].dst}"
+            out.append(format_series(label, list(t), list(u), width=width))
+        return "\n".join(out)

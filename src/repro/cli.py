@@ -1,0 +1,210 @@
+"""Command-line interface: run experiments and regenerate paper figures.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list
+    python -m repro run --workload sort --scale 0.05 --scheduler pythia --ratio 10
+    python -m repro compare --workload nutch --ratio 20
+    python -m repro figure fig3 --scale 0.2 --seeds 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.speedup import speedup
+from repro.analysis.timeline import job_timeline, phase_fractions, render_timeline
+from repro.experiments.common import SCHEDULERS, run_experiment
+from repro.workloads import HIBENCH, make_workload
+
+FIGURES = ("fig1a", "fig1b", "fig3", "fig4", "fig5", "overhead", "ablations")
+
+
+def _parse_ratio(value: str) -> Optional[float]:
+    if value.lower() in ("none", "0"):
+        return None
+    return float(value.removeprefix("1:"))
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads: ", ", ".join(sorted(HIBENCH)))
+    print("schedulers:", ", ".join(SCHEDULERS))
+    print("figures:   ", ", ".join(FIGURES))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = make_workload(args.workload, scale=args.scale)
+    res = run_experiment(
+        spec, scheduler=args.scheduler, ratio=args.ratio, seed=args.seed
+    )
+    print(f"{spec.name} under {args.scheduler}"
+          f" (oversubscription {'none' if args.ratio is None else f'1:{args.ratio:g}'}):"
+          f" JCT = {res.jct:.1f}s")
+    fr = phase_fractions(res.run)
+    print("phase coverage: " + ", ".join(f"{k} {v:.0%}" for k, v in fr.items()))
+    if res.policy_stats:
+        print("scheduler stats:", res.policy_stats)
+    if args.timeline:
+        print(render_timeline(job_timeline(res.run)))
+    if args.export is not None:
+        from repro.analysis.export import export_run
+
+        path = export_run(res, args.export)
+        print(f"measurements written to {path}")
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.experiments.mix import run_mix
+    from repro.workloads.mix import synthesize_mix
+
+    rows = []
+    for scheduler in args.schedulers:
+        res = run_mix(
+            synthesize_mix(n_jobs=args.jobs, seed=args.seed),
+            scheduler=scheduler,
+            ratio=args.ratio,
+            seed=args.seed,
+        )
+        rows.append((scheduler, res.mean_jct, res.p95_jct, res.makespan))
+    print(
+        format_table(
+            ["scheduler", "mean JCT (s)", "p95 JCT (s)", "makespan (s)"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for scheduler in args.schedulers:
+        jcts = [
+            run_experiment(
+                make_workload(args.workload, scale=args.scale),
+                scheduler=scheduler,
+                ratio=args.ratio,
+                seed=s,
+            ).jct
+            for s in args.seeds
+        ]
+        rows.append((scheduler, sum(jcts) / len(jcts)))
+    base = rows[0][1]
+    print(
+        format_table(
+            ["scheduler", "JCT (s)", "vs first (%)"],
+            [(name, jct, 100.0 * speedup(base, jct)) for name, jct in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig1a":
+        from repro.experiments.fig1a_sequence import run_fig1a
+
+        print(run_fig1a().render(width=90))
+    elif name == "fig1b":
+        from repro.experiments.fig1b_adversarial import run_fig1b
+
+        for sched in ("ecmp", "pythia"):
+            r = run_fig1b(sched)
+            print(
+                f"{sched}: flow-1 via {r.flow1_trunk} in {r.flow1_seconds:.1f}s, "
+                f"flow-2 via {r.flow2_trunk} in {r.flow2_seconds:.1f}s"
+            )
+    elif name == "fig3":
+        from repro.experiments.fig3_nutch import render_fig3, run_fig3
+
+        print(render_fig3(run_fig3(pages=5e6 * args.scale, seeds=args.seeds)))
+    elif name == "fig4":
+        from repro.experiments.fig4_sort import render_fig4, run_fig4
+
+        print(render_fig4(run_fig4(input_gb=48.0 * args.scale, seeds=args.seeds)))
+    elif name == "fig5":
+        from repro.experiments.fig5_prediction import run_fig5
+
+        print(run_fig5(input_gb=60.0 * args.scale, seed=args.seeds[0]).render())
+    elif name == "overhead":
+        from repro.experiments.overhead import render_overhead, run_overhead
+        from repro.workloads import nutch_indexing_job, sort_job
+
+        rows = [
+            run_overhead(lambda: sort_job(input_gb=24.0 * args.scale), seed=args.seeds[0]),
+            run_overhead(lambda: nutch_indexing_job(pages=5e6 * args.scale), seed=args.seeds[0]),
+        ]
+        print(render_overhead(rows))
+    elif name == "ablations":
+        from repro.experiments import ablations as ab
+
+        print(ab.render_ablation("A1 — aggregation", ab.ablate_aggregation(seed=args.seeds[0])))
+        print(ab.render_ablation("A1b — allocators", ab.ablate_allocators(seed=args.seeds[0])))
+        print(ab.render_ablation("A2 — schedulers", ab.ablate_schedulers(seed=args.seeds[0])))
+        print(ab.render_ablation("A3a — k paths", ab.ablate_k_paths(seed=args.seeds[0])))
+        print(ab.render_ablation("A3b — install latency", ab.ablate_install_latency(seed=args.seeds[0])))
+    else:  # pragma: no cover — argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Pythia (IPDPS 2014) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schedulers and figures")
+
+    run_p = sub.add_parser("run", help="run one workload under one scheduler")
+    run_p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
+    run_p.add_argument("--scale", type=float, default=0.05)
+    run_p.add_argument("--scheduler", default="pythia", choices=SCHEDULERS)
+    run_p.add_argument("--ratio", type=_parse_ratio, default=None,
+                       help="over-subscription 1:N (e.g. 10 or 1:10; none = unloaded)")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the job's sequence diagram")
+    run_p.add_argument("--export", default=None, metavar="FILE",
+                       help="write the run's measurements as JSON")
+
+    cmp_p = sub.add_parser("compare", help="compare schedulers on one workload")
+    cmp_p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
+    cmp_p.add_argument("--scale", type=float, default=0.05)
+    cmp_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
+    cmp_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    cmp_p.add_argument("--schedulers", nargs="+", default=list(SCHEDULERS))
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper figure")
+    fig_p.add_argument("name", choices=FIGURES)
+    fig_p.add_argument("--scale", type=float, default=0.2)
+    fig_p.add_argument("--seeds", type=int, nargs="+", default=[1])
+
+    mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
+    mix_p.add_argument("--jobs", type=int, default=8)
+    mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
+    mix_p.add_argument("--seed", type=int, default=1)
+    mix_p.add_argument("--schedulers", nargs="+", default=["ecmp", "pythia"])
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "mix": _cmd_mix,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Pythia's actuator half: the SDN network-scheduling plugin (§III-IV).
+
+The control chain mirrors the paper's block diagram: prediction
+notifications land in the :class:`~repro.core.collector.PredictionCollector`,
+are merged by the flow :mod:`~repro.core.aggregation` module into
+(mapper-server, reducer-server) aggregates, routed over the
+:class:`~repro.core.routing.RoutingGraph`'s k-shortest paths, packed
+onto the path with the highest available bandwidth by the
+:class:`~repro.core.allocator.FirstFitAllocator`, and installed as
+wildcard forwarding rules by the
+:class:`~repro.core.scheduler.PythiaScheduler` controller app.
+"""
+
+from repro.core.aggregation import (
+    AggregateEntry,
+    FlowAggregator,
+    RackPairAggregation,
+    ServerPairAggregation,
+)
+from repro.core.allocator import BestFitAllocator, FirstFitAllocator, WaterFillingAllocator
+from repro.core.collector import PredictionCollector, PredictionLogEntry
+from repro.core.config import PythiaConfig
+from repro.core.routing import RoutingGraph
+from repro.core.scheduler import PythiaPolicy, PythiaScheduler
+
+__all__ = [
+    "AggregateEntry",
+    "FlowAggregator",
+    "ServerPairAggregation",
+    "RackPairAggregation",
+    "FirstFitAllocator",
+    "BestFitAllocator",
+    "WaterFillingAllocator",
+    "PredictionCollector",
+    "PredictionLogEntry",
+    "PythiaConfig",
+    "RoutingGraph",
+    "PythiaScheduler",
+    "PythiaPolicy",
+]

@@ -1,0 +1,117 @@
+"""Flow aggregation: merging predicted flows into routable entries.
+
+§IV: "the collector aggregates all flows that emanate from a distinct
+server (mapper) and are terminated to a distinct reducer server into a
+single flow entry that sums up the flow sizes of its constituent
+flows" — necessary because a shuffle flow's reducer-side TCP port is
+unknown at prediction time, so only wildcard aggregate rules can be
+installed.
+
+The aggregation *policy* is pluggable: the paper's default is one entry
+per (mapper-server, reducer-server) pair; the rack/POD-pair policy
+implements §IV's forwarding-state-conservation extension ("populating
+the flow aggregation module with server location-awareness and an
+appropriate aggregation policy that maps flows to rack- or POD-pairs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.simnet.topology import Topology
+
+
+class AggregationPolicy(Protocol):
+    """Maps a concrete (src_server, dst_server) pair to an aggregate key."""
+
+    name: str
+
+    def key(self, src: str, dst: str) -> tuple: ...
+
+
+class ServerPairAggregation:
+    """Paper default: one aggregate per server pair."""
+
+    name = "server_pair"
+
+    def key(self, src: str, dst: str) -> tuple:
+        return (src, dst)
+
+
+class RackPairAggregation:
+    """Coarser aggregates keyed by (rack, rack): fewer rules on switches."""
+
+    name = "rack_pair"
+
+    def __init__(self, topology: Topology) -> None:
+        self._rack = {
+            h.name: h.rack if h.rack is not None else h.name for h in topology.hosts()
+        }
+
+    def key(self, src: str, dst: str) -> tuple:
+        return (("rack", self._rack[src]), ("rack", self._rack[dst]))
+
+
+@dataclass
+class AggregateEntry:
+    """One routable unit: the sum of predicted flows under one key."""
+
+    key: tuple
+    predicted_bytes: float = 0.0
+    #: concrete server pairs folded into this entry (rule targets).
+    pairs: set[tuple[str, str]] = field(default_factory=set)
+    #: constituent (map_id, reducer_id, bytes) members, for accounting.
+    members: list[tuple[int, int, float]] = field(default_factory=list)
+    path: Optional[list[int]] = None        # link ids, set by the allocator
+    allocated_at: Optional[float] = None
+
+    def add(self, src: str, dst: str, map_id: int, reducer_id: int, nbytes: float) -> None:
+        """Fold one predicted flow into its aggregate entry."""
+        self.pairs.add((src, dst))
+        self.members.append((map_id, reducer_id, nbytes))
+        self.predicted_bytes += nbytes
+
+    @property
+    def member_total(self) -> float:
+        """Sum of constituent flow sizes (= predicted_bytes)."""
+        return sum(b for _, _, b in self.members)
+
+
+class FlowAggregator:
+    """Accumulates predicted flows into aggregate entries.
+
+    Entries touched since the last :meth:`drain_dirty` call are marked
+    dirty; the scheduler drains them to run (re)allocation rounds.
+    """
+
+    def __init__(self, policy: AggregationPolicy) -> None:
+        self.policy = policy
+        self.entries: dict[tuple, AggregateEntry] = {}
+        self._dirty: set[tuple] = set()
+
+    def add(self, src: str, dst: str, map_id: int, reducer_id: int, nbytes: float) -> AggregateEntry:
+        """Fold one predicted flow into its aggregate entry."""
+        key = self.policy.key(src, dst)
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = AggregateEntry(key=key)
+            self.entries[key] = entry
+        entry.add(src, dst, map_id, reducer_id, nbytes)
+        self._dirty.add(key)
+        return entry
+
+    def drain_dirty(self) -> list[AggregateEntry]:
+        """Entries touched since the last drain, then reset."""
+        out = [self.entries[k] for k in sorted(self._dirty, key=repr)]
+        self._dirty.clear()
+        return out
+
+    def entries_on_link(self, lid: int) -> list[AggregateEntry]:
+        """Aggregates whose allocated path crosses a given link."""
+        return [e for e in self.entries.values() if e.path and lid in e.path]
+
+    @property
+    def total_predicted(self) -> float:
+        """Total predicted bytes across all aggregates."""
+        return sum(e.predicted_bytes for e in self.entries.values())

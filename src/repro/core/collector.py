@@ -1,0 +1,153 @@
+"""Prediction collector: ingestion, late binding, readiness batching.
+
+The collector is the server-side endpoint of the instrumentation
+middleware (§III): it receives per-map shuffle-intent predictions, maps
+reducer IDs to network locations as those become known ("a collector's
+thread monitors for reducer initialization events and fills these
+incomplete shuffle intention entries with reducer destination
+information as soon as the latter becomes available"), feeds complete
+entries to the flow aggregator, and wakes the scheduler once per
+message batch.
+
+It also keeps the prediction log that Figure 5's promptness/accuracy
+analysis post-processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.aggregation import AggregateEntry, FlowAggregator
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+
+
+@dataclass(frozen=True)
+class PredictionLogEntry:
+    """One completed (map, reducer) shuffle intent, for evaluation."""
+
+    job: str
+    map_id: int
+    reducer_id: int
+    src_server: str
+    dst_server: str
+    predicted_wire_bytes: float
+    #: when the prediction message reached the collector.
+    predicted_at: float
+    #: when both size and destination were known (>= predicted_at).
+    completed_at: float
+
+
+@dataclass
+class _PendingIntent:
+    job: str
+    map_id: int
+    reducer_id: int
+    src_server: str
+    nbytes: float
+    predicted_at: float
+
+
+class PredictionCollector:
+    """Central ingestion point for shuffle-intent predictions."""
+
+    def __init__(self, sim: Simulator, aggregator: FlowAggregator) -> None:
+        self.sim = sim
+        self.aggregator = aggregator
+        self.on_ready: Optional[Callable[[list[AggregateEntry]], None]] = None
+        self.log: list[PredictionLogEntry] = []
+        #: accumulated predicted volume per (job, reducer) — feeds the
+        #: weighted-shuffle extension and skew diagnostics.
+        self.reducer_volume: dict[tuple[str, int], float] = {}
+        self._locations: dict[tuple[str, int], str] = {}
+        self._pending: dict[tuple[str, int], list[_PendingIntent]] = {}
+        self._wake_scheduled = False
+        self.predictions_received = 0
+        self.locations_received = 0
+
+    # ------------------------------------------------------------------
+    # middleware-facing endpoints
+    # ------------------------------------------------------------------
+    def receive_prediction(self, msg: PredictionMessage) -> None:
+        """Ingest one per-map shuffle-intent message."""
+        self.predictions_received += 1
+        for reducer_id, nbytes in enumerate(msg.reducer_bytes):
+            intent = _PendingIntent(
+                job=msg.job,
+                map_id=msg.map_id,
+                reducer_id=reducer_id,
+                src_server=msg.src_server,
+                nbytes=float(nbytes),
+                predicted_at=self.sim.now,
+            )
+            loc = self._locations.get((msg.job, reducer_id))
+            if loc is None:
+                self._pending.setdefault((msg.job, reducer_id), []).append(intent)
+            else:
+                self._complete(intent, loc)
+        self._wake()
+
+    def receive_reducer_location(self, msg: ReducerLocationMessage) -> None:
+        """Ingest one reducer-location report, flushing waiters."""
+        self.locations_received += 1
+        key = (msg.job, msg.reducer_id)
+        self._locations[key] = msg.server
+        for intent in self._pending.pop(key, []):
+            self._complete(intent, msg.server)
+        self._wake()
+
+    # ------------------------------------------------------------------
+    def _complete(self, intent: _PendingIntent, dst_server: str) -> None:
+        key = (intent.job, intent.reducer_id)
+        self.reducer_volume[key] = self.reducer_volume.get(key, 0.0) + intent.nbytes
+        self.log.append(
+            PredictionLogEntry(
+                job=intent.job,
+                map_id=intent.map_id,
+                reducer_id=intent.reducer_id,
+                src_server=intent.src_server,
+                dst_server=dst_server,
+                predicted_wire_bytes=intent.nbytes,
+                predicted_at=intent.predicted_at,
+                completed_at=self.sim.now,
+            )
+        )
+        if intent.src_server != dst_server:
+            self.aggregator.add(
+                intent.src_server, dst_server, intent.map_id, intent.reducer_id, intent.nbytes
+            )
+
+    def _wake(self) -> None:
+        """Coalesce same-instant messages into one scheduler wake-up."""
+        if self._wake_scheduled or self.on_ready is None:
+            return
+        self._wake_scheduled = True
+        self.sim.schedule(0.0, self._fire)
+
+    def _fire(self) -> None:
+        self._wake_scheduled = False
+        if self.on_ready is None:
+            return
+        dirty = self.aggregator.drain_dirty()
+        if dirty:
+            self.on_ready(dirty)
+
+    # ------------------------------------------------------------------
+    # evaluation helpers
+    # ------------------------------------------------------------------
+    @property
+    def pending_intents(self) -> int:
+        """Intents still waiting for a reducer location."""
+        return sum(len(v) for v in self._pending.values())
+
+    def predicted_egress(self, server: str, remote_only: bool = True) -> list[tuple[float, float]]:
+        """(time, bytes) prediction events sourced at ``server``."""
+        out = []
+        for e in self.log:
+            if e.src_server != server:
+                continue
+            if remote_only and e.dst_server == e.src_server:
+                continue
+            out.append((e.completed_at, e.predicted_wire_bytes))
+        return sorted(out)

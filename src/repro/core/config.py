@@ -1,0 +1,66 @@
+"""Pythia tunables, gathered in one place.
+
+Defaults reflect the paper's deployment: k=2 usable inter-rack paths on
+the testbed (we default k=4 so larger fabrics work unchanged), 3-5 ms
+per-rule switch programming, sub-second controller statistics, and a
+~10 s shuffle demand horizon for converting predicted bytes into an
+expected load when packing paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PythiaConfig:
+    """Knobs of the Pythia control plane."""
+
+    #: k in the k-shortest-paths routing graph (§IV).
+    k_paths: int = 4
+    #: seconds over which a predicted transfer's bytes are assumed to
+    #: drain when estimating the load it will put on a path.
+    demand_horizon: float = 10.0
+    #: controller link-stats sampling period / EWMA weight.
+    stats_period: float = 1.0
+    stats_alpha: float = 0.5
+    #: hardware flow-install latency (3-5 ms/flow, §V-C) and control RTT.
+    per_rule_latency: float = 0.004
+    control_rtt: float = 0.002
+    #: one-way management-network latency (out-of-band, §III).
+    mgmt_latency: float = 0.002
+    #: rule priority for Pythia aggregates (above the ECMP default of 0).
+    rule_priority: int = 10
+    #: allocation algorithm: "first_fit" (the paper's heuristic),
+    #: "best_fit", or "water_filling" (the §IV "further flow scheduling
+    #: algorithms" extension point).
+    allocation: str = "first_fit"
+    #: aggregation granularity: "server_pair" (paper default) or
+    #: "rack_pair" (the §IV forwarding-state-conservation variant).
+    aggregation: str = "server_pair"
+    #: allocation ordering within a batch: "criticality" (largest
+    #: predicted volume first — §VI credits Pythia with "incorporating
+    #: flow priority as a criterion ... in addition to flow sizes") or
+    #: "arrival" (FIFO, the FlowComb-style variant §VI contrasts).
+    ordering: str = "criticality"
+    #: weighted-shuffle extension (§II's motivating observation made
+    #: actionable): flows toward a skewed reducer get a fair-share
+    #: weight proportional to that reducer's predicted volume share, so
+    #: "the flows terminated at reducer-0 ... get five times more
+    #: network capacity".  Off by default (the paper's prototype routes
+    #: but does not rate-weight).
+    weighted_shuffle: bool = False
+    #: clamp range for per-flow weights when weighted_shuffle is on.
+    weight_clamp: tuple = (0.25, 8.0)
+
+    def __post_init__(self) -> None:
+        if self.k_paths < 1:
+            raise ValueError("k_paths must be >= 1")
+        if self.demand_horizon <= 0:
+            raise ValueError("demand_horizon must be positive")
+        if self.allocation not in ("first_fit", "best_fit", "water_filling"):
+            raise ValueError(f"unknown allocation {self.allocation!r}")
+        if self.aggregation not in ("server_pair", "rack_pair"):
+            raise ValueError(f"unknown aggregation {self.aggregation!r}")
+        if self.ordering not in ("criticality", "arrival"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")

@@ -1,0 +1,62 @@
+"""Pythia routing module: the maintained multi-path routing graph.
+
+Thin adapter over the controller's topology service (§IV): ingests
+topology events, keeps the k-shortest-path sets fresh, and exposes the
+candidate path list per aggregate entry.  For rack-pair aggregates the
+module picks, for every member server pair, the concrete path whose
+switch backbone matches the aggregate's chosen trunk — one routing
+decision fanned out to many rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sdn.topology_service import TopologyService
+from repro.simnet.links import Link
+from repro.simnet.topology import NodeKind, Topology
+
+
+class RoutingGraph:
+    """Candidate-path provider with failure-event propagation."""
+
+    def __init__(self, topology_service: TopologyService) -> None:
+        self.service = topology_service
+        self.topology: Topology = topology_service.topology
+        self._failure_listeners: list[Callable[[Link], None]] = []
+        topology_service.on_change(self._on_change)
+
+    def on_failure(self, fn: Callable[[Link], None]) -> None:
+        """Register a link-failure listener."""
+        self._failure_listeners.append(fn)
+
+    def _on_change(self, link: Link) -> None:
+        if not link.up:
+            for fn in list(self._failure_listeners):
+                fn(link)
+
+    # ------------------------------------------------------------------
+    def candidate_paths(self, src: str, dst: str) -> list[list[int]]:
+        """k-shortest link-id paths between two servers, up links only."""
+        return self.service.k_paths_links(src, dst)
+
+    def switch_backbone(self, lids: list[int]) -> tuple[str, ...]:
+        """The switch-only node subsequence of a path (the trunk choice)."""
+        nodes = self.topology.path_nodes(lids)
+        return tuple(
+            n for n in nodes if self.topology.nodes[n].kind is NodeKind.SWITCH
+        )
+
+    def path_matching_backbone(
+        self, src: str, dst: str, backbone: tuple[str, ...]
+    ) -> Optional[list[int]]:
+        """A (src, dst) path routed over the same switches, if one exists."""
+        for path in self.candidate_paths(src, dst):
+            if self.switch_backbone(path) == backbone:
+                return path
+        return None
+
+    @property
+    def recomputations(self) -> int:
+        """Topology-change-driven routing recomputations so far."""
+        return self.service.recomputations

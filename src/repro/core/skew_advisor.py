@@ -1,0 +1,96 @@
+"""Early skew prediction from shuffle-intent data (§V-C's standalone use).
+
+"Given the value of the communication intent prediction middleware as a
+standalone component that could also be used in multiple other runtime
+optimizations of the Hadoop infrastructure beyond network scheduling
+(e.g. storage or early skew prediction)" — this module is that use:
+after only a fraction of the maps have reported, the per-reducer volume
+distribution already approximates the job's final skew (maps are
+near-iid samples of the key space), so stragglers can be identified
+long before the reduce phase starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.collector import PredictionCollector
+
+
+@dataclass(frozen=True)
+class SkewForecast:
+    """Per-reducer volume forecast extrapolated from partial predictions."""
+
+    job: str
+    maps_observed: int
+    maps_total: int
+    #: extrapolated final bytes per reducer (observed / fraction seen).
+    predicted_final_bytes: np.ndarray
+
+    @property
+    def fraction_observed(self) -> float:
+        """Share of maps whose predictions informed the forecast."""
+        return self.maps_observed / self.maps_total
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of the forecast shares (1.0 = perfectly balanced)."""
+        mean = self.predicted_final_bytes.mean()
+        if mean <= 0:
+            return 1.0
+        return float(self.predicted_final_bytes.max() / mean)
+
+    def heavy_reducers(self, threshold: float = 2.0) -> list[int]:
+        """Reducers forecast to exceed ``threshold`` x the mean volume."""
+        mean = self.predicted_final_bytes.mean()
+        if mean <= 0:
+            return []
+        return [
+            int(r)
+            for r in np.flatnonzero(self.predicted_final_bytes > threshold * mean)
+        ]
+
+
+class SkewAdvisor:
+    """Builds skew forecasts from the collector's prediction log."""
+
+    def __init__(self, collector: PredictionCollector, num_reducers: int, maps_total: int) -> None:
+        if num_reducers < 1 or maps_total < 1:
+            raise ValueError("need at least one reducer and one map")
+        self.collector = collector
+        self.num_reducers = num_reducers
+        self.maps_total = maps_total
+
+    def forecast(self, job: str) -> SkewForecast:
+        """Extrapolate the job's final per-reducer volumes from what has
+        been predicted so far."""
+        observed = np.zeros(self.num_reducers)
+        maps_seen: set[int] = set()
+        for entry in self.collector.log:
+            if entry.job != job:
+                continue
+            observed[entry.reducer_id] += entry.predicted_wire_bytes
+            maps_seen.add(entry.map_id)
+        if not maps_seen:
+            raise ValueError(f"no predictions for job {job!r} yet")
+        fraction = len(maps_seen) / self.maps_total
+        return SkewForecast(
+            job=job,
+            maps_observed=len(maps_seen),
+            maps_total=self.maps_total,
+            predicted_final_bytes=observed / fraction,
+        )
+
+
+def forecast_accuracy(forecast: SkewForecast, actual_bytes: np.ndarray) -> float:
+    """Mean relative error of the forecast against final actual volumes."""
+    actual = np.asarray(actual_bytes, float)
+    if actual.shape != forecast.predicted_final_bytes.shape:
+        raise ValueError("shape mismatch")
+    mask = actual > 0
+    if not mask.any():
+        return 0.0
+    rel = np.abs(forecast.predicted_final_bytes[mask] - actual[mask]) / actual[mask]
+    return float(rel.mean())

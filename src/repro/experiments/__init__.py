@@ -1,0 +1,12 @@
+"""Experiment runners: one module per paper table/figure.
+
+See DESIGN.md's experiment index.  Every runner builds a full stack —
+topology, fluid network, controller + scheduler, Hadoop cluster,
+instrumentation, background traffic — executes the workload to
+completion, and returns structured results that the benchmark harness
+renders as the paper's rows/series.
+"""
+
+from repro.experiments.common import RunResult, run_experiment, run_pair
+
+__all__ = ["RunResult", "run_experiment", "run_pair"]

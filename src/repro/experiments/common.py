@@ -1,0 +1,197 @@
+"""Shared experiment harness: build the stack, run a job, collect results.
+
+``run_experiment`` is the single entry point every figure reproduction
+and example uses: it wires the simulator, topology, network, SDN
+controller (with the requested scheduler), Hadoop cluster,
+instrumentation middleware, NetFlow probes and background traffic, runs
+one job to completion, and tears periodic services down so the event
+queue drains deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.collector import PredictionCollector
+from repro.core.config import PythiaConfig
+from repro.core.scheduler import PythiaScheduler
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobRun, JobSpec
+from repro.hadoop.jobtracker import JobTracker
+from repro.instrumentation.decoder import SpillDecoder
+from repro.instrumentation.middleware import (
+    InstrumentationConfig,
+    InstrumentationMiddleware,
+)
+from repro.instrumentation.overhead import InstrumentationCostModel
+from repro.sdn.controller import Controller
+from repro.sdn.hedera import HederaScheduler
+from repro.sdn.policy import EcmpPolicy, FailureRepairService, PathPolicy
+from repro.simnet.background import BackgroundTraffic
+from repro.simnet.engine import Simulator
+from repro.simnet.netflow import NetFlowCollector
+from repro.simnet.network import Network
+from repro.simnet.topology import Topology, two_rack
+
+SCHEDULERS = ("pythia", "ecmp", "hedera")
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment run produced."""
+
+    scheduler: str
+    ratio: Optional[float]
+    seed: int
+    run: JobRun
+    netflow: NetFlowCollector
+    topology: Topology
+    sim: Simulator
+    collector: Optional[PredictionCollector] = None
+    policy_stats: dict = field(default_factory=dict)
+    controller: Optional[Controller] = None
+
+    @property
+    def jct(self) -> float:
+        """Job completion time in seconds."""
+        return self.run.jct
+
+
+def run_experiment(
+    spec: JobSpec,
+    scheduler: str = "pythia",
+    ratio: Optional[float] = None,
+    seed: int = 0,
+    topology_factory: Callable[[], Topology] = two_rack,
+    cluster_config: Optional[ClusterConfig] = None,
+    pythia_config: Optional[PythiaConfig] = None,
+    netflow_interval: float = 1.0,
+    model_instrumentation_cost: bool = False,
+    fault: Optional[Callable[[Simulator, Topology], None]] = None,
+) -> RunResult:
+    """Run one job under one scheduler and return its trace.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"pythia"``, ``"ecmp"`` or ``"hedera"``.
+    ratio:
+        Over-subscription ratio N (the paper's 1:N); None = unloaded.
+    model_instrumentation_cost:
+        Apply the §V-C 2-5 % CPU cost of the middleware to task times
+        (only meaningful with the pythia scheduler).
+    fault:
+        Optional hook to schedule topology faults, e.g.
+        ``lambda sim, topo: sim.schedule(30, topo.fail_cable, "tor0", "trunk0")``.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    topology = topology_factory()
+    network = Network(sim, topology)
+    pythia_config = pythia_config or PythiaConfig()
+    controller = Controller(
+        sim,
+        network,
+        k_paths=pythia_config.k_paths,
+        stats_period=pythia_config.stats_period,
+        stats_alpha=pythia_config.stats_alpha,
+        per_rule_latency=pythia_config.per_rule_latency,
+        control_rtt=pythia_config.control_rtt,
+        mgmt_latency=pythia_config.mgmt_latency,
+    )
+
+    pythia: Optional[PythiaScheduler] = None
+    hedera: Optional[HederaScheduler] = None
+    if scheduler == "pythia":
+        pythia = PythiaScheduler(pythia_config)
+        controller.register(pythia)
+    elif scheduler == "hedera":
+        hedera = HederaScheduler()
+        controller.register(hedera)
+    controller.start()
+
+    policy: PathPolicy
+    if pythia is not None:
+        policy = pythia.policy
+    else:
+        policy = EcmpPolicy(topology, k=pythia_config.k_paths)
+    repair = FailureRepairService(network, policy)
+
+    cluster_config = cluster_config or ClusterConfig()
+    if pythia is not None and model_instrumentation_cost:
+        cost = InstrumentationCostModel()
+        cluster_config.instrumentation_inflation = cost.mean_dc_fraction()
+    cluster = HadoopCluster(topology, cluster_config)
+    jobtracker = JobTracker(sim, network, cluster, policy, rng)
+
+    if pythia is not None:
+        assert pythia.collector is not None
+        InstrumentationMiddleware(
+            sim,
+            jobtracker,
+            pythia.collector,
+            InstrumentationConfig(
+                mgmt_latency=pythia_config.mgmt_latency,
+                decoder=SpillDecoder(spec.predicted_overhead),
+            ),
+            rng,
+        )
+
+    netflow = NetFlowCollector(sim, network, interval=netflow_interval)
+    background = BackgroundTraffic(network, rng)
+    background.populate(ratio)
+
+    if fault is not None:
+        fault(sim, topology)
+
+    def _on_done(_run: JobRun) -> None:
+        controller.stop()
+        background.teardown()
+
+    run = jobtracker.submit(spec, on_complete=_on_done)
+    sim.run()
+    if run.completed_at is None:
+        raise RuntimeError(
+            f"job {spec.name!r} did not complete (event queue drained early)"
+        )
+
+    stats: dict = {"repairs": repair.repairs, "stranded": repair.stranded}
+    if pythia is not None:
+        stats.update(
+            rule_hits=pythia.policy.rule_hits,
+            fallbacks=pythia.policy.fallbacks,
+            rules_installed=controller.programmer.rules_installed,
+            peak_rules=controller.programmer.peak_table_size,
+            predictions=pythia.collector.predictions_received,  # type: ignore[union-attr]
+        )
+    if hedera is not None:
+        stats.update(reroutes=hedera.reroutes)
+    return RunResult(
+        scheduler=scheduler,
+        ratio=ratio,
+        seed=seed,
+        run=run,
+        netflow=netflow,
+        topology=topology,
+        sim=sim,
+        collector=pythia.collector if pythia is not None else None,
+        policy_stats=stats,
+        controller=controller,
+    )
+
+
+def run_pair(
+    spec_factory: Callable[[], JobSpec],
+    ratio: Optional[float],
+    seed: int = 0,
+    **kwargs,
+) -> tuple[RunResult, RunResult]:
+    """Run the same workload under ECMP and Pythia (one table row)."""
+    ecmp = run_experiment(spec_factory(), scheduler="ecmp", ratio=ratio, seed=seed, **kwargs)
+    pythia = run_experiment(spec_factory(), scheduler="pythia", ratio=ratio, seed=seed, **kwargs)
+    return ecmp, pythia

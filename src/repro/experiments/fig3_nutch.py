@@ -1,0 +1,40 @@
+"""Figure 3: Nutch job completion times, Pythia vs ECMP, and speedup.
+
+Paper claims to reproduce in shape: Pythia outperforms ECMP at every
+loaded ratio; the maximum speedup lands at 1:20; Pythia's completion
+times "do not significantly increase by handing more network capacity
+to Hadoop and are comparable to the respective job completion time
+measured in a network without over-subscription" (the flat curve).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_grouped_bars, format_table
+from repro.analysis.speedup import SweepRow, sweep_table
+from repro.experiments.sweeps import DEFAULT_RATIOS, oversubscription_sweep
+from repro.workloads.nutch import nutch_indexing_job
+
+
+def run_fig3(
+    pages: float = 5e6,
+    ratios: Sequence[Optional[float]] = DEFAULT_RATIOS,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> list[SweepRow]:
+    """Nutch indexing sweep (§V-A configured 5M pages / 8 GB)."""
+    return oversubscription_sweep(
+        lambda: nutch_indexing_job(pages=pages), ratios=ratios, seeds=seeds
+    )
+
+
+def render_fig3(rows: list[SweepRow]) -> str:
+    """Render the Figure 3 table and bar chart as text."""
+    table = format_table(
+        ["oversub", "ECMP (s)", "Pythia (s)", "speedup (%)"], sweep_table(rows)
+    )
+    bars = format_grouped_bars(
+        [r.label for r in rows],
+        {"ECMP": [r.t_ecmp for r in rows], "Pythia": [r.t_pythia for r in rows]},
+    )
+    return "Figure 3 — Nutch indexing job completion time\n" + table + "\n\n" + bars

@@ -1,0 +1,124 @@
+"""Workload-mix experiment: a stream of jobs under one scheduler.
+
+Measures what a cluster operator would: per-job completion times and
+makespan for a synthetic multi-tenant job stream, under ECMP vs Pythia
+on the loaded 2-rack testbed.  The collector/aggregator handle all
+concurrent jobs' predictions simultaneously (keyed by unique job ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import PythiaConfig
+from repro.core.scheduler import PythiaScheduler
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.jobtracker import JobTracker
+from repro.instrumentation.decoder import SpillDecoder
+from repro.instrumentation.middleware import (
+    InstrumentationConfig,
+    InstrumentationMiddleware,
+)
+from repro.sdn.controller import Controller
+from repro.sdn.hedera import HederaScheduler
+from repro.sdn.policy import EcmpPolicy, FailureRepairService
+from repro.simnet.background import BackgroundTraffic
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+from repro.workloads.mix import JobArrival, synthesize_mix
+
+
+@dataclass
+class MixResult:
+    """Aggregate outcome of one job-stream run."""
+    scheduler: str
+    ratio: Optional[float]
+    jcts: dict[str, float] = field(default_factory=dict)
+    makespan: float = 0.0
+
+    @property
+    def mean_jct(self) -> float:
+        """Mean job completion time across the stream."""
+        return float(np.mean(list(self.jcts.values())))
+
+    @property
+    def p95_jct(self) -> float:
+        """95th-percentile job completion time."""
+        return float(np.percentile(list(self.jcts.values()), 95))
+
+
+def run_mix(
+    arrivals: Optional[list[JobArrival]] = None,
+    scheduler: str = "pythia",
+    ratio: Optional[float] = 10,
+    seed: int = 1,
+    pythia_config: Optional[PythiaConfig] = None,
+) -> MixResult:
+    """Run a job stream to completion under one scheduler."""
+    arrivals = arrivals if arrivals is not None else synthesize_mix(seed=seed)
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    topology = two_rack()
+    network = Network(sim, topology)
+    pythia_config = pythia_config or PythiaConfig()
+    controller = Controller(sim, network, k_paths=pythia_config.k_paths)
+    pythia: Optional[PythiaScheduler] = None
+    if scheduler == "pythia":
+        pythia = PythiaScheduler(pythia_config)
+        controller.register(pythia)
+    elif scheduler == "hedera":
+        controller.register(HederaScheduler())
+    elif scheduler != "ecmp":
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    controller.start()
+    policy = pythia.policy if pythia is not None else EcmpPolicy(topology)
+    FailureRepairService(network, policy)
+    cluster = HadoopCluster(topology, ClusterConfig())
+    jobtracker = JobTracker(sim, network, cluster, policy, rng)
+    if pythia is not None:
+        assert pythia.collector is not None
+        InstrumentationMiddleware(
+            sim,
+            jobtracker,
+            pythia.collector,
+            InstrumentationConfig(decoder=SpillDecoder(0.08)),
+            rng,
+        )
+    background = BackgroundTraffic(network, rng)
+    background.populate(ratio)
+
+    result = MixResult(scheduler=scheduler, ratio=ratio)
+
+    def _done(run) -> None:
+        result.jcts[run.job_id] = run.jct
+        result.makespan = max(result.makespan, sim.now)
+        if len(result.jcts) == len(arrivals):
+            controller.stop()
+            background.teardown()
+
+    for arrival in arrivals:
+        sim.schedule(
+            arrival.at,
+            lambda spec=arrival.spec: jobtracker.submit(spec, on_complete=_done),
+        )
+    sim.run()
+    if len(result.jcts) != len(arrivals):
+        raise RuntimeError("job stream did not drain")
+    return result
+
+
+def compare_mix(
+    ratio: Optional[float] = 10,
+    n_jobs: int = 8,
+    seed: int = 1,
+) -> dict[str, MixResult]:
+    """The same stream under ECMP and Pythia."""
+    out: dict[str, MixResult] = {}
+    for scheduler in ("ecmp", "pythia"):
+        arrivals = synthesize_mix(n_jobs=n_jobs, seed=seed)
+        out[scheduler] = run_mix(arrivals, scheduler=scheduler, ratio=ratio, seed=seed)
+    return out

@@ -1,0 +1,70 @@
+"""Fabric-scaling study: Pythia beyond the 2-rack testbed.
+
+§IV anticipates "large-scale future SDN network setups"; this study
+runs the same per-node workload on progressively larger multi-path
+fabrics and reports job time alongside the control-plane footprint —
+predictions ingested, rules installed, peak rule-table occupancy —
+which is the operational cost a deployment would watch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.experiments.common import run_experiment
+from repro.simnet.topology import Topology, leaf_spine, three_tier, two_rack
+from repro.workloads.sort import sort_job
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One fabric's job time and control-plane footprint."""
+    label: str
+    hosts: int
+    jct: float
+    predictions: int
+    rules_installed: int
+    peak_rules: int
+    fallbacks: int
+
+
+#: the fabrics the study sweeps, smallest first.
+FABRICS: list[tuple[str, Callable[[], Topology]]] = [
+    ("2-rack (10 hosts)", lambda: two_rack()),
+    ("leaf-spine 4x2 (16 hosts)", lambda: leaf_spine(leaves=4, spines=2, hosts_per_leaf=4)),
+    ("leaf-spine 4x4 (24 hosts)", lambda: leaf_spine(leaves=4, spines=4, hosts_per_leaf=6)),
+    ("3-tier 2x2x6 (24 hosts)", lambda: three_tier(pods=2, racks_per_pod=2, hosts_per_rack=6, cores=2)),
+]
+
+
+def run_scale_study(
+    gb_per_host: float = 0.6,
+    seed: int = 1,
+    ratio: Optional[float] = None,
+) -> list[ScalePoint]:
+    """Constant per-host load across growing fabrics."""
+    points: list[ScalePoint] = []
+    for label, factory in FABRICS:
+        hosts = len(factory().worker_hosts())
+        spec = sort_job(input_gb=gb_per_host * hosts, num_reducers=2 * hosts)
+        res = run_experiment(
+            spec,
+            scheduler="pythia",
+            ratio=ratio,
+            seed=seed,
+            topology_factory=factory,
+        )
+        stats = res.policy_stats
+        points.append(
+            ScalePoint(
+                label=label,
+                hosts=hosts,
+                jct=res.jct,
+                predictions=stats["predictions"],
+                rules_installed=stats["rules_installed"],
+                peak_rules=stats["peak_rules"],
+                fallbacks=stats["fallbacks"],
+            )
+        )
+    return points

@@ -1,0 +1,37 @@
+"""Hadoop 1.x MapReduce execution substrate.
+
+This package stands in for the paper's Hadoop 1.1.2 deployment: a
+jobtracker/tasktracker two-level control hierarchy
+(:mod:`repro.hadoop.jobtracker`, :mod:`repro.hadoop.tasktracker`), map
+tasks that spill partitioned intermediate output at completion
+(:mod:`repro.hadoop.spill`), configurable key-space skew
+(:mod:`repro.hadoop.partition`), slowstart-gated reducer launch, and a
+shuffle service with Hadoop's parallel-copy fetch limit and full-fetch
+barrier (:mod:`repro.hadoop.shuffle`).
+"""
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobSpec, JobRun, TaskRecord, FetchRecord
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.partition import (
+    dirichlet_weights,
+    explicit_weights,
+    uniform_weights,
+    zipf_weights,
+)
+from repro.hadoop.spill import SpillFile
+
+__all__ = [
+    "ClusterConfig",
+    "HadoopCluster",
+    "JobSpec",
+    "JobRun",
+    "TaskRecord",
+    "FetchRecord",
+    "JobTracker",
+    "SpillFile",
+    "uniform_weights",
+    "zipf_weights",
+    "dirichlet_weights",
+    "explicit_weights",
+]

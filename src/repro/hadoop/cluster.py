@@ -1,0 +1,119 @@
+"""Cluster configuration: nodes, slots, and task cost models.
+
+Defaults mirror the paper's testbed (§V-A): 10 servers with 12 cores
+each, two racks, intermediate data held *in memory* ("we decided to
+configure Hadoop to store its intermediate data in memory") so disk
+never bottlenecks the shuffle — which is why local fetches run at
+memory speed here and the network is the contended resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simnet.topology import Topology
+
+MiB = 1024.0 * 1024.0
+GiB = 1024.0 * MiB
+
+
+@dataclass
+class ClusterConfig:
+    """Per-node Hadoop configuration and cost model.
+
+    Rates are bytes/second of one task slot.  ``heartbeat`` is the
+    tasktracker→jobtracker reporting period that gates how quickly
+    reducers learn about finished maps — the dominant term of the
+    map-finish→fetch-start gap that gives Pythia its prediction lead
+    (§V-C "the time gap between a map task finish event and the event
+    of a reducer task starting to fetch").
+    """
+
+    map_slots: int = 8
+    reduce_slots: int = 4
+    #: JVM spawn + task setup time for map attempts, seconds.
+    task_startup: float = 1.0
+    #: reduce-attempt startup (job-jar localisation, JVM spawn, shuffle
+    #: copier init) before the first completion-event poll, seconds.
+    #: Hadoop 1.x reduce attempts routinely took several seconds to
+    #: come up; together with the two-hop heartbeat event path this is
+    #: the map-finish-to-fetch-start gap that gives Pythia its
+    #: multi-second prediction lead (§V-C).
+    reduce_startup: float = 4.0
+    #: tasktracker heartbeat / completion-event poll period, seconds.
+    heartbeat: float = 3.0
+    #: fraction of maps that must finish before reducers launch
+    #: (mapred.reduce.slowstart.completed.maps; Hadoop 1.x default 0.05).
+    slowstart: float = 0.05
+    #: concurrent fetches per reducer (mapred.reduce.parallel.copies).
+    parallel_copies: int = 5
+    #: loopback rate for map outputs fetched on the same node (in-memory).
+    local_fetch_rate: float = 2.0 * GiB
+    #: sorted-merge throughput once a reducer holds all segments.
+    merge_rate: float = 512.0 * MiB
+    #: actual transport overhead on the wire (TCP/IP headers seen by
+    #: NetFlow at L3: 1500/1460 MSS framing).
+    wire_overhead: float = 0.027
+    #: multiplicative task-duration inflation applied when the Pythia
+    #: instrumentation middleware is active (its 2-5 % CPU cost, §V-C).
+    instrumentation_inflation: float = 0.0
+    #: model HDFS input reads (rack-aware placement, locality-aware map
+    #: scheduling, network block fetches for non-local tasks).  Off by
+    #: default: the paper's evaluation holds intermediate data in memory
+    #: and its input reads are not on the measured path.
+    hdfs_enabled: bool = False
+    hdfs_replication: int = 3
+    #: streaming rate of a local replica read (in-memory era disks/page
+    #: cache; only charged when hdfs_enabled).
+    hdfs_read_rate: float = 400.0 * MiB
+    #: speculative execution of straggling map attempts (Hadoop 1.x's
+    #: mapred.map.tasks.speculative.execution).  A duplicate attempt is
+    #: launched on another node once a map has run longer than
+    #: ``speculative_threshold`` times the median completed map; the
+    #: first attempt to finish wins, the loser is killed.
+    speculative_execution: bool = False
+    speculative_threshold: float = 1.5
+    #: minimum completed maps before speculation may trigger.
+    speculative_min_completed: int = 5
+    #: per-node task-duration multipliers (heterogeneity / straggler
+    #: injection; nodes absent from the map run at factor 1.0).
+    node_slowdown: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.slowstart <= 1:
+            raise ValueError("slowstart must be in [0, 1]")
+        if self.parallel_copies < 1:
+            raise ValueError("parallel_copies must be >= 1")
+
+
+@dataclass
+class HadoopCluster:
+    """A set of topology hosts acting as Hadoop slaves."""
+
+    topology: Topology
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    nodes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            self.nodes = sorted(h.name for h in self.topology.worker_hosts())
+        unknown = [n for n in self.nodes if n not in self.topology.nodes]
+        if unknown:
+            raise KeyError(f"nodes not in topology: {unknown}")
+
+    def node_ip(self, node: str) -> str:
+        """Network address of one slave node."""
+        ip = self.topology.nodes[node].ip
+        if ip is None:
+            raise ValueError(f"{node} has no address")
+        return ip
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide map slot count."""
+        return self.config.map_slots * len(self.nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide reduce slot count."""
+        return self.config.reduce_slots * len(self.nodes)

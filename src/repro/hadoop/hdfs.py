@@ -1,0 +1,149 @@
+"""HDFS model: rack-aware block placement and locality-aware map input.
+
+The paper's testbed reads job input from HDFS ("intra-rack data
+communication, e.g. shuffling or HDFS block movement, occurs via ...
+ToR switches", §III) but holds intermediate data in memory, so HDFS is
+not on the critical path of its experiments.  The model here exists for
+completeness and for workloads that *do* want input-read traffic:
+
+* :class:`HdfsNamespace` — files as block lists with the classic
+  rack-aware replica placement (first replica on the writer's node,
+  second on a different rack, third alongside the second);
+* :func:`replica_preference` — node-local / rack-local / off-rack
+  classification used by the jobtracker's locality-aware map
+  scheduling;
+* when enabled (``ClusterConfig.hdfs_enabled``), non-local map tasks
+  pull their block over the network (DataNode port 50010) before
+  computing — traffic Pythia deliberately does *not* manage ("the
+  Pythia flow module handles only flows that are part of communication
+  prediction", §IV), so it rides the default ECMP treatment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Hadoop 1.x DataNode data-transfer port.
+DATANODE_PORT = 50010
+
+NODE_LOCAL = "node_local"
+RACK_LOCAL = "rack_local"
+OFF_RACK = "off_rack"
+
+_block_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block and the nodes holding its replicas."""
+
+    block_id: int
+    size: float
+    replicas: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("a block needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError("replicas must be on distinct nodes")
+
+
+@dataclass
+class HdfsNamespace:
+    """Minimal NameNode: files -> blocks -> replica locations."""
+
+    racks: dict[str, Optional[int]]          # node -> rack id
+    replication: int = 3
+    files: dict[str, list[Block]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if not self.racks:
+            raise ValueError("no datanodes")
+
+    # ------------------------------------------------------------------
+    def create_file(
+        self,
+        name: str,
+        block_sizes: Sequence[float],
+        rng: np.random.Generator,
+    ) -> list[Block]:
+        """Write a file: one placement decision per block.
+
+        Placement mirrors HDFS's default policy: first replica on a
+        (rotating) writer node, second on a node in a *different* rack,
+        third in the same rack as the second, extras random.
+        """
+        if name in self.files:
+            raise ValueError(f"file {name!r} exists")
+        nodes = sorted(self.racks)
+        blocks: list[Block] = []
+        for i, size in enumerate(block_sizes):
+            writer = nodes[i % len(nodes)]
+            replicas = [writer]
+            if self.replication >= 2:
+                remote = self._pick(
+                    rng, [n for n in nodes if self.racks[n] != self.racks[writer]], replicas
+                ) or self._pick(rng, nodes, replicas)
+                if remote:
+                    replicas.append(remote)
+            if self.replication >= 3 and len(replicas) >= 2:
+                buddy_rack = self.racks[replicas[1]]
+                third = self._pick(
+                    rng,
+                    [n for n in nodes if self.racks[n] == buddy_rack],
+                    replicas,
+                ) or self._pick(rng, nodes, replicas)
+                if third:
+                    replicas.append(third)
+            while len(replicas) < min(self.replication, len(nodes)):
+                extra = self._pick(rng, nodes, replicas)
+                if not extra:
+                    break
+                replicas.append(extra)
+            blocks.append(Block(next(_block_ids), float(size), tuple(replicas)))
+        self.files[name] = blocks
+        return blocks
+
+    @staticmethod
+    def _pick(
+        rng: np.random.Generator, candidates: list[str], exclude: list[str]
+    ) -> Optional[str]:
+        pool = [c for c in candidates if c not in exclude]
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]
+
+    # ------------------------------------------------------------------
+    def blocks(self, name: str) -> list[Block]:
+        """Block list of a file."""
+        return self.files[name]
+
+    def locality(self, block: Block, node: str) -> str:
+        """Classify reading ``block`` from ``node``."""
+        if node in block.replicas:
+            return NODE_LOCAL
+        node_rack = self.racks.get(node)
+        if any(self.racks.get(r) == node_rack for r in block.replicas):
+            return RACK_LOCAL
+        return OFF_RACK
+
+    def closest_replica(self, block: Block, node: str) -> str:
+        """Best replica to read from: local node, then same rack, then any."""
+        if node in block.replicas:
+            return node
+        node_rack = self.racks.get(node)
+        same_rack = [r for r in block.replicas if self.racks.get(r) == node_rack]
+        if same_rack:
+            return sorted(same_rack)[0]
+        return sorted(block.replicas)[0]
+
+
+def replica_preference(namespace: HdfsNamespace, block: Block, node: str) -> int:
+    """Lower is better: 0 node-local, 1 rack-local, 2 off-rack."""
+    return {NODE_LOCAL: 0, RACK_LOCAL: 1, OFF_RACK: 2}[namespace.locality(block, node)]

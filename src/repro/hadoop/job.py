@@ -1,0 +1,182 @@
+"""Job specification and execution records.
+
+A :class:`JobSpec` is the static description of a MapReduce workload
+(sizes, skew, cost model); a :class:`JobRun` is the dynamic trace of
+one execution — task and fetch records detailed enough to rebuild the
+paper's Figure 1a sequence diagram and all job-level metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hadoop.partition import uniform_weights
+
+MiB = 1024.0 * 1024.0
+DEFAULT_BLOCK = 128.0 * MiB
+
+
+@dataclass
+class JobSpec:
+    """Static description of a MapReduce job.
+
+    ``map_rate``/``reduce_rate`` are the per-slot processing rates in
+    bytes/second and encode how compute-heavy the application is —
+    sort streams at high rate (network-bound), Nutch indexing crunches
+    slowly per byte (compute-bound with many small shuffle flows,
+    exactly the contrast §V-B draws between Figures 3 and 4).
+    """
+
+    name: str
+    input_bytes: float
+    num_reducers: int
+    block_size: float = DEFAULT_BLOCK
+    #: intermediate bytes emitted per input byte (sort: 1.0).
+    map_output_ratio: float = 1.0
+    #: global per-reducer share of intermediate data (the job skew).
+    reducer_weights: Optional[np.ndarray] = None
+    #: log-normal sigma of each map's deviation from the global skew.
+    per_map_sigma: float = 0.15
+    #: per-slot map processing rate, bytes/s.
+    map_rate: float = 32.0 * MiB
+    #: fixed map-task cost on top of the per-byte cost, seconds.
+    map_base: float = 0.5
+    #: per-slot reduce processing rate, bytes/s.
+    reduce_rate: float = 64.0 * MiB
+    reduce_base: float = 0.5
+    #: uniform +- fraction applied to each task duration.
+    duration_jitter: float = 0.1
+    #: header overhead the Pythia decoder *assumes* when converting
+    #: application bytes to wire volume (its slight over-estimate is
+    #: the source of Figure 5's 3-7 % gap).
+    predicted_overhead: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0 or self.block_size <= 0:
+            raise ValueError("input and block size must be positive")
+        if self.num_reducers < 1:
+            raise ValueError("need at least one reducer")
+        if self.reducer_weights is None:
+            self.reducer_weights = uniform_weights(self.num_reducers)
+        self.reducer_weights = np.asarray(self.reducer_weights, dtype=float)
+        if len(self.reducer_weights) != self.num_reducers:
+            raise ValueError("reducer_weights length != num_reducers")
+
+    @property
+    def num_maps(self) -> int:
+        """Map task count (ceil of input over block size)."""
+        return max(1, math.ceil(self.input_bytes / self.block_size))
+
+    def block_bytes(self, index: int) -> float:
+        """Input split size for map ``index`` (last split may be short)."""
+        if not 0 <= index < self.num_maps:
+            raise IndexError(index)
+        if index < self.num_maps - 1:
+            return self.block_size
+        return self.input_bytes - self.block_size * (self.num_maps - 1)
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """Total map-output bytes the job will shuffle."""
+        return self.input_bytes * self.map_output_ratio
+
+
+@dataclass
+class TaskRecord:
+    """One task attempt's lifecycle timestamps."""
+
+    kind: str                     # "map" | "reduce"
+    task_id: int
+    node: str
+    start: Optional[float] = None
+    end: Optional[float] = None
+    # reduce-only phase boundaries
+    shuffle_start: Optional[float] = None
+    shuffle_end: Optional[float] = None
+    sort_end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Task wall time, or None before completion."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class FetchRecord:
+    """One shuffle fetch (reducer pulling one map's partition)."""
+
+    map_id: int
+    reducer_id: int
+    src: str
+    dst: str
+    app_bytes: float
+    wire_bytes: float
+    local: bool
+    enqueued: float
+    start: Optional[float] = None
+    end: Optional[float] = None
+    flow_id: Optional[int] = None
+
+
+@dataclass
+class JobRun:
+    """Execution trace of one job.
+
+    ``job_id`` is assigned by the jobtracker at submission and is
+    unique per run (Hadoop's job_yyyyMMddHHmm_NNNN analogue) — the
+    collector keys prediction state on it so that two submissions of
+    the same spec never alias.
+    """
+
+    spec: JobSpec
+    job_id: str = ""
+    submitted_at: float = 0.0
+    completed_at: Optional[float] = None
+    maps: dict[int, TaskRecord] = field(default_factory=dict)
+    reduces: dict[int, TaskRecord] = field(default_factory=dict)
+    fetches: list[FetchRecord] = field(default_factory=list)
+    #: map-input locality tally when HDFS modelling is enabled
+    #: (node_local / rack_local / off_rack counts).
+    map_locality: dict[str, int] = field(default_factory=dict)
+    #: duplicate map attempts launched by speculative execution.
+    speculative_attempts: int = 0
+
+    @property
+    def jct(self) -> float:
+        """Job completion time in seconds."""
+        if self.completed_at is None:
+            raise RuntimeError(f"job {self.spec.name!r} has not completed")
+        return self.completed_at - self.submitted_at
+
+    @property
+    def map_phase_span(self) -> tuple[float, float]:
+        """(first map start, last map end)."""
+        starts = [t.start for t in self.maps.values() if t.start is not None]
+        ends = [t.end for t in self.maps.values() if t.end is not None]
+        return (min(starts), max(ends))
+
+    @property
+    def shuffle_span(self) -> tuple[float, float]:
+        """(first fetch start, last fetch end)."""
+        starts = [f.start for f in self.fetches if f.start is not None]
+        ends = [f.end for f in self.fetches if f.end is not None]
+        return (min(starts), max(ends))
+
+    def reducer_bytes(self) -> np.ndarray:
+        """Total application bytes fetched per reducer (skew evidence)."""
+        out = np.zeros(self.spec.num_reducers)
+        for f in self.fetches:
+            out[f.reducer_id] += f.app_bytes
+        return out
+
+    def remote_fraction(self) -> float:
+        """Fraction of shuffle bytes that crossed the network."""
+        total = sum(f.app_bytes for f in self.fetches)
+        remote = sum(f.app_bytes for f in self.fetches if not f.local)
+        return remote / total if total else 0.0

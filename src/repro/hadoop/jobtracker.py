@@ -1,0 +1,447 @@
+"""Jobtracker: job-level orchestration of maps, reducers and the barrier.
+
+Implements Hadoop 1.x's control flow as the paper describes it (§II):
+map tasks run over input splits in slot waves; reducers launch once the
+slowstart fraction of maps has completed; reducers *discover* finished
+maps through heartbeat-paced completion-event polls (this poll latency,
+plus fetch queueing, is the window in which Pythia's prediction lands);
+each reducer fetches every map's partition, merges, reduces, and the
+job completes when the last reducer finishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.hdfs import (
+    DATANODE_PORT,
+    Block,
+    HdfsNamespace,
+    replica_preference,
+)
+from repro.hadoop.job import JobRun, JobSpec, TaskRecord
+from repro.hadoop.shuffle import ShuffleFetcher
+from repro.hadoop.spill import SpillFile, make_spill
+from repro.hadoop.tasktracker import TaskTracker
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.sdn.policy import PathPolicy
+
+
+@dataclass
+class _ReducerState:
+    record: TaskRecord
+    fetcher: ShuffleFetcher
+    polling: bool = False
+
+
+@dataclass
+class _JobState:
+    spec: JobSpec
+    run: JobRun
+    rng: np.random.Generator
+    on_complete: Optional[Callable[[JobRun], None]]
+    map_queue: list[int] = field(default_factory=list)
+    #: spill -> the time it becomes visible to reducers: the map
+    #: completion is reported on the source tasktracker's *next*
+    #: heartbeat, and reducers see it on their own next completion-event
+    #: poll after that (Hadoop 1.x's two-hop TaskCompletionEvent path).
+    spills: dict[int, tuple[float, SpillFile]] = field(default_factory=dict)
+    finished_maps: int = 0
+    reducers_started: bool = False
+    reducer_launch_queue: list[int] = field(default_factory=list)
+    reducers: dict[int, _ReducerState] = field(default_factory=dict)
+    reducers_done: int = 0
+    #: map id -> input block (populated when HDFS modelling is on).
+    blocks: dict[int, Block] = field(default_factory=dict)
+    #: map id -> live attempt descriptors (speculative execution).
+    attempts: dict[int, list[dict]] = field(default_factory=dict)
+    speculation_ticking: bool = False
+
+
+class JobTracker:
+    """Cluster master: accepts jobs, drives tasktrackers to completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        cluster: HadoopCluster,
+        policy: PathPolicy,
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.cluster = cluster
+        self.policy = policy
+        self.rng = rng
+        self.trackers: dict[str, TaskTracker] = {
+            node: TaskTracker(
+                node,
+                map_slots=cluster.config.map_slots,
+                reduce_slots=cluster.config.reduce_slots,
+            )
+            for node in cluster.nodes
+        }
+        # Each tasktracker heartbeats on its own phase; completion
+        # events ride heartbeats, not an instant bus.
+        hb = cluster.config.heartbeat
+        self._hb_phase: dict[str, float] = {
+            node: float(rng.uniform(0.0, hb)) if hb > 0 else 0.0
+            for node in cluster.nodes
+        }
+        self.hdfs: Optional[HdfsNamespace] = None
+        if cluster.config.hdfs_enabled:
+            self.hdfs = HdfsNamespace(
+                racks={
+                    node: cluster.topology.nodes[node].rack for node in cluster.nodes
+                },
+                replication=cluster.config.hdfs_replication,
+            )
+        self._jobs: list[_JobState] = []
+
+    def _next_heartbeat(self, node: str, after: float) -> float:
+        """First heartbeat tick of ``node`` strictly after ``after``."""
+        hb = self.cluster.config.heartbeat
+        if hb <= 0:
+            return after
+        phase = self._hb_phase[node]
+        k = math.floor((after - phase) / hb) + 1
+        return phase + k * hb
+
+    # ------------------------------------------------------------------
+    # instrumentation attach point
+    # ------------------------------------------------------------------
+    def subscribe_all(self, fn: Callable[..., None]) -> None:
+        """Attach a listener to every tasktracker (what Pythia deploys)."""
+        for tracker in self.trackers.values():
+            tracker.subscribe(fn)
+
+    # ------------------------------------------------------------------
+    # job admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        on_complete: Optional[Callable[[JobRun], None]] = None,
+    ) -> JobRun:
+        """Accept a job; returns its live JobRun record."""
+        run = JobRun(
+            spec=spec,
+            job_id=f"job_{len(self._jobs):04d}_{spec.name}",
+            submitted_at=self.sim.now,
+        )
+        state = _JobState(
+            spec=spec,
+            run=run,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+            on_complete=on_complete,
+            map_queue=list(range(spec.num_maps)),
+            reducer_launch_queue=list(range(spec.num_reducers)),
+        )
+        if self.hdfs is not None:
+            sizes = [spec.block_bytes(i) for i in range(spec.num_maps)]
+            blocks = self.hdfs.create_file(run.job_id, sizes, state.rng)
+            state.blocks = dict(enumerate(blocks))
+        self._jobs.append(state)
+        self.sim.schedule(0.0, self._assign_maps, state)
+        if self.cluster.config.speculative_execution:
+            state.speculation_ticking = True
+            self.sim.schedule(
+                self.cluster.config.heartbeat, self._speculation_tick, state
+            )
+        return run
+
+    # ------------------------------------------------------------------
+    # map side
+    # ------------------------------------------------------------------
+    def _assign_maps(self, state: _JobState) -> None:
+        # Round-robin placement over nodes with free slots.  With HDFS
+        # modelling on, each node gets its best-locality pending map
+        # (node-local, then rack-local, then head of queue) — the
+        # jobtracker's classic locality preference.
+        progress = True
+        while state.map_queue and progress:
+            progress = False
+            for node in self.cluster.nodes:
+                if not state.map_queue:
+                    break
+                tracker = self.trackers[node]
+                if tracker.free_map_slots > 0:
+                    map_id = self._pick_map(state, node)
+                    state.map_queue.remove(map_id)
+                    self._start_map(state, map_id, node)
+                    progress = True
+
+    def _pick_map(self, state: _JobState, node: str) -> int:
+        if self.hdfs is None or not state.blocks:
+            return state.map_queue[0]
+        return min(
+            state.map_queue,
+            key=lambda m: (replica_preference(self.hdfs, state.blocks[m], node), m),
+        )
+
+    def _jitter(self, state: _JobState) -> float:
+        j = state.spec.duration_jitter
+        return 1.0 + float(state.rng.uniform(-j, j)) if j > 0 else 1.0
+
+    def _start_map(
+        self, state: _JobState, map_id: int, node: str, speculative: bool = False
+    ) -> None:
+        tracker = self.trackers[node]
+        tracker.acquire_map_slot()
+        attempt = {"node": node, "start": self.sim.now, "event": None, "dead": False}
+        state.attempts.setdefault(map_id, []).append(attempt)
+        if not speculative:
+            record = TaskRecord(kind="map", task_id=map_id, node=node, start=self.sim.now)
+            state.run.maps[map_id] = record
+        else:
+            state.run.speculative_attempts += 1
+        tracker.emit("map_start", job=state.run, map_id=map_id, node=node)
+        extra_read = 0.0
+        if self.hdfs is not None and map_id in state.blocks:
+            block = state.blocks[map_id]
+            locality = self.hdfs.locality(block, node)
+            state.run.map_locality[locality] = state.run.map_locality.get(locality, 0) + 1
+            if node in block.replicas:
+                extra_read = block.size / self.cluster.config.hdfs_read_rate
+            else:
+                self._start_block_read(state, map_id, node, block)
+                return
+        self._begin_map_compute(state, map_id, node, extra_read)
+
+    def _start_block_read(
+        self, state: _JobState, map_id: int, node: str, block: Block
+    ) -> None:
+        """Pull the input block from the closest replica over the network."""
+        assert self.hdfs is not None
+        src = self.hdfs.closest_replica(block, node)
+        flow = Flow(
+            src=src,
+            dst=node,
+            size=block.size * (1.0 + self.cluster.config.wire_overhead),
+            five_tuple=FiveTuple(
+                self.cluster.node_ip(src),
+                self.cluster.node_ip(node),
+                DATANODE_PORT,
+                int(state.rng.integers(32768, 61000)),
+                TCP,
+            ),
+            tags={"kind": "hdfs_read", "job": state.run.job_id, "map_id": map_id},
+        )
+        # HDFS reads are not predicted traffic: default network control.
+        path = self.policy.place(flow)
+        self.network.start_flow(
+            flow,
+            path,
+            on_complete=lambda _f: self._begin_map_compute(state, map_id, node, 0.0),
+        )
+
+    def _begin_map_compute(
+        self, state: _JobState, map_id: int, node: str, extra_read: float
+    ) -> None:
+        attempt = self._attempt(state, map_id, node)
+        rec = state.run.maps.get(map_id)
+        if (rec is not None and rec.end is not None) or (attempt and attempt["dead"]):
+            # another attempt already finished this map (e.g. while our
+            # HDFS read was in flight) — give the slot back
+            self.trackers[node].release_map_slot()
+            return
+        spec = state.spec
+        cfg = self.cluster.config
+        duration = extra_read + (
+            (cfg.task_startup + spec.map_base + spec.block_bytes(map_id) / spec.map_rate)
+            * self._jitter(state)
+            * (1.0 + cfg.instrumentation_inflation)
+            * cfg.node_slowdown.get(node, 1.0)
+        )
+        event = self.sim.schedule(duration, self._finish_map, state, map_id, node)
+        if attempt is not None:
+            attempt["event"] = event
+
+    def _attempt(self, state: _JobState, map_id: int, node: str) -> Optional[dict]:
+        for attempt in state.attempts.get(map_id, []):
+            if attempt["node"] == node and not attempt["dead"]:
+                return attempt
+        return None
+
+    def _finish_map(self, state: _JobState, map_id: int, node: str) -> None:
+        record = state.run.maps[map_id]
+        if record.end is not None:
+            # a sibling attempt won while this one was finishing
+            self.trackers[node].release_map_slot()
+            return
+        record.end = self.sim.now
+        if record.node != node:
+            record.node = node  # a speculative attempt won
+        # kill sibling attempts (Hadoop kills the losing attempt)
+        for attempt in state.attempts.get(map_id, []):
+            if attempt["node"] == node or attempt["dead"]:
+                continue
+            attempt["dead"] = True
+            if attempt["event"] is not None:
+                attempt["event"].cancel()
+                self.trackers[attempt["node"]].release_map_slot()
+        spec = state.spec
+        spill = make_spill(
+            map_id=map_id,
+            node=node,
+            created_at=self.sim.now,
+            map_output_bytes=spec.block_bytes(map_id) * spec.map_output_ratio,
+            reducer_weights=spec.reducer_weights,  # type: ignore[arg-type]
+            rng=state.rng,
+            sigma=spec.per_map_sigma,
+        )
+        # Reducers learn of this map on their first poll after the
+        # source tasktracker's next heartbeat delivers the event.
+        visible_at = self._next_heartbeat(node, self.sim.now)
+        state.spills[map_id] = (visible_at, spill)
+        state.finished_maps += 1
+        self.trackers[node].emit("spill", job=state.run, spill=spill)
+        self.trackers[node].release_map_slot()
+        self._assign_maps(state)
+        if not state.reducers_started and (
+            state.finished_maps / spec.num_maps >= self.cluster.config.slowstart
+        ):
+            state.reducers_started = True
+            self._launch_reducers(state)
+
+    # ------------------------------------------------------------------
+    # speculative execution
+    # ------------------------------------------------------------------
+    def _speculation_tick(self, state: _JobState) -> None:
+        if not state.speculation_ticking:
+            return
+        cfg = self.cluster.config
+        if state.finished_maps >= state.spec.num_maps:
+            state.speculation_ticking = False
+            return
+        done = [
+            r.duration for r in state.run.maps.values() if r.duration is not None
+        ]
+        if len(done) >= cfg.speculative_min_completed:
+            median = sorted(done)[len(done) // 2]
+            threshold = cfg.speculative_threshold * median
+            for map_id, record in state.run.maps.items():
+                if record.end is not None:
+                    continue
+                live = [a for a in state.attempts.get(map_id, []) if not a["dead"]]
+                if len(live) != 1:
+                    continue  # already speculating (or nothing to do)
+                if self.sim.now - live[0]["start"] <= threshold:
+                    continue
+                node = self._free_map_node(exclude=live[0]["node"])
+                if node is not None:
+                    self._start_map(state, map_id, node, speculative=True)
+        self.sim.schedule(cfg.heartbeat, self._speculation_tick, state)
+
+    def _free_map_node(self, exclude: str) -> Optional[str]:
+        candidates = [
+            n
+            for n in self.cluster.nodes
+            if n != exclude and self.trackers[n].free_map_slots > 0
+        ]
+        if not candidates:
+            return None
+        # prefer the fastest known node (lowest slowdown factor)
+        slowdown = self.cluster.config.node_slowdown
+        return min(candidates, key=lambda n: (slowdown.get(n, 1.0), n))
+
+    # ------------------------------------------------------------------
+    # reduce side
+    # ------------------------------------------------------------------
+    def _launch_reducers(self, state: _JobState) -> None:
+        while state.reducer_launch_queue:
+            node = self._next_reduce_node()
+            if node is None:
+                return  # wait for a slot to free up
+            self._start_reducer(state, state.reducer_launch_queue.pop(0), node)
+
+    def _next_reduce_node(self) -> Optional[str]:
+        candidates = [n for n in self.cluster.nodes if self.trackers[n].free_reduce_slots > 0]
+        if not candidates:
+            return None
+        # Round-robin: prefer the node with the most free slots then name.
+        return max(candidates, key=lambda n: (self.trackers[n].free_reduce_slots, n))
+
+    def _start_reducer(self, state: _JobState, reducer_id: int, node: str) -> None:
+        tracker = self.trackers[node]
+        tracker.acquire_reduce_slot()
+        record = TaskRecord(kind="reduce", task_id=reducer_id, node=node, start=self.sim.now)
+        record.shuffle_start = self.sim.now
+        state.run.reduces[reducer_id] = record
+        fetcher = ShuffleFetcher(
+            sim=self.sim,
+            network=self.network,
+            policy=self.policy,
+            cluster=self.cluster,
+            run=state.run,
+            reducer_id=reducer_id,
+            node=node,
+            num_maps=state.spec.num_maps,
+            rng=state.rng,
+            on_all_fetched=lambda s=state, r=reducer_id: self._shuffle_complete(s, r),
+        )
+        rstate = _ReducerState(record=record, fetcher=fetcher, polling=True)
+        state.reducers[reducer_id] = rstate
+        tracker.emit("reduce_launch", job=state.run, reducer_id=reducer_id, node=node)
+        # Reduce-attempt startup (localisation + JVM + copier init),
+        # then the first completion-event poll lands within one
+        # heartbeat of the reducer's tasktracker.
+        delay = self.cluster.config.reduce_startup + float(
+            state.rng.uniform(0.0, self.cluster.config.heartbeat)
+        )
+        self.sim.schedule(delay, self._poll_completion_events, state, reducer_id)
+
+    def _poll_completion_events(self, state: _JobState, reducer_id: int) -> None:
+        rstate = state.reducers[reducer_id]
+        if not rstate.polling:
+            return
+        visible = [
+            spill
+            for visible_at, spill in state.spills.values()
+            if visible_at <= self.sim.now
+        ]
+        rstate.fetcher.offer(visible)
+        if rstate.fetcher.all_offered:
+            rstate.polling = False
+            return
+        self.sim.schedule(
+            self.cluster.config.heartbeat, self._poll_completion_events, state, reducer_id
+        )
+
+    def _shuffle_complete(self, state: _JobState, reducer_id: int) -> None:
+        rstate = state.reducers[reducer_id]
+        record = rstate.record
+        record.shuffle_end = self.sim.now
+        cfg = self.cluster.config
+        merge_time = rstate.fetcher.total_app_bytes / cfg.merge_rate
+        self.sim.schedule(merge_time, self._start_reduce_compute, state, reducer_id)
+
+    def _start_reduce_compute(self, state: _JobState, reducer_id: int) -> None:
+        rstate = state.reducers[reducer_id]
+        rstate.record.sort_end = self.sim.now
+        spec = state.spec
+        duration = (
+            (spec.reduce_base + rstate.fetcher.total_app_bytes / spec.reduce_rate)
+            * self._jitter(state)
+        )
+        self.sim.schedule(duration, self._finish_reducer, state, reducer_id)
+
+    def _finish_reducer(self, state: _JobState, reducer_id: int) -> None:
+        rstate = state.reducers[reducer_id]
+        rstate.record.end = self.sim.now
+        self.trackers[rstate.record.node].release_reduce_slot()
+        state.reducers_done += 1
+        if state.reducer_launch_queue:
+            self._launch_reducers(state)
+        if state.reducers_done >= state.spec.num_reducers:
+            state.run.completed_at = self.sim.now
+            if state.on_complete is not None:
+                state.on_complete(state.run)

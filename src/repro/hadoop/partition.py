@@ -1,0 +1,75 @@
+"""Reducer partition-weight models (key-space skew).
+
+MapReduce skew — "non-uniform data distribution in the key space"
+(§II) — is what makes some reducers receive multiples of others'
+shuffle volume (Figure 1a's reducer-0 gets 5x reducer-1).  These
+generators produce the global per-reducer weight vector; per-map
+variation is layered on in :mod:`repro.hadoop.spill`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _normalize(w: np.ndarray) -> np.ndarray:
+    w = np.asarray(w, dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D vector")
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return w / total
+
+
+def uniform_weights(num_reducers: int) -> np.ndarray:
+    """No skew: every reducer receives the same share."""
+    if num_reducers < 1:
+        raise ValueError("need at least one reducer")
+    return np.full(num_reducers, 1.0 / num_reducers)
+
+
+def zipf_weights(num_reducers: int, alpha: float = 1.0) -> np.ndarray:
+    """Zipfian skew: reducer r gets a share proportional to 1/(r+1)^alpha.
+
+    ``alpha=0`` degenerates to uniform; ``alpha~1`` mirrors the heavy
+    key skew measured in production MapReduce traces.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    ranks = np.arange(1, num_reducers + 1, dtype=float)
+    return _normalize(ranks**-alpha)
+
+
+def dirichlet_weights(
+    num_reducers: int, concentration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Random skew: lower concentration = burstier shares."""
+    if concentration <= 0:
+        raise ValueError("concentration must be > 0")
+    return _normalize(rng.dirichlet(np.full(num_reducers, concentration)))
+
+
+def explicit_weights(shares: Sequence[float]) -> np.ndarray:
+    """Caller-specified shares (e.g. Figure 1a's 5:1 two-reducer split)."""
+    return _normalize(np.asarray(shares, dtype=float))
+
+
+def perturbed(
+    weights: np.ndarray, rng: np.random.Generator, sigma: float = 0.2
+) -> np.ndarray:
+    """One map task's view of the global weights (log-normal noise).
+
+    Individual map tasks see different slices of the input, so their
+    per-reducer partition sizes jitter around the job-wide skew.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    if sigma == 0:
+        return np.asarray(weights, dtype=float).copy()
+    noise = rng.lognormal(mean=0.0, sigma=sigma, size=len(weights))
+    return _normalize(np.asarray(weights) * noise)

@@ -1,0 +1,151 @@
+"""Reducer-side shuffle fetch scheduling.
+
+Reproduces the two Hadoop mechanics the paper's analysis rests on:
+
+* the **parallel-copy limit** — "Hadoop limits the number of parallel
+  transfers that each reducer can initiate at every instance of time"
+  (§V-C), which queues fetches and widens the prediction lead; and
+* the **shuffle barrier** — "a reducer task does not start its
+  processing phase until all data produced by the entire set of map
+  tasks have been successfully fetched ... even a single flow being
+  forwarded through a congested path may delay the overall job
+  completion time" (§V-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hadoop.cluster import HadoopCluster
+from repro.hadoop.job import FetchRecord, JobRun
+from repro.hadoop.spill import SpillFile
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.sdn.policy import PathPolicy
+
+#: Partitions below this many application bytes skip the network path
+#: (empty or header-only segments complete instantly).
+_TINY_FETCH = 1.0
+
+
+class ShuffleFetcher:
+    """Pulls one reducer's map-output segments, few at a time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        policy: PathPolicy,
+        cluster: HadoopCluster,
+        run: JobRun,
+        reducer_id: int,
+        node: str,
+        num_maps: int,
+        rng: np.random.Generator,
+        on_all_fetched: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.policy = policy
+        self.cluster = cluster
+        self.run = run
+        self.reducer_id = reducer_id
+        self.node = node
+        self.num_maps = num_maps
+        self.rng = rng
+        self.on_all_fetched = on_all_fetched
+        self._queue: deque[tuple[SpillFile, float]] = deque()  # (spill, enqueued_at)
+        self._offered: set[int] = set()
+        self._active = 0
+        self._fetched = 0
+        self.total_app_bytes = 0.0
+        self.first_fetch_start: Optional[float] = None
+        self.last_fetch_end: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def all_offered(self) -> bool:
+        """True once every map's spill has been offered."""
+        return len(self._offered) >= self.num_maps
+
+    @property
+    def done(self) -> bool:
+        """True once every map's partition has been fetched."""
+        return self._fetched >= self.num_maps
+
+    def offer(self, spills: list[SpillFile]) -> None:
+        """Tell the fetcher about finished maps (poll/heartbeat delivery)."""
+        for spill in spills:
+            if spill.map_id in self._offered:
+                continue
+            self._offered.add(spill.map_id)
+            self._queue.append((spill, self.sim.now))
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        copies = self.cluster.config.parallel_copies
+        while self._active < copies and self._queue:
+            spill, enqueued_at = self._queue.popleft()
+            self._start_fetch(spill, enqueued_at)
+
+    def _start_fetch(self, spill: SpillFile, enqueued_at: float) -> None:
+        cfg = self.cluster.config
+        app_bytes = spill.partition(self.reducer_id)
+        local = spill.node == self.node
+        wire_bytes = app_bytes * (1.0 + cfg.wire_overhead)
+        record = FetchRecord(
+            map_id=spill.map_id,
+            reducer_id=self.reducer_id,
+            src=spill.node,
+            dst=self.node,
+            app_bytes=app_bytes,
+            wire_bytes=wire_bytes,
+            local=local,
+            enqueued=enqueued_at,
+            start=self.sim.now,
+        )
+        self.run.fetches.append(record)
+        self._active += 1
+        if self.first_fetch_start is None:
+            self.first_fetch_start = self.sim.now
+        if local or app_bytes < _TINY_FETCH:
+            duration = app_bytes / cfg.local_fetch_rate
+            self.sim.schedule(duration, self._finish_fetch, record)
+            return
+        ft = FiveTuple(
+            src_ip=self.cluster.node_ip(spill.node),
+            dst_ip=self.cluster.node_ip(self.node),
+            src_port=SHUFFLE_PORT,
+            dst_port=int(self.rng.integers(32768, 61000)),
+            proto=TCP,
+        )
+        flow = Flow(
+            src=spill.node,
+            dst=self.node,
+            size=wire_bytes,
+            five_tuple=ft,
+            tags={
+                "kind": "shuffle",
+                "job": self.run.job_id,
+                "map_id": spill.map_id,
+                "reducer_id": self.reducer_id,
+            },
+        )
+        record.flow_id = flow.fid
+        path = self.policy.place(flow)
+        self.network.start_flow(flow, path, on_complete=lambda _f: self._finish_fetch(record))
+
+    def _finish_fetch(self, record: FetchRecord) -> None:
+        record.end = self.sim.now
+        self.last_fetch_end = self.sim.now
+        self._active -= 1
+        self._fetched += 1
+        self.total_app_bytes += record.app_bytes
+        self._pump()
+        if self.done:
+            self.on_all_fetched()

@@ -1,0 +1,54 @@
+"""Map-output spill files and their partition index.
+
+"Per Hadoop workings, intermediate output files are written to disk at
+map task completion time" (§III) — each spill carries an index of how
+many bytes belong to each reducer partition.  The Pythia decoder reads
+exactly this index; the shuffle service serves fetches from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hadoop.partition import perturbed
+
+
+@dataclass
+class SpillFile:
+    """Intermediate output of one finished map task."""
+
+    map_id: int
+    node: str
+    created_at: float
+    #: application-level bytes destined to each reducer partition.
+    partition_bytes: np.ndarray
+
+    @property
+    def total_bytes(self) -> float:
+        """Total intermediate bytes in this spill."""
+        return float(self.partition_bytes.sum())
+
+    def partition(self, reducer_id: int) -> float:
+        """Application bytes destined to one reducer."""
+        return float(self.partition_bytes[reducer_id])
+
+
+def make_spill(
+    map_id: int,
+    node: str,
+    created_at: float,
+    map_output_bytes: float,
+    reducer_weights: np.ndarray,
+    rng: np.random.Generator,
+    sigma: float,
+) -> SpillFile:
+    """Partition one map's output across reducers with per-map jitter."""
+    weights = perturbed(reducer_weights, rng, sigma=sigma)
+    return SpillFile(
+        map_id=map_id,
+        node=node,
+        created_at=created_at,
+        partition_bytes=weights * map_output_bytes,
+    )

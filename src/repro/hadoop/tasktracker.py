@@ -1,0 +1,72 @@
+"""Per-node tasktracker: slot bookkeeping and local event emission.
+
+The tasktracker is deliberately thin — the jobtracker drives task
+placement (as in Hadoop 1.x, where the jobtracker hands work out in
+heartbeat responses) — but it is the entity the Pythia instrumentation
+middleware attaches to: every map start, spill write and reduce launch
+on a node is observable here, "transparently to applications and the
+Hadoop framework itself" (§I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class TaskTracker:
+    """Slot accounting for one Hadoop slave node."""
+
+    node: str
+    map_slots: int
+    reduce_slots: int
+    busy_maps: int = 0
+    busy_reduces: int = 0
+    _listeners: list[Callable[..., None]] = field(default_factory=list)
+
+    @property
+    def free_map_slots(self) -> int:
+        """Map slots currently available."""
+        return self.map_slots - self.busy_maps
+
+    @property
+    def free_reduce_slots(self) -> int:
+        """Reduce slots currently available."""
+        return self.reduce_slots - self.busy_reduces
+
+    def acquire_map_slot(self) -> None:
+        """Claim a map slot (raises when none free)."""
+        if self.free_map_slots <= 0:
+            raise RuntimeError(f"{self.node}: no free map slot")
+        self.busy_maps += 1
+
+    def release_map_slot(self) -> None:
+        """Return a map slot."""
+        if self.busy_maps <= 0:
+            raise RuntimeError(f"{self.node}: map slot underflow")
+        self.busy_maps -= 1
+
+    def acquire_reduce_slot(self) -> None:
+        """Claim a reduce slot (raises when none free)."""
+        if self.free_reduce_slots <= 0:
+            raise RuntimeError(f"{self.node}: no free reduce slot")
+        self.busy_reduces += 1
+
+    def release_reduce_slot(self) -> None:
+        """Return a reduce slot."""
+        if self.busy_reduces <= 0:
+            raise RuntimeError(f"{self.node}: reduce slot underflow")
+        self.busy_reduces -= 1
+
+    # ------------------------------------------------------------------
+    # instrumentation hook-point
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Callable[..., None]) -> None:
+        """Register ``fn(event, **payload)`` for local task events."""
+        self._listeners.append(fn)
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Broadcast a local task event to subscribers."""
+        for fn in list(self._listeners):
+            fn(event, **payload)

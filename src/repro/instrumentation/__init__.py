@@ -1,0 +1,23 @@
+"""Pythia's sensor half: transparent tasktracker instrumentation.
+
+One middleware process per Hadoop slave (§III): it watches the local
+tasktracker for map-task spawn and spill-file creation, decodes the
+intermediate output index into per-reducer shuffle sizes, estimates the
+wire volume, and ships prediction messages to the central collector
+over the out-of-band management network.  It also reports reducer
+launch locations so the collector can late-bind flow destinations.
+"""
+
+from repro.instrumentation.decoder import SpillDecoder
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.instrumentation.middleware import InstrumentationConfig, InstrumentationMiddleware
+from repro.instrumentation.overhead import InstrumentationCostModel
+
+__all__ = [
+    "SpillDecoder",
+    "PredictionMessage",
+    "ReducerLocationMessage",
+    "InstrumentationConfig",
+    "InstrumentationMiddleware",
+    "InstrumentationCostModel",
+]

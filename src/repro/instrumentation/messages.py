@@ -1,0 +1,38 @@
+"""Messages exchanged between instrumentation middleware and collector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictionMessage:
+    """Per-map shuffle intent: predicted wire bytes per reducer.
+
+    Serialised by the middleware at map-finish time; ``reducer_bytes[r]``
+    is the predicted on-the-wire volume of the future flow carrying
+    partition ``r`` out of ``src_server``.
+    """
+
+    job: str
+    map_id: int
+    src_server: str
+    reducer_bytes: np.ndarray
+    created_at: float
+
+
+@dataclass(frozen=True)
+class ReducerLocationMessage:
+    """Late-binding info: reducer task -> network location.
+
+    "Since Hadoop normally starts to schedule reducers only after a few
+    mappers have been completed ... some flow intention detections will
+    have unknown destinations" (§III); these messages fill the gaps.
+    """
+
+    job: str
+    reducer_id: int
+    server: str
+    created_at: float

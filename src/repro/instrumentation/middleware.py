@@ -1,0 +1,107 @@
+"""The per-server instrumentation process.
+
+Wires tasktracker events to the central collector (§III block diagram):
+
+* ``map_start`` — the middleware "tracks its local tasktracker for
+  newly spawned map tasks" and subscribes to the spill directory for
+  file-creation notifications.
+* ``spill`` — after the notification latency plus index-decode time, a
+  :class:`PredictionMessage` with per-reducer predicted wire volume is
+  sent to the collector over the management network.
+* ``reduce_launch`` — a :class:`ReducerLocationMessage` resolves a
+  reducer ID to its server so the collector can complete pending
+  shuffle-intent entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.spill import SpillFile
+from repro.instrumentation.decoder import SpillDecoder
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+
+
+class CollectorEndpoint(Protocol):
+    """What the middleware needs from the Pythia collector."""
+
+    def receive_prediction(self, msg: PredictionMessage) -> None: ...
+
+    def receive_reducer_location(self, msg: ReducerLocationMessage) -> None: ...
+
+
+@dataclass
+class InstrumentationConfig:
+    """Latency knobs of the sensing path."""
+
+    #: spill-directory file-creation notification latency (inotify-class).
+    detection_delay: float = 0.05
+    #: one-way management-network latency middleware -> collector.
+    mgmt_latency: float = 0.002
+    decoder: SpillDecoder = field(default_factory=lambda: SpillDecoder(0.08))
+
+
+class InstrumentationMiddleware:
+    """All per-server monitors of one deployment, plus their statistics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        jobtracker: JobTracker,
+        collector: CollectorEndpoint,
+        config: InstrumentationConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.collector = collector
+        self.config = config
+        self.rng = rng
+        self.maps_tracked = 0
+        self.predictions_sent = 0
+        self.locations_sent = 0
+        jobtracker.subscribe_all(self._on_tracker_event)
+
+    # ------------------------------------------------------------------
+    def _on_tracker_event(self, event: str, **payload) -> None:
+        if event == "map_start":
+            # Subscribe to the task's spill path for async notifications.
+            self.maps_tracked += 1
+        elif event == "spill":
+            self._on_spill(payload["job"].job_id, payload["spill"])
+        elif event == "reduce_launch":
+            self._on_reduce_launch(
+                payload["job"].job_id, payload["reducer_id"], payload["node"]
+            )
+
+    def _on_spill(self, job: str, spill: SpillFile) -> None:
+        decoder = self.config.decoder
+        delay = self.config.detection_delay + decoder.decode_time(spill)
+
+        def _send() -> None:
+            msg = PredictionMessage(
+                job=job,
+                map_id=spill.map_id,
+                src_server=spill.node,
+                reducer_bytes=decoder.decode(spill, self.rng),
+                created_at=self.sim.now,
+            )
+            self.predictions_sent += 1
+            self.sim.schedule(
+                self.config.mgmt_latency, self.collector.receive_prediction, msg
+            )
+
+        self.sim.schedule(delay, _send)
+
+    def _on_reduce_launch(self, job: str, reducer_id: int, node: str) -> None:
+        msg = ReducerLocationMessage(
+            job=job, reducer_id=reducer_id, server=node, created_at=self.sim.now
+        )
+        self.locations_sent += 1
+        self.sim.schedule(
+            self.config.mgmt_latency, self.collector.receive_reducer_location, msg
+        )

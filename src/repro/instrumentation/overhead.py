@@ -1,0 +1,41 @@
+"""Instrumentation resource-cost model (§V-C).
+
+"Per Hadoop server average CPU and I/O overhead ranged from 2 to 5 %
+while memory occupancy overhead was insignificant ... overhead
+comprises a constant dc factor stemming from continuous monitoring of
+MapReduce task progress and a spike factor stemming from index file
+analysis at the event of a map task finish."
+
+The dc factor is applied as a multiplicative inflation of task compute
+time on instrumented nodes; the spike factor is the decode time charged
+per spill (see :class:`repro.instrumentation.decoder.SpillDecoder`).
+The overhead benchmark (§V-C reproduction) runs jobs with the model on
+and off to measure the net cost against the scheduling benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InstrumentationCostModel:
+    """Per-server CPU cost of running the Pythia middleware."""
+
+    #: continuous-monitoring CPU fraction bounds (the paper's 2-5 % band).
+    dc_low: float = 0.02
+    dc_high: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dc_low <= self.dc_high < 1:
+            raise ValueError("need 0 <= dc_low <= dc_high < 1")
+
+    def sample_dc_fraction(self, rng: np.random.Generator) -> float:
+        """Draw one server's steady-state monitoring cost."""
+        return float(rng.uniform(self.dc_low, self.dc_high))
+
+    def mean_dc_fraction(self) -> float:
+        """Midpoint of the steady-state CPU cost band."""
+        return 0.5 * (self.dc_low + self.dc_high)

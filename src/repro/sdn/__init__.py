@@ -1,0 +1,45 @@
+"""SDN controller substrate (a miniature OpenDaylight).
+
+Pythia's network half is, per the paper, "implemented in the form of
+modular components within ... OpenDaylight" consuming three controller
+services: the topology update service, the link-load update service,
+and OpenFlow rule programming.  This package provides those services
+(:mod:`repro.sdn.topology_service`, :mod:`repro.sdn.stats_service`,
+:mod:`repro.sdn.programming`) around an app-hosting controller kernel
+(:mod:`repro.sdn.controller`), plus the two non-Pythia schedulers the
+paper discusses: ECMP (the baseline, §IV) and a Hedera-style reactive
+elephant-flow scheduler (§II).
+"""
+
+from repro.sdn.controller import Controller
+from repro.sdn.dataplane import TableDrivenPolicy
+from repro.sdn.demand import estimate_demands
+from repro.sdn.ecmp import EcmpSelector, ecmp_index
+from repro.sdn.hedera import HederaScheduler
+from repro.sdn.openflow import FlowMod, OpenFlowChannel, SwitchAgent
+from repro.sdn.policy import EcmpPolicy, FailureRepairService, PathPolicy
+from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.sdn.stats_service import LinkStatsService
+from repro.sdn.switch_tables import SwitchTableView
+from repro.sdn.topology_service import TopologyService
+
+__all__ = [
+    "Controller",
+    "TableDrivenPolicy",
+    "estimate_demands",
+    "EcmpSelector",
+    "ecmp_index",
+    "HederaScheduler",
+    "FlowMod",
+    "OpenFlowChannel",
+    "SwitchAgent",
+    "PathPolicy",
+    "EcmpPolicy",
+    "FailureRepairService",
+    "FlowProgrammer",
+    "Match",
+    "Rule",
+    "LinkStatsService",
+    "SwitchTableView",
+    "TopologyService",
+]

@@ -1,0 +1,89 @@
+"""Controller kernel: hosts services and applications.
+
+A thin composition root mirroring the OpenDaylight deployment in the
+paper: one controller instance per experiment, connected out-of-band
+(the management network — modelled as a constant message latency that
+never touches the data network's links).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.sdn.programming import FlowProgrammer
+from repro.sdn.stats_service import LinkStatsService
+from repro.sdn.topology_service import TopologyService
+
+
+class ControllerApp(Protocol):
+    """An SDN application pluggable into the controller."""
+
+    name: str
+
+    def start(self, controller: "Controller") -> None: ...
+
+    def stop(self) -> None: ...
+
+
+class Controller:
+    """App-hosting controller with topology, stats, programming services."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        k_paths: int = 4,
+        stats_period: float = 1.0,
+        stats_alpha: float = 0.5,
+        per_rule_latency: float = 0.004,
+        control_rtt: float = 0.002,
+        mgmt_latency: float = 0.002,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        #: one-way latency of the out-of-band management network that
+        #: carries prediction notifications and controller traffic.
+        self.mgmt_latency = mgmt_latency
+        self.topology_service = TopologyService(network.topology, k=k_paths)
+        self.stats_service = LinkStatsService(
+            sim, network, period=stats_period, alpha=stats_alpha
+        )
+        self.programmer = FlowProgrammer(
+            sim, per_rule_latency=per_rule_latency, control_rtt=control_rtt
+        )
+        self.apps: list[ControllerApp] = []
+        self._started = False
+
+    def register(self, app: ControllerApp) -> None:
+        """Attach an application (started immediately if running)."""
+        self.apps.append(app)
+        if self._started:
+            app.start(self)
+
+    def start(self) -> None:
+        """Boot services and every registered application."""
+        if self._started:
+            return
+        self._started = True
+        self.stats_service.start()
+        for app in self.apps:
+            app.start(self)
+
+    def stop(self) -> None:
+        """Stop periodic services so the event queue can drain."""
+        if not self._started:
+            return
+        self._started = False
+        self.stats_service.stop()
+        for app in self.apps:
+            app.stop()
+
+    def app(self, name: str) -> Optional[ControllerApp]:
+        """Find a registered application by name."""
+        for a in self.apps:
+            if a.name == name:
+                return a
+        return None

@@ -1,0 +1,65 @@
+"""Equal-Cost Multi-Path flow allocation (the paper's baseline).
+
+§IV: "our ECMP implementation uses the five-tuple ... to compute a flow
+hash and assigns a path to a flow based on a modulus computation on the
+flow hash value and the number of available paths in the routing
+graph."  The hash must be stable across processes and runs (unlike
+Python's builtin ``hash``), so we CRC-32 the packed tuple — the same
+class of cheap hardware hash RFC 2992 assumes.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.simnet.flows import FiveTuple, Flow
+from repro.simnet.topology import Topology
+from repro.simnet.paths import k_shortest_paths
+
+
+def ecmp_index(five_tuple: FiveTuple, n_paths: int) -> int:
+    """Deterministic path index for a five-tuple."""
+    if n_paths < 1:
+        raise ValueError("no paths available")
+    packed = "|".join(
+        (
+            five_tuple.src_ip,
+            five_tuple.dst_ip,
+            str(five_tuple.src_port),
+            str(five_tuple.dst_port),
+            str(five_tuple.proto),
+        )
+    ).encode()
+    return zlib.crc32(packed) % n_paths
+
+
+class EcmpSelector:
+    """Load-unaware path selection over the k shortest paths.
+
+    Paths are cached per (src, dst) pair and invalidated on topology
+    change, mirroring how a routing graph would be maintained in the
+    controller.
+    """
+
+    name = "ecmp"
+
+    def __init__(self, topology: Topology, k: int = 4) -> None:
+        self.topology = topology
+        self.k = k
+        self._cache: dict[tuple[str, str], list[list[str]]] = {}
+        topology.observe(lambda _link: self._cache.clear())
+
+    def paths(self, src: str, dst: str) -> list[list[str]]:
+        """Cached k-shortest node paths for a host pair."""
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = k_shortest_paths(self.topology, src, dst, self.k)
+        return self._cache[key]
+
+    def path_for(self, flow: Flow) -> list[int]:
+        """Pick the ECMP path for a flow; returns link ids."""
+        paths = self.paths(flow.src, flow.dst)
+        if not paths:
+            raise ValueError(f"no path {flow.src}->{flow.dst}")
+        chosen = paths[ecmp_index(flow.five_tuple, len(paths))]
+        return self.topology.path_links(chosen)

@@ -1,0 +1,145 @@
+"""Hedera-style reactive elephant-flow scheduler (comparison baseline).
+
+§II argues that "replacing ECMP with a load-aware flow scheduling
+scheme (e.g. Hedera) would to some extent avoid adversarial flow
+allocations, however still not manage to unleash the entire
+optimization potential" — because it reacts *after* a flow is observed
+as an elephant and knows nothing about application semantics.  We
+implement that class of scheduler faithfully enough to reproduce the
+comparison: periodic polling of active elastic flows, elephant
+detection by measured demand against a NIC-fraction threshold, and
+global first-fit rerouting onto the least-loaded path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sdn.controller import Controller
+from repro.simnet.flows import Flow
+
+
+class HederaScheduler:
+    """Reactive elephant rescheduler: detect, estimate demand, re-place."""
+
+    name = "hedera"
+
+    def __init__(
+        self,
+        poll_period: float = 5.0,
+        elephant_fraction: float = 0.05,
+        min_outstanding_bytes: float = 8e6,
+    ) -> None:
+        #: Hedera's published control loop runs at ~5 s.
+        self.poll_period = poll_period
+        #: A flow is an elephant when its *natural demand* (the NSDI'10
+        #: host-limited max-min estimate, see :mod:`repro.sdn.demand`)
+        #: reaches this fraction of its source NIC.  Hedera's published
+        #: threshold is 10%; Hadoop shuffle fetches are mid-sized (one
+        #: map partition each), so the default here is tuned lower — a
+        #: lenient setting would reduce this baseline to ECMP and make
+        #: the comparison a strawman.
+        self.elephant_fraction = elephant_fraction
+        #: flows with less left than this cannot amortise a reroute.
+        self.min_outstanding_bytes = min_outstanding_bytes
+        #: transport disruption charged per mid-flight reroute (packet
+        #: reordering / congestion-window recovery).
+        self.reroute_pause = 0.1
+        self.controller: Optional[Controller] = None
+        self._running = False
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------
+    def start(self, controller: Controller) -> None:
+        """Begin the periodic control loop."""
+        self.controller = controller
+        self._running = True
+        controller.sim.schedule(self.poll_period, self._tick)
+
+    def stop(self) -> None:
+        """Halt the control loop."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _host_nic_rate(self, host: str) -> float:
+        topo = self.controller.network.topology  # type: ignore[union-attr]
+        rates = [l.capacity for l in topo.up_links_from(host)]
+        return max(rates) if rates else 0.0
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        ctrl = self.controller
+        assert ctrl is not None
+        self._reschedule_elephants()
+        ctrl.sim.schedule(self.poll_period, self._tick)
+
+    def _reschedule_elephants(self) -> None:
+        ctrl = self.controller
+        assert ctrl is not None
+        net = ctrl.network
+        topo = net.topology
+        # Hedera classifies by *estimated natural demand* (NSDI'10
+        # host-limited max-min), not the currently observed — possibly
+        # throttled — rate: a large transfer crawling through a
+        # congested path is exactly the flow that must be rescheduled.
+        from repro.sdn.demand import estimate_demands
+
+        candidates = [f for f in net.elastic if f.remaining >= self.min_outstanding_bytes]
+        if not candidates:
+            return
+        demands = estimate_demands(
+            [(f.src, f.dst) for f in candidates],
+            nic_rate={
+                h: self._host_nic_rate(h)
+                for f in candidates
+                for h in (f.src, f.dst)
+            },
+        )
+        elephants: list[Flow] = []
+        for flow, demand in zip(candidates, demands):
+            if demand >= self.elephant_fraction * self._host_nic_rate(flow.src):
+                elephants.append(flow)
+        if not elephants:
+            return
+        # Largest remaining demand first (global first-fit).
+        elephants.sort(key=lambda f: -f.remaining)
+        # Use the controller's measured (EWMA) link statistics — the
+        # same information basis Pythia's allocator gets, rather than
+        # oracular instantaneous rates.
+        load = ctrl.stats_service.load_array()
+        capacity = net.link_capacity()
+        for flow in elephants:
+            best = self._best_path(flow, load, capacity)
+            if best is None or best == flow.path:
+                continue
+            # account the move in the working load estimate
+            for lid in flow.path or []:
+                load[lid] -= flow.rate
+            for lid in best:
+                load[lid] += flow.rate
+            net.reroute(flow, best, pause=self.reroute_pause)
+            self.reroutes += 1
+
+    def _best_path(
+        self, flow: Flow, load: np.ndarray, capacity: np.ndarray
+    ) -> Optional[list[int]]:
+        ctrl = self.controller
+        assert ctrl is not None
+        paths = ctrl.topology_service.k_paths_links(flow.src, flow.dst)
+        if not paths:
+            return None
+        own_rate = flow.rate
+
+        def headroom(path: list[int]) -> float:
+            vals = []
+            for lid in path:
+                l = load[lid]
+                if flow.path and lid in flow.path:
+                    l -= own_rate  # don't count the flow against itself
+                vals.append(capacity[lid] - l)
+            return min(vals)
+
+        return max(paths, key=headroom)

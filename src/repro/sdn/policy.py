@@ -1,0 +1,97 @@
+"""Path-selection policy interface shared by all schedulers.
+
+The Hadoop shuffle service asks a :class:`PathPolicy` where to send
+each fetch flow; this is the seam between the MapReduce substrate and
+the network control plane.  ECMP implements it statelessly; Pythia
+implements it by rule-table lookup with ECMP fallback (traffic not
+covered by a Pythia rule "is handled through default datacenter
+network control processes", §IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.sdn.ecmp import EcmpSelector
+from repro.simnet.flows import Flow
+from repro.simnet.topology import Topology
+
+
+class PathPolicy(Protocol):
+    """Decides the forwarding path of a new or broken flow."""
+
+    name: str
+
+    def place(self, flow: Flow) -> list[int]:
+        """Return the link-id path for a flow about to start."""
+        ...
+
+    def repair(self, flow: Flow) -> Optional[list[int]]:
+        """Return a replacement path after a failure, or None if stuck."""
+        ...
+
+
+class EcmpPolicy:
+    """Baseline policy: five-tuple hash over the k shortest up paths."""
+
+    name = "ecmp"
+
+    def __init__(self, topology: Topology, k: int = 4) -> None:
+        self._selector = EcmpSelector(topology, k=k)
+        self._topology = topology
+
+    def place(self, flow: Flow) -> list[int]:
+        """Path for a flow about to start (link ids)."""
+        return self._selector.path_for(flow)
+
+    def repair(self, flow: Flow) -> Optional[list[int]]:
+        """Replacement path after a failure, or None if stuck."""
+        # Re-hash over the surviving paths (hardware ECMP re-converges
+        # the same way: the hash now indexes a smaller next-hop group).
+        from repro.sdn.ecmp import ecmp_index
+
+        paths = [
+            p
+            for p in self._selector.paths(flow.src, flow.dst)
+            if self._path_up(p)
+        ]
+        if not paths:
+            return None
+        chosen = paths[ecmp_index(flow.five_tuple, len(paths))]
+        return self._topology.path_links(chosen)
+
+    def _path_up(self, node_path: list[str]) -> bool:
+        try:
+            self._topology.path_links(node_path)
+            return True
+        except ValueError:
+            return False
+
+
+class FailureRepairService:
+    """Reroutes in-flight flows off failed links using their policy.
+
+    Registered once per experiment; listens for topology changes and
+    asks the active policy for replacement paths, modelling data-plane
+    re-convergence for ECMP and controller-driven repair for Pythia.
+    """
+
+    def __init__(self, network, policy: PathPolicy) -> None:
+        self.network = network
+        self.policy = policy
+        self.repairs = 0
+        self.stranded = 0
+        network.topology.observe(self._on_link_event)
+
+    def _on_link_event(self, link) -> None:
+        if link.up:
+            return
+        for flow in list(self.network.flows_on_link(link.lid)):
+            if not flow.active:
+                continue
+            new_path = self.policy.repair(flow)
+            if new_path is None:
+                self.stranded += 1
+                continue
+            self.network.reroute(flow, new_path)
+            self.repairs += 1

@@ -1,0 +1,162 @@
+"""OpenFlow rule tables and switch programming latency.
+
+The paper's timing argument (§V-C) hinges on hardware flow-install
+latency: "typically in the order of 3-5 ms/flow installed" — and
+prediction arriving seconds earlier makes programming safe.  This
+module models exactly that contract: rule installation completes after
+``per_rule_latency × rules + rtt`` and only then do flows match.
+
+Rules are wildcard aggregates, as forced by the paper's observation
+that a shuffle flow's TCP source port is unknowable at prediction time:
+the match is ``(src_ip, dst_ip, dst_port)`` with the source port
+wildcarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import Flow
+
+
+@dataclass(frozen=True)
+class Match:
+    """Wildcard match on addresses and ports; None = any.
+
+    Pythia's shuffle aggregates wildcard the reducer-side ephemeral
+    port and pin the mapper-side service port (50060).  Rack/POD-level
+    aggregation (§IV's forwarding-state-conservation variant) uses the
+    ``src_prefix``/``dst_prefix`` fields instead of exact addresses —
+    one TCAM entry covering a whole rack pair.
+    """
+
+    src_ip: Optional[str] = None
+    dst_ip: Optional[str] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    #: address-prefix alternatives to the exact-IP fields ("10.0." etc.)
+    src_prefix: Optional[str] = None
+    dst_prefix: Optional[str] = None
+
+    def covers(self, flow: Flow) -> bool:
+        """True if this match admits the flow's five-tuple."""
+        ft = flow.five_tuple
+        return (
+            (self.src_ip is None or self.src_ip == ft.src_ip)
+            and (self.dst_ip is None or self.dst_ip == ft.dst_ip)
+            and (self.src_prefix is None or ft.src_ip.startswith(self.src_prefix))
+            and (self.dst_prefix is None or ft.dst_ip.startswith(self.dst_prefix))
+            and (self.src_port is None or self.src_port == ft.src_port)
+            and (self.dst_port is None or self.dst_port == ft.dst_port)
+        )
+
+    def specificity(self) -> int:
+        """Tie-break score: more exact fields rank higher."""
+        # exact fields count double so an exact-IP rule beats a prefix
+        # rule covering the same flow (longest-prefix-match analogue).
+        exact = sum(
+            f is not None
+            for f in (self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+        )
+        prefixes = sum(f is not None for f in (self.src_prefix, self.dst_prefix))
+        return 2 * exact + prefixes
+
+
+@dataclass
+class Rule:
+    """One end-to-end forwarding rule (match -> path)."""
+    match: Match
+    path: list[int]               # link ids
+    priority: int = 0
+    installed_at: Optional[float] = None
+    hits: int = 0
+
+
+class FlowProgrammer:
+    """Installs forwarding rules with realistic programming latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        per_rule_latency: float = 0.004,
+        control_rtt: float = 0.002,
+    ) -> None:
+        self.sim = sim
+        self.per_rule_latency = per_rule_latency
+        self.control_rtt = control_rtt
+        self._rules: list[Rule] = []
+        self.rules_installed = 0
+        self.install_batches = 0
+        #: high-water mark of concurrent table occupancy — the
+        #: forwarding-state metric §IV's aggregation discussion targets
+        #: (switch TCAM is the scarce resource, not install throughput).
+        self.peak_table_size = 0
+        self._rule_hooks: list[Callable[[str, Rule], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_rule_hook(self, fn: Callable[[str, Rule], None]) -> None:
+        """Register ``fn(event, rule)`` for 'install'/'remove' events
+        (the OpenFlow channel mirrors these as per-switch FLOW_MODs)."""
+        self._rule_hooks.append(fn)
+
+    def _emit(self, event: str, rule: Rule) -> None:
+        for fn in self._rule_hooks:
+            fn(event, rule)
+
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        rules: list[Rule],
+        on_installed: Optional[Callable[[list[Rule]], None]] = None,
+    ) -> float:
+        """Install a batch; returns the completion time."""
+        latency = self.control_rtt + self.per_rule_latency * len(rules)
+        done_at = self.sim.now + latency
+        self.install_batches += 1
+
+        def _commit() -> None:
+            for rule in rules:
+                rule.installed_at = self.sim.now
+                self._rules.append(rule)
+                self.rules_installed += 1
+                self._emit("install", rule)
+            self.peak_table_size = max(self.peak_table_size, len(self._rules))
+            if on_installed is not None:
+                on_installed(rules)
+
+        self.sim.schedule(latency, _commit)
+        return done_at
+
+    def remove(self, rule: Rule) -> None:
+        """Delete a rule from the table (idempotent)."""
+        if rule in self._rules:
+            self._rules.remove(rule)
+            self._emit("remove", rule)
+
+    def clear(self) -> None:
+        """Delete every rule, emitting remove events."""
+        for rule in list(self._rules):
+            self.remove(rule)
+
+    # ------------------------------------------------------------------
+    def lookup(self, flow: Flow) -> Optional[Rule]:
+        """Highest-priority (then most specific, then newest) matching rule."""
+        best: Optional[Rule] = None
+        for rule in self._rules:
+            if not rule.match.covers(flow):
+                continue
+            if best is None or (rule.priority, rule.match.specificity()) >= (
+                best.priority,
+                best.match.specificity(),
+            ):
+                best = rule
+        if best is not None:
+            best.hits += 1
+        return best
+
+    @property
+    def table_size(self) -> int:
+        """Rules currently installed."""
+        return len(self._rules)

@@ -1,0 +1,120 @@
+"""Per-switch forwarding-table view of the installed rules.
+
+The controller reasons about end-to-end paths, but what actually gets
+programmed is one TCAM entry per switch along each path — and switch
+TCAM is the scarce resource behind §IV's aggregation discussion ("given
+the high cost and thus limited size of the memory part of network
+devices storing so called wildcard rules").  This module expands the
+rule table into per-switch entries, reports occupancy, and can walk a
+flow hop-by-hop through the tables to verify that the distributed state
+reproduces the controller's intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.simnet.flows import Flow
+from repro.simnet.topology import NodeKind, Topology
+
+
+@dataclass(frozen=True)
+class SwitchEntry:
+    """One TCAM entry: match -> next hop."""
+
+    match: Match
+    priority: int
+    out_next_hop: str
+
+
+class SwitchTableView:
+    """Expands end-to-end rules into per-switch forwarding entries."""
+
+    def __init__(self, topology: Topology, programmer: FlowProgrammer) -> None:
+        self.topology = topology
+        self.programmer = programmer
+
+    # ------------------------------------------------------------------
+    def tables(self) -> dict[str, list[SwitchEntry]]:
+        """Current per-switch entries (deduplicated)."""
+        out: dict[str, set[SwitchEntry]] = {
+            s.name: set() for s in self.topology.switches()
+        }
+        for rule in self.programmer._rules:
+            prefix_rule = rule.match.dst_ip is None
+            for lid in rule.path:
+                link = self.topology.links[lid]
+                if self.topology.nodes[link.src].kind is not NodeKind.SWITCH:
+                    continue
+                # A prefix (rack-pair) rule cannot name the egress host
+                # port — edge delivery stays with the switch's default
+                # L2 forwarding, so no TCAM entry is spent there.
+                if prefix_rule and self.topology.nodes[link.dst].kind is NodeKind.HOST:
+                    continue
+                out[link.src].add(
+                    SwitchEntry(
+                        match=rule.match,
+                        priority=rule.priority,
+                        out_next_hop=link.dst,
+                    )
+                )
+        return {k: sorted(v, key=lambda e: (-e.priority, repr(e.match))) for k, v in out.items()}
+
+    def occupancy(self) -> dict[str, int]:
+        """TCAM entries per switch."""
+        return {switch: len(entries) for switch, entries in self.tables().items()}
+
+    def max_occupancy(self) -> int:
+        """Largest per-switch TCAM occupancy."""
+        occ = self.occupancy()
+        return max(occ.values()) if occ else 0
+
+    def total_entries(self) -> int:
+        """Sum of entries across all switches."""
+        return sum(self.occupancy().values())
+
+    # ------------------------------------------------------------------
+    def walk(self, flow: Flow, max_hops: int = 32) -> Optional[list[str]]:
+        """Forward a flow hop-by-hop through the switch tables.
+
+        Starts at the flow's source host's ToR and follows the highest-
+        priority matching entry at each switch.  Returns the node path
+        (host..host) or None on a table miss / loop — i.e. exactly what
+        the data plane would do without controller involvement.
+        """
+        topo = self.topology
+        up = [l for l in topo.up_links_from(flow.src)]
+        if not up:
+            return None
+        path = [flow.src, up[0].dst]
+        tables = self.tables()
+        for _ in range(max_hops):
+            here = path[-1]
+            if here == flow.dst:
+                return path
+            node = topo.nodes.get(here)
+            if node is None:
+                return None
+            if node.kind is NodeKind.HOST:
+                return path if here == flow.dst else None
+            # default L2 delivery once the destination host is adjacent
+            if any(l.dst == flow.dst for l in topo.up_links_from(here)):
+                path.append(flow.dst)
+                return path
+            entries = tables.get(here, [])
+            chosen: Optional[SwitchEntry] = None
+            for entry in entries:
+                if entry.match.covers(flow):
+                    if chosen is None or (
+                        entry.priority,
+                        entry.match.specificity(),
+                    ) > (chosen.priority, chosen.match.specificity()):
+                        chosen = entry
+            if chosen is None:
+                return None  # table miss
+            if chosen.out_next_hop in path:
+                return None  # loop guard
+            path.append(chosen.out_next_hop)
+        return None

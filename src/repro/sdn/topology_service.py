@@ -1,0 +1,55 @@
+"""Controller topology service.
+
+Mirrors OpenDaylight's topology update service as the paper uses it
+(§IV): the routing graph (k-shortest paths between server pairs) is
+computed at startup and recomputed *only* when a physical topology
+change occurs — keeping routing computation off the data path and
+providing fault tolerance on link/switch failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simnet.links import Link
+from repro.simnet.paths import k_shortest_paths
+from repro.simnet.topology import Topology
+
+
+class TopologyService:
+    """Caches k-shortest paths; invalidates and notifies on link events."""
+
+    def __init__(self, topology: Topology, k: int = 4) -> None:
+        self.topology = topology
+        self.k = k
+        self._cache: dict[tuple[str, str], list[list[str]]] = {}
+        self._listeners: list[Callable[[Link], None]] = []
+        self.recomputations = 0
+        topology.observe(self._on_link_event)
+
+    def on_change(self, fn: Callable[[Link], None]) -> None:
+        """Register a topology-change listener (Pythia's routing module)."""
+        self._listeners.append(fn)
+
+    def _on_link_event(self, link: Link) -> None:
+        self._cache.clear()
+        self.recomputations += 1
+        for fn in list(self._listeners):
+            fn(link)
+
+    def k_paths(self, src: str, dst: str) -> list[list[str]]:
+        """k shortest node paths, hop-count metric, cached."""
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = k_shortest_paths(self.topology, src, dst, self.k)
+        return self._cache[key]
+
+    def k_paths_links(self, src: str, dst: str) -> list[list[int]]:
+        """Same paths resolved to link ids (skipping unreachable ones)."""
+        out: list[list[int]] = []
+        for p in self.k_paths(src, dst):
+            try:
+                out.append(self.topology.path_links(p))
+            except ValueError:
+                continue  # parallel link went down since path computation
+        return out

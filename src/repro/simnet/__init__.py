@@ -1,0 +1,47 @@
+"""Flow-level datacenter network simulation substrate.
+
+This package provides the network model that stands in for the paper's
+2-rack physical OpenFlow testbed: a deterministic discrete-event engine
+(:mod:`repro.simnet.engine`), a capacitated multi-path topology
+(:mod:`repro.simnet.topology`), a fluid max-min fair bandwidth-sharing
+model for elastic (TCP) flows alongside rigid (UDP CBR) background
+traffic (:mod:`repro.simnet.fairshare`, :mod:`repro.simnet.network`),
+and NetFlow-style measurement probes (:mod:`repro.simnet.netflow`).
+"""
+
+from repro.simnet.engine import Simulator, Event
+from repro.simnet.topology import (
+    NodeKind,
+    Topology,
+    fat_tree,
+    leaf_spine,
+    three_tier,
+    two_rack,
+)
+from repro.simnet.links import Link
+from repro.simnet.flows import Flow, FiveTuple, SHUFFLE_PORT
+from repro.simnet.network import Network
+from repro.simnet.paths import k_shortest_paths, shortest_path
+from repro.simnet.background import BackgroundTraffic, oversubscription_background_rate
+from repro.simnet.netflow import NetFlowCollector
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Topology",
+    "NodeKind",
+    "two_rack",
+    "leaf_spine",
+    "fat_tree",
+    "three_tier",
+    "Link",
+    "Flow",
+    "FiveTuple",
+    "SHUFFLE_PORT",
+    "Network",
+    "k_shortest_paths",
+    "shortest_path",
+    "BackgroundTraffic",
+    "oversubscription_background_rate",
+    "NetFlowCollector",
+]

@@ -1,0 +1,181 @@
+"""Background traffic generation for network over-subscription.
+
+The paper emulates over-subscription ratios "by populating the network
+links with background traffic, specifically using the iperf tool to
+generate constant bit rate UDP streams" (§V-A).  We reproduce that
+mechanism with rigid CBR flows between inter-rack host pairs.
+
+Ratio semantics: an over-subscription ratio of 1:N leaves the Hadoop
+cluster an effective inter-rack bandwidth of (aggregate host uplink
+bandwidth) / N; background volume is whatever brings the trunk down to
+that effective capacity (zero if the nominal network is already at or
+below the requested ratio).
+
+Placement: the background volume is spread *unevenly* across the
+parallel trunk paths (``imbalance`` fraction on the first path, the
+rest geometrically on the others, each path capped just below line
+rate).  This is the situation Figure 1b illustrates — one inter-rack
+path at 95 % load while the other sits nearly idle — and is what makes
+load-unaware ECMP hashing adversarial while leaving every path with a
+non-zero residual (real UDP cannot claim more than line rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.simnet.flows import UDP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.paths import k_shortest_paths
+from repro.simnet.topology import NodeKind, Topology
+
+#: No single link is loaded past this fraction by background traffic.
+_LINK_CAP_FRACTION = 0.96
+
+
+def _rack_uplink_aggregate(topo: Topology, rack: int) -> float:
+    """Total worker-host->ToR capacity in one rack (the demand side)."""
+    total = 0.0
+    for host in topo.worker_hosts():
+        if host.rack != rack:
+            continue
+        for link in topo.up_links_from(host.name):
+            total += link.capacity
+    return total
+
+
+def _trunk_capacity(topo: Topology, from_rack: int = 0) -> float:
+    """Inter-rack capacity leaving ``from_rack``'s ToR switch."""
+    tor = f"tor{from_rack}"
+    total = 0.0
+    for link in topo.up_links_from(tor):
+        if topo.nodes[link.dst].kind is NodeKind.SWITCH:
+            total += link.capacity
+    return total
+
+
+def oversubscription_background_rate(topo: Topology, ratio: Optional[float]) -> float:
+    """Per-direction background rate (bytes/s) for an over-subscription 1:ratio."""
+    if ratio is None or ratio <= 0:
+        return 0.0
+    demand = _rack_uplink_aggregate(topo, rack=0)
+    trunk = _trunk_capacity(topo, from_rack=0)
+    effective = demand / ratio
+    rate = trunk - effective
+    return float(np.clip(rate, 0.0, _LINK_CAP_FRACTION * trunk))
+
+
+def _path_targets(
+    path_caps: list[float], total: float, imbalance: float
+) -> list[float]:
+    """Split ``total`` over paths: geometric imbalance, per-path cap.
+
+    Path i *wants* ``imbalance * (1-imbalance)^i``-proportional load;
+    anything past a path's cap spills to the next paths (water-filling
+    in reverse), so the requested total is always placed as long as
+    aggregate headroom exists.
+    """
+    n = len(path_caps)
+    if n == 0:
+        raise ValueError("no paths to place background traffic on")
+    raw = np.array([imbalance * (1 - imbalance) ** i for i in range(n)])
+    raw[-1] = max(raw[-1], 1.0 - raw[:-1].sum())  # absorb the tail
+    want = raw / raw.sum() * total
+    caps = np.array([_LINK_CAP_FRACTION * c for c in path_caps])
+    placed = np.minimum(want, caps)
+    leftover = total - placed.sum()
+    for i in range(n):
+        if leftover <= 1e-9:
+            break
+        room = caps[i] - placed[i]
+        take = min(room, leftover)
+        placed[i] += take
+        leftover -= take
+    return [float(p) for p in placed]
+
+
+@dataclass
+class BackgroundTraffic:
+    """Unbounded rigid CBR streams emulating datacenter cross-traffic."""
+
+    network: Network
+    rng: np.random.Generator
+    streams_per_path: int = 2
+    k_paths: int = 4
+    #: fraction of the per-direction volume directed at the first trunk
+    #: path (Figure 1b's hot-path situation).  At 0.6 the hot path's
+    #: residual keeps shrinking across the paper's ratio sweep instead
+    #: of pinning at the line-rate cap early.
+    imbalance: float = 0.6
+    flows: list[Flow] = field(default_factory=list)
+
+    def populate(self, ratio: Optional[float]) -> list[Flow]:
+        """Install background streams for over-subscription 1:ratio."""
+        topo = self.network.topology
+        rate = oversubscription_background_rate(topo, ratio)
+        if rate <= 0:
+            return []
+        racks = sorted(
+            {h.rack for h in topo.hosts() if h.rack is not None}
+        )
+        if len(racks) < 2:
+            raise ValueError("background traffic needs at least two racks")
+        for src_rack, dst_rack in ((racks[0], racks[1]), (racks[1], racks[0])):
+            self._populate_direction(topo, src_rack, dst_rack, rate)
+        return self.flows
+
+    def _populate_direction(
+        self, topo: Topology, src_rack: int, dst_rack: int, rate: float
+    ) -> None:
+        # Prefer dedicated traffic-generator hosts (cross-datacenter
+        # traffic enters via the ToR, not the Hadoop slaves' NICs);
+        # fall back to worker hosts on topologies without generators.
+        def rack_hosts(rack: int) -> list[str]:
+            gens = sorted(h.name for h in topo.generator_hosts() if h.rack == rack)
+            if gens:
+                return gens
+            return sorted(h.name for h in topo.worker_hosts() if h.rack == rack)
+
+        src_hosts = rack_hosts(src_rack)
+        dst_hosts = rack_hosts(dst_rack)
+        # Representative pair enumerates the distinct trunk paths.
+        paths = k_shortest_paths(topo, src_hosts[0], dst_hosts[0], self.k_paths)
+        caps = [
+            min(topo.links[lid].capacity for lid in topo.path_links(p)) for p in paths
+        ]
+        targets = _path_targets(caps, rate, self.imbalance)
+        for pidx, (path, target) in enumerate(zip(paths, targets)):
+            if target <= 0:
+                continue
+            per_stream = target / self.streams_per_path
+            backbone = [n for n in path if topo.nodes[n].kind is NodeKind.SWITCH]
+            for s in range(self.streams_per_path):
+                src = src_hosts[(pidx + s) % len(src_hosts)]
+                dst = dst_hosts[int(self.rng.integers(len(dst_hosts)))]
+                node_path = [src, *backbone, dst]
+                ft = FiveTuple(
+                    topo.nodes[src].ip or src,
+                    topo.nodes[dst].ip or dst,
+                    int(self.rng.integers(32768, 61000)),
+                    5001,  # iperf default port
+                    UDP,
+                )
+                flow = Flow(
+                    src=src,
+                    dst=dst,
+                    size=None,
+                    five_tuple=ft,
+                    rigid_rate=per_stream,
+                    tags={"kind": "background", "path_index": pidx},
+                )
+                self.network.start_flow(flow, topo.path_links(node_path))
+                self.flows.append(flow)
+
+    def teardown(self) -> None:
+        """Stop every background stream (lets the event queue drain)."""
+        for flow in self.flows:
+            self.network.stop_flow(flow)
+        self.flows.clear()

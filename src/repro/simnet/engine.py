@@ -1,0 +1,117 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole reproduction — network, Hadoop runtime, instrumentation,
+SDN controller — runs on one :class:`Simulator` instance.  Events are
+ordered by ``(time, sequence-number)`` so that simultaneous events fire
+in scheduling order, which makes every run bit-reproducible for a given
+seed (a property the test-suite checks).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)``; the payload fields are excluded
+    from ordering.  Cancelled events stay in the heap but are skipped
+    when popped (lazy deletion).
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Min-heap driven event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is left
+            at ``until``; the event that would have run stays queued).
+        max_events:
+            Safety valve for tests — raise if exceeded.
+        """
+        processed = 0
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and ev.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far."""
+        return self._events_processed

@@ -1,0 +1,105 @@
+"""Flow records: elastic (TCP) transfers and rigid (UDP CBR) streams.
+
+A flow is the unit the whole paper operates on — ECMP hashes it, the
+Pythia allocator routes it, NetFlow measures it.  The shuffle service
+port is 50060, matching Hadoop 1.x's tasktracker HTTP port that the
+paper filtered on when post-processing its NetFlow traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import NamedTuple, Optional
+
+SHUFFLE_PORT = 50060
+TCP = 6
+UDP = 17
+
+_flow_ids = itertools.count(1)
+
+
+class FiveTuple(NamedTuple):
+    """Classical transport five-tuple used for ECMP hashing (RFC 2992)."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    proto: int
+
+
+@dataclass
+class Flow:
+    """A point-to-point transfer between two hosts.
+
+    Elastic flows (``rigid_rate is None``) have a finite ``size`` in
+    bytes and receive a max-min fair share of their path's residual
+    bandwidth.  Rigid flows model iperf-style UDP constant-bit-rate
+    background traffic: they send at ``rigid_rate`` regardless of
+    congestion and may be unbounded (``size is None``).
+    """
+
+    src: str
+    dst: str
+    size: Optional[float]
+    five_tuple: FiveTuple
+    rigid_rate: Optional[float] = None
+    tags: dict = field(default_factory=dict)
+    #: weighted-fair-share weight (per-flow QoS queue analogue); the
+    #: Pythia weighted-shuffle extension sets this from the reducer's
+    #: predicted volume share.
+    weight: float = 1.0
+    fid: int = field(default_factory=lambda: next(_flow_ids))
+
+    # -- runtime state (owned by Network) --------------------------------
+    path: Optional[list[int]] = None          # link ids, set at admission
+    rate: float = 0.0                         # current instantaneous rate
+    remaining: float = 0.0                    # bytes left to send
+    bytes_sent: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    @property
+    def elastic(self) -> bool:
+        """True for TCP-like flows that share bandwidth fairly."""
+        return self.rigid_rate is None
+
+    @property
+    def active(self) -> bool:
+        """True while the flow is admitted but not finished."""
+        return self.start_time is not None and self.end_time is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Transfer time, or None before completion."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def is_shuffle(self) -> bool:
+        """True if either endpoint is the Hadoop shuffle service port.
+
+        On the wire the data-carrying direction runs *from* the mapper's
+        tasktracker HTTP server (source port 50060) to the reducer's
+        ephemeral port, so the source port is the service side.
+        """
+        return SHUFFLE_PORT in (self.five_tuple.src_port, self.five_tuple.dst_port)
+
+    def __hash__(self) -> int:       # flows are identity objects
+        return self.fid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def make_five_tuple(
+    src_ip: str,
+    dst_ip: str,
+    *,
+    src_port: int,
+    dst_port: int = SHUFFLE_PORT,
+    proto: int = TCP,
+) -> FiveTuple:
+    """Convenience constructor mirroring a TCP connect to a known service."""
+    return FiveTuple(src_ip, dst_ip, src_port, dst_port, proto)

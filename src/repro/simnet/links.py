@@ -1,0 +1,76 @@
+"""Directed capacitated links with lazy byte accounting.
+
+Every physical cable in the testbed is modelled as two directed links
+(one per direction), because shuffle traffic and background load are
+directional: an inter-rack trunk can be congested rack0->rack1 while
+idle in the opposite direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Link:
+    """A unidirectional link.
+
+    Attributes
+    ----------
+    lid:
+        Dense integer id; index into the fair-share solver's arrays.
+    src, dst:
+        Node names (hosts or switches).
+    capacity:
+        Bytes per second.
+    up:
+        False once the link has been failed via the topology; failed
+        links carry no traffic and are excluded from routing.
+    """
+
+    lid: int
+    src: str
+    dst: str
+    capacity: float
+    up: bool = True
+
+    # -- instantaneous state (maintained by Network) -------------------
+    rigid_rate: float = 0.0       # sum of rigid (UDP CBR) flow rates
+    elastic_rate: float = 0.0     # sum of current elastic flow rates
+    # -- accounting -----------------------------------------------------
+    bytes_carried: float = 0.0
+    _last_update: float = field(default=0.0, repr=False)
+
+    @property
+    def total_rate(self) -> float:
+        """Instantaneous rigid + elastic rate on the link."""
+        return self.rigid_rate + self.elastic_rate
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous utilisation in [0, 1]."""
+        if self.capacity <= 0:
+            return 0.0
+        return min(1.0, self.total_rate / self.capacity)
+
+    #: Minimum fraction of capacity elastic (TCP) flows can always claim,
+    #: even under CBR overload: UDP blasting past line rate loses packets
+    #: while TCP's retransmissions sustain a small goodput share.  Keeps
+    #: the fluid model free of permanently-starved flows.
+    ELASTIC_FLOOR: float = 0.02
+
+    @property
+    def residual(self) -> float:
+        """Capacity left after rigid traffic — what elastic flows share."""
+        return max(self.ELASTIC_FLOOR * self.capacity, self.capacity - self.rigid_rate)
+
+    def advance(self, now: float) -> None:
+        """Integrate carried bytes up to ``now`` at the current rate."""
+        dt = now - self._last_update
+        if dt > 0:
+            self.bytes_carried += self.total_rate * dt
+            self._last_update = now
+
+    def key(self) -> tuple[str, str]:
+        """(src, dst) identifier of the directed link."""
+        return (self.src, self.dst)

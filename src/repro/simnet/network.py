@@ -1,0 +1,268 @@
+"""Active-flow manager: admission, fluid rate recomputation, completion.
+
+The :class:`Network` owns every in-flight flow.  Whenever the flow set
+changes (arrival, departure, reroute, link failure) it re-solves the
+max-min allocation, integrates the bytes carried since the previous
+change, and schedules a single "next completion" event.  Stale
+completion events are invalidated with a generation counter rather than
+heap surgery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.fairshare import maxmin_rates
+from repro.simnet.flows import Flow
+from repro.simnet.topology import Topology
+
+#: Remaining-bytes slack under which a flow counts as finished.
+_DONE_EPS = 1e-3
+
+
+class Network:
+    """Fluid-model network: rigid CBR streams + max-min elastic flows."""
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.elastic: list[Flow] = []
+        self.rigid: list[Flow] = []
+        self.archive: list[Flow] = []        # every flow ever admitted
+        self._on_complete: dict[int, Callable[[Flow], None]] = {}
+        self._generation = 0
+        self._last_integration = sim.now
+        self._flow_hooks: list[Callable[[str, Flow], None]] = []
+        topology.observe(self._on_link_state_change)
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_flow_hook(self, fn: Callable[[str, Flow], None]) -> None:
+        """Register ``fn(event, flow)`` for events 'start'/'end'/'reroute'."""
+        self._flow_hooks.append(fn)
+
+    def _emit(self, event: str, flow: Flow) -> None:
+        for fn in self._flow_hooks:
+            fn(event, flow)
+
+    # ------------------------------------------------------------------
+    # admission / teardown
+    # ------------------------------------------------------------------
+    def start_flow(
+        self,
+        flow: Flow,
+        path: list[int],
+        on_complete: Optional[Callable[[Flow], None]] = None,
+    ) -> Flow:
+        """Admit a flow on an explicit link-id path."""
+        if flow.start_time is not None:
+            raise ValueError(f"flow {flow.fid} already started")
+        self._validate_path(flow, path)
+        flow.path = list(path)
+        flow.start_time = self.sim.now
+        flow.remaining = flow.size if flow.size is not None else float("inf")
+        if on_complete is not None:
+            self._on_complete[flow.fid] = on_complete
+        self.archive.append(flow)
+        if flow.elastic:
+            self.elastic.append(flow)
+            self._recompute()
+        else:
+            self._admit_rigid(flow)
+        self._emit("start", flow)
+        return flow
+
+    def _admit_rigid(self, flow: Flow) -> None:
+        assert flow.rigid_rate is not None
+        self._integrate()
+        flow.rate = flow.rigid_rate
+        for lid in flow.path or []:
+            self.topology.links[lid].rigid_rate += flow.rigid_rate
+        self.rigid.append(flow)
+        if flow.size is not None:
+            duration = flow.size / flow.rigid_rate
+            self.sim.schedule(duration, self._complete_rigid, flow)
+        self._recompute()
+
+    def stop_flow(self, flow: Flow) -> None:
+        """Tear down an unbounded rigid flow (e.g. background stream)."""
+        if flow.elastic:
+            raise ValueError("elastic flows complete on their own")
+        if flow.end_time is not None:
+            return
+        self._complete_rigid(flow)
+
+    def _complete_rigid(self, flow: Flow) -> None:
+        if flow.end_time is not None:
+            return
+        self._integrate()
+        for lid in flow.path or []:
+            self.topology.links[lid].rigid_rate -= flow.rigid_rate  # type: ignore[operator]
+        flow.end_time = self.sim.now
+        flow.rate = 0.0
+        self.rigid.remove(flow)
+        self._finish(flow)
+        self._recompute()
+
+    def _finish(self, flow: Flow) -> None:
+        cb = self._on_complete.pop(flow.fid, None)
+        self._emit("end", flow)
+        if cb is not None:
+            cb(flow)
+
+    # ------------------------------------------------------------------
+    # rerouting and failures
+    # ------------------------------------------------------------------
+    def reroute(self, flow: Flow, new_path: list[int], pause: float = 0.0) -> None:
+        """Move an in-flight flow onto a new path (Hedera-style or repair).
+
+        ``pause`` models the transport-level disruption of a mid-flight
+        path change (packet reordering, duplicate ACKs, cwnd recovery):
+        the flow carries no traffic for that long before resuming on
+        the new path.
+        """
+        if not flow.active:
+            return
+        self._validate_path(flow, new_path, allow_down=False)
+        self._integrate()
+        if not flow.elastic:
+            for lid in flow.path or []:
+                self.topology.links[lid].rigid_rate -= flow.rigid_rate  # type: ignore[operator]
+            for lid in new_path:
+                self.topology.links[lid].rigid_rate += flow.rigid_rate  # type: ignore[operator]
+        flow.path = list(new_path)
+        flow._path_np = None  # type: ignore[attr-defined]  # invalidate cache
+        self._emit("reroute", flow)
+        if pause > 0 and flow.elastic and flow in self.elastic:
+            self.elastic.remove(flow)
+            flow.rate = 0.0
+            self.sim.schedule(pause, self._resume, flow)
+        self._recompute()
+
+    def _resume(self, flow: Flow) -> None:
+        if flow.end_time is not None or flow in self.elastic:
+            return
+        self.elastic.append(flow)
+        self._recompute()
+
+    def flows_on_link(self, lid: int) -> list[Flow]:
+        """Active flows whose path crosses the given link."""
+        return [f for f in self.elastic + self.rigid if f.path and lid in f.path]
+
+    def _on_link_state_change(self, link) -> None:
+        # Down links contribute zero residual, so affected elastic flows
+        # stall at rate 0 until somebody (the SDN layer) reroutes them.
+        self._recompute()
+
+    def _validate_path(self, flow: Flow, path: list[int], allow_down: bool = True) -> None:
+        if not path:
+            raise ValueError("empty path")
+        links = self.topology.links
+        if links[path[0]].src != flow.src or links[path[-1]].dst != flow.dst:
+            raise ValueError(
+                f"path endpoints {links[path[0]].src}->{links[path[-1]].dst} "
+                f"do not match flow {flow.src}->{flow.dst}"
+            )
+        for a, b in zip(path, path[1:]):
+            if links[a].dst != links[b].src:
+                raise ValueError("discontiguous path")
+        if not allow_down and any(not links[l].up for l in path):
+            raise ValueError("path crosses a down link")
+
+    # ------------------------------------------------------------------
+    # fluid dynamics
+    # ------------------------------------------------------------------
+    def _integrate(self) -> None:
+        """Credit bytes carried since the last rate change."""
+        now = self.sim.now
+        dt = now - self._last_integration
+        if dt <= 0:
+            return
+        for flow in self.elastic:
+            sent = flow.rate * dt
+            flow.bytes_sent += sent
+            flow.remaining -= sent
+        for flow in self.rigid:
+            flow.bytes_sent += flow.rate * dt
+            if flow.size is not None:
+                flow.remaining -= flow.rate * dt
+        for link in self.topology.links:
+            link.advance(now)
+        self._last_integration = now
+
+    def _recompute(self) -> None:
+        """Re-solve max-min rates and schedule the next completion."""
+        self._integrate()
+        self._generation += 1
+        links = self.topology.links
+        residual = np.array(
+            [l.residual if l.up else 0.0 for l in links], dtype=float
+        )
+        for link in links:
+            link.elastic_rate = 0.0
+        if self.elastic:
+            # path index arrays are cached per flow: recompute runs on
+            # every flow event, so avoiding the per-flow re-allocation
+            # measurably cuts experiment wall time (see DESIGN.md §5)
+            paths = []
+            for f in self.elastic:
+                cached = getattr(f, "_path_np", None)
+                if cached is None:
+                    cached = np.asarray(f.path, dtype=np.intp)
+                    f._path_np = cached  # type: ignore[attr-defined]
+                paths.append(cached)
+            weights = np.array([f.weight for f in self.elastic])
+            rates = maxmin_rates(paths, residual, weights=weights)
+            next_done = float("inf")
+            for flow, rate in zip(self.elastic, rates):
+                flow.rate = float(rate)
+                for lid in flow.path:  # type: ignore[union-attr]
+                    links[lid].elastic_rate += flow.rate
+                if flow.rate > 0 and flow.remaining > 0:
+                    next_done = min(next_done, flow.remaining / flow.rate)
+            if next_done < float("inf"):
+                self.sim.schedule(next_done, self._completion_tick, self._generation)
+        # flows already at/below zero remaining complete immediately
+        if any(f.remaining <= _DONE_EPS for f in self.elastic):
+            self.sim.schedule(0.0, self._completion_tick, self._generation)
+
+    def _completion_tick(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a later recompute
+        self._integrate()
+        done = [f for f in self.elastic if f.remaining <= _DONE_EPS]
+        if not done:
+            return
+        for flow in done:
+            self.elastic.remove(flow)
+            flow.end_time = self.sim.now
+            flow.rate = 0.0
+            flow.remaining = 0.0
+            if flow.size is not None:
+                flow.bytes_sent = flow.size
+        # Recompute before callbacks so new flows started from callbacks
+        # see post-departure rates.
+        self._recompute()
+        for flow in done:
+            self._finish(flow)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def link_load(self) -> np.ndarray:
+        """Instantaneous total rate per link (bytes/s)."""
+        return np.array([l.total_rate for l in self.topology.links])
+
+    def link_capacity(self) -> np.ndarray:
+        """Per-link capacity (0 for down links)."""
+        return np.array(
+            [l.capacity if l.up else 0.0 for l in self.topology.links]
+        )
+
+    def sample_counters(self) -> None:
+        """Bring per-flow/link byte counters up to the current instant."""
+        self._integrate()

@@ -1,0 +1,104 @@
+"""Shortest-path and k-shortest-simple-path routing primitives.
+
+The paper's flow-allocation module "computes the k-shortest paths among
+all server pairs ... using successive calls to the Dijkstra
+shortest-path algorithm" with hop count as the metric (§IV).  We
+implement Dijkstra with deterministic tie-breaking plus Yen's
+k-shortest simple paths on top, from scratch — no networkx — so that
+the routing behaviour is fully pinned down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.simnet.topology import Topology
+
+
+def shortest_path(
+    topo: Topology,
+    src: str,
+    dst: str,
+    *,
+    banned_nodes: Optional[set[str]] = None,
+    banned_links: Optional[set[int]] = None,
+) -> Optional[list[str]]:
+    """Hop-count Dijkstra returning a node path, or None if unreachable.
+
+    Ties are broken by the lexicographic node sequence so that the same
+    topology always yields the same path regardless of dict ordering.
+    """
+    banned_nodes = banned_nodes or set()
+    banned_links = banned_links or set()
+    if src in banned_nodes or dst in banned_nodes:
+        return None
+    # heap entries: (hops, path-as-tuple) — the tuple doubles as the
+    # deterministic tie-breaker.
+    heap: list[tuple[int, tuple[str, ...]]] = [(0, (src,))]
+    best: dict[str, int] = {src: 0}
+    while heap:
+        hops, path = heapq.heappop(heap)
+        node = path[-1]
+        if node == dst:
+            return list(path)
+        if hops > best.get(node, float("inf")):
+            continue
+        for link in topo.up_links_from(node):
+            if link.lid in banned_links or link.dst in banned_nodes:
+                continue
+            if link.dst in path:  # keep paths simple
+                continue
+            nh = hops + 1
+            if nh < best.get(link.dst, float("inf")):
+                best[link.dst] = nh
+                heapq.heappush(heap, (nh, path + (link.dst,)))
+    return None
+
+
+def k_shortest_paths(topo: Topology, src: str, dst: str, k: int) -> list[list[str]]:
+    """Yen's algorithm: up to k loop-free node paths, sorted by hop count.
+
+    Deterministic: candidate ties resolve by the node-sequence order.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    first = shortest_path(topo, src, dst)
+    if first is None:
+        return []
+    paths: list[list[str]] = [first]
+    candidates: list[tuple[int, tuple[str, ...]]] = []
+    seen: set[tuple[str, ...]] = {tuple(first)}
+    while len(paths) < k:
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur_node = prev[i]
+            root = prev[: i + 1]
+            banned_links: set[int] = set()
+            for p in paths:
+                if len(p) > i and p[: i + 1] == root:
+                    # ban the link this accepted path takes out of the spur
+                    for link in topo.links_between(p[i], p[i + 1]):
+                        banned_links.add(link.lid)
+            banned_nodes = set(root[:-1])
+            spur = shortest_path(
+                topo, spur_node, dst, banned_nodes=banned_nodes, banned_links=banned_links
+            )
+            if spur is None:
+                continue
+            total = tuple(root[:-1]) + tuple(spur)
+            if total not in seen:
+                seen.add(total)
+                heapq.heappush(candidates, (len(total) - 1, total))
+        if not candidates:
+            break
+        _, chosen = heapq.heappop(candidates)
+        paths.append(list(chosen))
+    return paths
+
+
+def all_pairs_k_shortest(
+    topo: Topology, pairs: list[tuple[str, str]], k: int
+) -> dict[tuple[str, str], list[list[str]]]:
+    """Precompute k-shortest paths for the given (src, dst) pairs."""
+    return {(s, d): k_shortest_paths(topo, s, d, k) for s, d in pairs}

@@ -1,0 +1,315 @@
+"""Datacenter topology model and reference builders.
+
+The paper's testbed is two racks of five servers each, joined by two
+OpenFlow ToR switches with *two* inter-rack cables — the minimal
+multi-path network where flow placement matters.  :func:`two_rack`
+rebuilds exactly that; :func:`leaf_spine` and :func:`fat_tree` provide
+the larger multi-path fabrics the paper targets ("typical datacenter
+network topologies", §IV) for the scaling ablations.
+
+Hosts get synthetic addresses ``10.<rack>.<index>`` so that five-tuple
+hashing behaves like it would on real IPs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.simnet.links import Link
+
+GBPS = 125_000_000.0  # bytes per second in one gigabit
+
+
+class NodeKind(enum.Enum):
+    """Host or switch."""
+    HOST = "host"
+    SWITCH = "switch"
+
+
+@dataclass
+class Node:
+    """One vertex of the topology graph."""
+    name: str
+    kind: NodeKind
+    ip: Optional[str] = None     # hosts only
+    rack: Optional[int] = None   # hosts and ToR switches
+    #: traffic-generator hosts source background cross-traffic and are
+    #: not eligible as Hadoop slaves.
+    generator: bool = False
+
+
+@dataclass
+class Topology:
+    """Mutable directed multigraph of hosts, switches and links.
+
+    Links are created in pairs (one per direction) by :meth:`add_cable`.
+    Observers (the SDN topology service) register callbacks and are
+    notified on link failure/recovery, which is how the paper's
+    OpenDaylight topology-update service triggers routing-graph
+    recomputation (§IV).
+    """
+
+    nodes: dict[str, Node] = field(default_factory=dict)
+    links: list[Link] = field(default_factory=list)
+    adjacency: dict[str, list[int]] = field(default_factory=dict)  # node -> outgoing link ids
+    _observers: list[Callable[[Link], None]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(
+        self, name: str, ip: str, rack: Optional[int] = None, generator: bool = False
+    ) -> Node:
+        """Add a host node with an address."""
+        return self._add_node(
+            Node(name, NodeKind.HOST, ip=ip, rack=rack, generator=generator)
+        )
+
+    def add_switch(self, name: str, rack: Optional[int] = None) -> Node:
+        """Add a switch node."""
+        return self._add_node(Node(name, NodeKind.SWITCH, rack=rack))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        self.adjacency[node.name] = []
+        return node
+
+    def add_cable(self, a: str, b: str, capacity: float) -> tuple[Link, Link]:
+        """Add a bidirectional cable as two directed links."""
+        return (self._add_link(a, b, capacity), self._add_link(b, a, capacity))
+
+    def _add_link(self, src: str, dst: str, capacity: float) -> Link:
+        for end in (src, dst):
+            if end not in self.nodes:
+                raise KeyError(f"unknown node {end!r}")
+        link = Link(lid=len(self.links), src=src, dst=dst, capacity=capacity)
+        self.links.append(link)
+        self.adjacency[src].append(link.lid)
+        return link
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def hosts(self) -> list[Node]:
+        """All host nodes."""
+        return [n for n in self.nodes.values() if n.kind is NodeKind.HOST]
+
+    def worker_hosts(self) -> list[Node]:
+        """Hosts eligible as Hadoop slaves (excludes traffic generators)."""
+        return [n for n in self.hosts() if not n.generator]
+
+    def generator_hosts(self) -> list[Node]:
+        """Background traffic-generator hosts."""
+        return [n for n in self.hosts() if n.generator]
+
+    def switches(self) -> list[Node]:
+        """All switch nodes."""
+        return [n for n in self.nodes.values() if n.kind is NodeKind.SWITCH]
+
+    def host_by_ip(self, ip: str) -> Node:
+        """Resolve a host by its address."""
+        for node in self.nodes.values():
+            if node.ip == ip:
+                return node
+        raise KeyError(ip)
+
+    def link(self, lid: int) -> Link:
+        """Link object by id."""
+        return self.links[lid]
+
+    def links_between(self, a: str, b: str) -> list[Link]:
+        """Directed links from a to b."""
+        return [self.links[lid] for lid in self.adjacency[a] if self.links[lid].dst == b]
+
+    def up_links_from(self, node: str) -> Iterable[Link]:
+        """Outgoing links that are currently up."""
+        for lid in self.adjacency[node]:
+            link = self.links[lid]
+            if link.up:
+                yield link
+
+    def path_links(self, node_path: list[str]) -> list[int]:
+        """Resolve a node path to concrete link ids (first up parallel link)."""
+        lids: list[int] = []
+        for a, b in zip(node_path, node_path[1:]):
+            candidates = [l for l in self.links_between(a, b) if l.up]
+            if not candidates:
+                raise ValueError(f"no up link {a}->{b}")
+            lids.append(candidates[0].lid)
+        return lids
+
+    def path_nodes(self, lids: list[int]) -> list[str]:
+        """Inverse of :meth:`path_links`."""
+        if not lids:
+            return []
+        nodes = [self.links[lids[0]].src]
+        for lid in lids:
+            nodes.append(self.links[lid].dst)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # failure events
+    # ------------------------------------------------------------------
+    def observe(self, fn: Callable[[Link], None]) -> None:
+        """Register a link-state-change callback."""
+        self._observers.append(fn)
+
+    def set_link_state(self, lid: int, up: bool) -> None:
+        """Set one directed link up/down, notifying observers."""
+        link = self.links[lid]
+        if link.up == up:
+            return
+        link.up = up
+        for fn in list(self._observers):
+            fn(link)
+
+    def fail_cable(self, a: str, b: str) -> None:
+        """Fail both directions of every parallel cable between a and b."""
+        for link in self.links_between(a, b) + self.links_between(b, a):
+            self.set_link_state(link.lid, False)
+
+    def restore_cable(self, a: str, b: str) -> None:
+        """Bring both directions of a cable back up."""
+        for link in self.links_between(a, b) + self.links_between(b, a):
+            self.set_link_state(link.lid, True)
+
+
+# ----------------------------------------------------------------------
+# reference builders
+# ----------------------------------------------------------------------
+
+def two_rack(
+    hosts_per_rack: int = 5,
+    trunk_cables: int = 2,
+    link_rate: float = GBPS,
+    trunk_rate: Optional[float] = None,
+    traffic_generators: bool = True,
+) -> Topology:
+    """The paper's testbed: 2 ToR switches, N servers each, parallel trunks.
+
+    Parallel inter-rack cables are modelled through per-cable
+    intermediate "trunk" switches so that the two paths are distinct
+    node sequences (k-shortest-path and ECMP then see genuinely
+    different paths, as on the real wire).
+
+    When ``traffic_generators`` is set, each rack also gets one
+    generator host with an uplink fat enough to fill every trunk — the
+    source/sink of the over-subscription background traffic, standing
+    in for the rest of the datacenter's cross-traffic so that the
+    background loads the inter-rack trunks without squatting on the
+    Hadoop slaves' own NICs.
+    """
+    topo = Topology()
+    trunk_rate = trunk_rate if trunk_rate is not None else link_rate
+    for rack in range(2):
+        topo.add_switch(f"tor{rack}", rack=rack)
+        for i in range(hosts_per_rack):
+            name = f"h{rack}{i}"
+            topo.add_host(name, ip=f"10.{rack}.{i}", rack=rack)
+            topo.add_cable(name, f"tor{rack}", link_rate)
+    for t in range(trunk_cables):
+        mid = f"trunk{t}"
+        topo.add_switch(mid)
+        topo.add_cable("tor0", mid, trunk_rate)
+        topo.add_cable(mid, "tor1", trunk_rate)
+    if traffic_generators:
+        fat = 2.0 * trunk_rate * trunk_cables
+        for rack in range(2):
+            name = f"bg{rack}"
+            topo.add_host(name, ip=f"10.{rack}.250", rack=rack, generator=True)
+            topo.add_cable(name, f"tor{rack}", fat)
+    return topo
+
+
+def leaf_spine(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    link_rate: float = GBPS,
+    spine_rate: Optional[float] = None,
+) -> Topology:
+    """Standard 2-tier Clos: every leaf connects to every spine."""
+    topo = Topology()
+    spine_rate = spine_rate if spine_rate is not None else link_rate
+    for s in range(spines):
+        topo.add_switch(f"spine{s}")
+    for leaf in range(leaves):
+        topo.add_switch(f"leaf{leaf}", rack=leaf)
+        for i in range(hosts_per_leaf):
+            name = f"h{leaf}{i}"
+            topo.add_host(name, ip=f"10.{leaf}.{i}", rack=leaf)
+            topo.add_cable(name, f"leaf{leaf}", link_rate)
+        for s in range(spines):
+            topo.add_cable(f"leaf{leaf}", f"spine{s}", spine_rate)
+    return topo
+
+
+def three_tier(
+    pods: int = 2,
+    racks_per_pod: int = 2,
+    hosts_per_rack: int = 4,
+    cores: int = 2,
+    link_rate: float = GBPS,
+    agg_rate: Optional[float] = None,
+    core_rate: Optional[float] = None,
+) -> Topology:
+    """Classic 3-tier datacenter: core <- aggregation <- edge (ToR).
+
+    Each pod has one aggregation switch connected to every core switch;
+    each rack's ToR connects to its pod's aggregation switch.  The
+    multi-path diversity lives at the core layer (one path per core
+    switch between pods).
+    """
+    topo = Topology()
+    agg_rate = agg_rate if agg_rate is not None else link_rate
+    core_rate = core_rate if core_rate is not None else agg_rate
+    for c in range(cores):
+        topo.add_switch(f"core{c}")
+    rack_id = 0
+    for pod in range(pods):
+        agg = f"agg{pod}"
+        topo.add_switch(agg)
+        for c in range(cores):
+            topo.add_cable(agg, f"core{c}", core_rate)
+        for r in range(racks_per_pod):
+            tor = f"tor{rack_id}"
+            topo.add_switch(tor, rack=rack_id)
+            topo.add_cable(tor, agg, agg_rate)
+            for h in range(hosts_per_rack):
+                name = f"h{rack_id}{h}"
+                topo.add_host(name, ip=f"10.{rack_id}.{h}", rack=rack_id)
+                topo.add_cable(name, tor, link_rate)
+            rack_id += 1
+    return topo
+
+
+def fat_tree(k: int = 4, link_rate: float = GBPS) -> Topology:
+    """Canonical k-ary fat-tree (k pods, k^3/4 hosts), k even."""
+    if k % 2 or k < 2:
+        raise ValueError("fat-tree arity must be even and >= 2")
+    topo = Topology()
+    half = k // 2
+    cores = [[f"core{i}{j}" for j in range(half)] for i in range(half)]
+    for row in cores:
+        for name in row:
+            topo.add_switch(name)
+    for pod in range(k):
+        aggs = [f"agg{pod}_{a}" for a in range(half)]
+        edges = [f"edge{pod}_{e}" for e in range(half)]
+        for name in aggs + edges:
+            topo.add_switch(name, rack=pod)
+        for a, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_cable(agg, cores[a][j], link_rate)
+            for edge in edges:
+                topo.add_cable(agg, edge, link_rate)
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                name = f"h{pod}_{e}{h}"
+                topo.add_host(name, ip=f"10.{pod}.{e * half + h}", rack=pod)
+                topo.add_cable(name, edge, link_rate)
+    return topo

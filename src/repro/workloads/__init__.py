@@ -1,0 +1,37 @@
+"""HiBench-shaped workload generators (§V-A).
+
+The paper evaluates two network-intensive HiBench benchmarks — Sort
+(240 GB input, "representative of a large subset of real-world
+MapReduce applications") and Nutch indexing (5M pages / 8 GB,
+"representative of ... large-scale search indexing") — plus a 60 GB
+integer sort for the prediction-efficacy study.  These factories
+produce :class:`~repro.hadoop.job.JobSpec` instances whose cost models
+land the jobs in the same regimes: sort shuffle-bound with large flows,
+Nutch compute-bound with many small skewed flows.
+"""
+
+from repro.workloads.hibench import HIBENCH, make_workload
+from repro.workloads.mix import JobArrival, synthesize_mix
+from repro.workloads.nutch import nutch_indexing_job
+from repro.workloads.pagerank import pagerank_chain, pagerank_iteration_job
+from repro.workloads.sort import integer_sort_job, sort_job, toy_sort_job
+from repro.workloads.terasort import terasort_job
+from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.wordcount import wordcount_job
+
+__all__ = [
+    "HIBENCH",
+    "make_workload",
+    "sort_job",
+    "toy_sort_job",
+    "integer_sort_job",
+    "nutch_indexing_job",
+    "terasort_job",
+    "wordcount_job",
+    "pagerank_chain",
+    "pagerank_iteration_job",
+    "JobArrival",
+    "synthesize_mix",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,69 @@
+"""Named workload registry (the HiBench catalogue surface).
+
+``make_workload("sort", scale=0.1)`` yields the paper's sort benchmark
+at a tenth of its input size — the scale knob keeps unit tests fast
+while benchmarks run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hadoop.job import JobSpec
+from repro.workloads.nutch import nutch_indexing_job
+from repro.workloads.pagerank import pagerank_iteration_job
+from repro.workloads.sort import integer_sort_job, sort_job, toy_sort_job
+from repro.workloads.terasort import terasort_job
+from repro.workloads.wordcount import wordcount_job
+
+
+def _scaled_sort(scale: float, **kw) -> JobSpec:
+    return sort_job(input_gb=240.0 * scale, **kw)
+
+
+def _scaled_intsort(scale: float, **kw) -> JobSpec:
+    return integer_sort_job(input_gb=60.0 * scale, **kw)
+
+
+def _scaled_nutch(scale: float, **kw) -> JobSpec:
+    return nutch_indexing_job(pages=5e6 * scale, **kw)
+
+
+def _scaled_terasort(scale: float, **kw) -> JobSpec:
+    return terasort_job(input_gb=100.0 * scale, **kw)
+
+
+def _scaled_wordcount(scale: float, **kw) -> JobSpec:
+    return wordcount_job(input_gb=50.0 * scale, **kw)
+
+
+def _toy(scale: float, **kw) -> JobSpec:
+    return toy_sort_job(**kw)
+
+
+def _scaled_pagerank(scale: float, **kw) -> JobSpec:
+    return pagerank_iteration_job(graph_gb=20.0 * scale, **kw)
+
+
+HIBENCH: dict[str, Callable[..., JobSpec]] = {
+    "sort": _scaled_sort,
+    "intsort": _scaled_intsort,
+    "nutch": _scaled_nutch,
+    "terasort": _scaled_terasort,
+    "wordcount": _scaled_wordcount,
+    "pagerank": _scaled_pagerank,
+    "toy-sort": _toy,
+}
+
+
+def make_workload(name: str, scale: float = 1.0, **overrides) -> JobSpec:
+    """Build a catalogued workload at a given input scale."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        factory = HIBENCH[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(HIBENCH)}"
+        ) from None
+    return factory(scale, **overrides)

@@ -1,0 +1,79 @@
+"""Multi-job workload mixes (cluster-level job streams).
+
+The paper motivates Pythia with production traces — "a recent analysis
+of MapReduce traces from Facebook revealed that 33% of the execution
+time of a large number of jobs is spent at the MapReduce [shuffle]
+phase" (§I).  Production clusters run *streams* of heterogeneous jobs,
+not one benchmark at a time; this module synthesises such a stream
+(heavy-tailed input sizes, mixed job types, Poisson arrivals) so the
+mix experiment can measure Pythia's effect on mean job completion time
+under multi-tenancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hadoop.job import JobSpec
+from repro.workloads.nutch import nutch_indexing_job
+from repro.workloads.sort import sort_job
+from repro.workloads.wordcount import wordcount_job
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job submission in a cluster trace."""
+
+    at: float
+    spec: JobSpec
+
+
+#: job-type mixture loosely following published trace analyses: mostly
+#: small summary jobs, a solid share of data transforms (shuffle-heavy),
+#: some indexing-like compute+shuffle jobs.
+_TYPE_WEIGHTS = (
+    ("wordcount", 0.45),
+    ("sort", 0.35),
+    ("nutch", 0.20),
+)
+
+
+def _heavy_tailed_gb(rng: np.random.Generator, median_gb: float) -> float:
+    """Log-normal input size: most jobs small, a few large.
+
+    Clipped at 4x the median so one extreme draw cannot dominate the
+    whole stream's runtime (trace analyses truncate similarly).
+    """
+    return float(min(4.0 * median_gb, median_gb * rng.lognormal(mean=0.0, sigma=0.9)))
+
+
+def synthesize_mix(
+    n_jobs: int = 8,
+    horizon: float = 120.0,
+    median_input_gb: float = 2.0,
+    seed: int = 0,
+) -> list[JobArrival]:
+    """A Poisson stream of mixed jobs over ``horizon`` seconds."""
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    rng = np.random.default_rng(seed)
+    names = [t for t, _ in _TYPE_WEIGHTS]
+    probs = np.array([w for _, w in _TYPE_WEIGHTS])
+    probs = probs / probs.sum()
+    # Poisson process conditioned on n arrivals = sorted uniforms.
+    times = np.sort(rng.uniform(0.0, horizon, size=n_jobs))
+    arrivals: list[JobArrival] = []
+    for i, at in enumerate(times):
+        kind = names[int(rng.choice(len(names), p=probs))]
+        gb = max(0.25, _heavy_tailed_gb(rng, median_input_gb))
+        if kind == "sort":
+            spec = sort_job(input_gb=gb, num_reducers=10)
+        elif kind == "nutch":
+            spec = nutch_indexing_job(pages=gb * 1e6 / 1.6, num_reducers=10)
+        else:
+            spec = wordcount_job(input_gb=2.0 * gb, num_reducers=8)
+        spec.name = f"{spec.name}-mix{i}"
+        arrivals.append(JobArrival(at=float(at), spec=spec))
+    return arrivals

@@ -1,0 +1,40 @@
+"""Nutch indexing workload (§V-A: 5M pages, 8 GB total input).
+
+Indexing is compute-bound per byte (parsing, tokenising, inverting)
+and emits many *small*, heavily skewed shuffle flows — "the smaller
+flows created by Nutch increase the opportunity for optimization"
+(§V-B), which is why Pythia holds Nutch's completion time nearly flat
+across over-subscription ratios (Figure 3) while ECMP degrades.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.partition import zipf_weights
+
+GiB = 1024.0 * MiB
+#: average crawled-page record size implied by 5M pages in 8 GB.
+BYTES_PER_PAGE = 8.0 * GiB / 5e6
+
+
+def nutch_indexing_job(
+    pages: float = 5e6,
+    num_reducers: int = 30,
+    skew_alpha: float = 0.5,
+) -> JobSpec:
+    """Nutch indexing scaled by crawled page count."""
+    input_bytes = pages * BYTES_PER_PAGE
+    return JobSpec(
+        name=f"nutch-{pages / 1e6:g}Mpages",
+        input_bytes=input_bytes,
+        num_reducers=num_reducers,
+        block_size=64.0 * MiB,
+        map_output_ratio=0.65,         # inverted index is smaller than
+                                       # the raw crawl segments
+        reducer_weights=zipf_weights(num_reducers, alpha=skew_alpha),
+        per_map_sigma=0.25,            # pages vary wildly per split
+        map_rate=2.0 * MiB,            # parsing/tokenising is slow per byte
+        map_base=1.0,
+        reduce_rate=12.0 * MiB,        # index merge is also compute-heavy
+        reduce_base=1.0,
+    )

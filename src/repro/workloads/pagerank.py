@@ -1,0 +1,64 @@
+"""PageRank workload: an iterative chain of MapReduce jobs.
+
+PageRank on MapReduce runs one job per iteration — map emits rank
+contributions along edges, reduce sums them per page — and web graphs
+have power-law in-degree, so the per-reducer shuffle skew is heavy and
+*persistent across iterations* (the same hub pages dominate every
+round).  This makes the chain a natural consumer of runtime network
+optimisation: whatever Pythia saves per iteration compounds.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.partition import zipf_weights
+
+GiB = 1024.0 * MiB
+
+
+def pagerank_iteration_job(
+    graph_gb: float = 4.0,
+    iteration: int = 0,
+    num_reducers: int = 20,
+    skew_alpha: float = 1.0,
+) -> JobSpec:
+    """One PageRank iteration over an edge list of ``graph_gb``.
+
+    Map reads (page, ranks+adjacency) records and emits one
+    contribution per out-edge — intermediate data is roughly the edge
+    list's size; reduce sums contributions per destination page, and
+    hub pages (power-law in-degree) concentrate the shuffle.
+    """
+    return JobSpec(
+        name=f"pagerank-iter{iteration}",
+        input_bytes=graph_gb * GiB,
+        num_reducers=num_reducers,
+        block_size=128.0 * MiB,
+        map_output_ratio=1.1,          # contributions + graph re-emission
+        reducer_weights=zipf_weights(num_reducers, alpha=skew_alpha),
+        per_map_sigma=0.2,
+        map_rate=24.0 * MiB,           # parse + emit per edge
+        map_base=0.5,
+        reduce_rate=48.0 * MiB,
+        reduce_base=0.5,
+    )
+
+
+def pagerank_chain(
+    graph_gb: float = 4.0,
+    iterations: int = 5,
+    num_reducers: int = 20,
+    skew_alpha: float = 1.0,
+) -> list[JobSpec]:
+    """The full iterative chain (iteration i+1 consumes i's output)."""
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    return [
+        pagerank_iteration_job(
+            graph_gb=graph_gb,
+            iteration=i,
+            num_reducers=num_reducers,
+            skew_alpha=skew_alpha,
+        )
+        for i in range(iterations)
+    ]

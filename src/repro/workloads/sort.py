@@ -1,0 +1,68 @@
+"""Sort workloads: HiBench sort, the toy Figure-1a job, 60 GB int sort.
+
+Sort is the canonical network-bound MapReduce job: map output ratio is
+1.0 (every input byte is shuffled), map processing streams fast, so job
+time is dominated by moving the intermediate data — which is why the
+paper's Figure 4 shows sort stressing the network at every
+over-subscription ratio.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.partition import explicit_weights, zipf_weights
+
+GiB = 1024.0 * MiB
+
+
+def sort_job(
+    input_gb: float = 240.0,
+    num_reducers: int = 20,
+    skew_alpha: float = 0.3,
+    block_size: float = 128.0 * MiB,
+) -> JobSpec:
+    """HiBench sort (§V-A configured it with 240 GB of input).
+
+    Mild Zipf skew reflects hash partitioning over real key spaces;
+    per-map jitter adds the block-to-block variation of sampled data.
+    """
+    return JobSpec(
+        name=f"sort-{input_gb:g}GB",
+        input_bytes=input_gb * GiB,
+        num_reducers=num_reducers,
+        block_size=block_size,
+        map_output_ratio=1.0,
+        reducer_weights=zipf_weights(num_reducers, alpha=skew_alpha),
+        per_map_sigma=0.15,
+        map_rate=64.0 * MiB,       # data transformation streams fast
+        map_base=0.3,
+        reduce_rate=96.0 * MiB,
+        reduce_base=0.3,
+    )
+
+
+def integer_sort_job(input_gb: float = 60.0, num_reducers: int = 20) -> JobSpec:
+    """The 60 GB integer sort used for Figure 5's prediction study."""
+    spec = sort_job(input_gb=input_gb, num_reducers=num_reducers)
+    spec.name = f"intsort-{input_gb:g}GB"
+    return spec
+
+
+def toy_sort_job() -> JobSpec:
+    """Figure 1a's toy job: three map slots, two reducers, 5:1 skew.
+
+    "reducer-0 receives 5x times more data compared to reducer-1" —
+    the skew is explicit here so the sequence diagram reproduces the
+    figure's disproportionate shuffle arrows.
+    """
+    return JobSpec(
+        name="toy-sort",
+        input_bytes=3 * 128.0 * MiB,
+        num_reducers=2,
+        block_size=128.0 * MiB,
+        map_output_ratio=1.0,
+        reducer_weights=explicit_weights([5.0, 1.0]),
+        per_map_sigma=0.0,
+        map_rate=32.0 * MiB,
+        duration_jitter=0.0,
+    )

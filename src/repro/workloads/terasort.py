@@ -1,0 +1,30 @@
+"""TeraSort workload: uniform-partition sort with a sampled partitioner.
+
+TeraSort's range partitioner is built from input sampling, so reducer
+shares are near-uniform — the no-skew control case against
+:func:`repro.workloads.sort.sort_job`'s hash-partition skew.
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.partition import uniform_weights
+
+GiB = 1024.0 * MiB
+
+
+def terasort_job(input_gb: float = 100.0, num_reducers: int = 20) -> JobSpec:
+    """TeraSort with a near-perfect range partitioner."""
+    return JobSpec(
+        name=f"terasort-{input_gb:g}GB",
+        input_bytes=input_gb * GiB,
+        num_reducers=num_reducers,
+        block_size=128.0 * MiB,
+        map_output_ratio=1.0,
+        reducer_weights=uniform_weights(num_reducers),
+        per_map_sigma=0.05,
+        map_rate=64.0 * MiB,
+        map_base=0.3,
+        reduce_rate=96.0 * MiB,
+        reduce_base=0.3,
+    )

@@ -1,0 +1,75 @@
+"""Workload-trace files: save and replay job streams.
+
+A SWIM-style (Statistical Workload Injector for MapReduce) trace is a
+list of job submissions with arrival time, input size, shuffle ratio
+and reducer count.  This module writes/reads such traces as JSON so
+job streams can be archived, shared, and replayed bit-identically by
+:func:`repro.experiments.mix.run_mix`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.hadoop.job import JobSpec
+from repro.hadoop.partition import explicit_weights
+from repro.workloads.mix import JobArrival
+
+TRACE_VERSION = 1
+
+
+def save_trace(arrivals: list[JobArrival], path: Union[str, Path]) -> Path:
+    """Write a job stream as a JSON trace file."""
+    payload = {
+        "version": TRACE_VERSION,
+        "jobs": [
+            {
+                "at": a.at,
+                "name": a.spec.name,
+                "input_bytes": a.spec.input_bytes,
+                "block_size": a.spec.block_size,
+                "num_reducers": a.spec.num_reducers,
+                "map_output_ratio": a.spec.map_output_ratio,
+                "reducer_weights": list(map(float, a.spec.reducer_weights)),
+                "per_map_sigma": a.spec.per_map_sigma,
+                "map_rate": a.spec.map_rate,
+                "map_base": a.spec.map_base,
+                "reduce_rate": a.spec.reduce_rate,
+                "reduce_base": a.spec.reduce_base,
+                "duration_jitter": a.spec.duration_jitter,
+                "predicted_overhead": a.spec.predicted_overhead,
+            }
+            for a in arrivals
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> list[JobArrival]:
+    """Read a JSON trace back into a replayable job stream."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    arrivals: list[JobArrival] = []
+    for j in data["jobs"]:
+        spec = JobSpec(
+            name=j["name"],
+            input_bytes=j["input_bytes"],
+            block_size=j["block_size"],
+            num_reducers=j["num_reducers"],
+            map_output_ratio=j["map_output_ratio"],
+            reducer_weights=explicit_weights(j["reducer_weights"]),
+            per_map_sigma=j["per_map_sigma"],
+            map_rate=j["map_rate"],
+            map_base=j["map_base"],
+            reduce_rate=j["reduce_rate"],
+            reduce_base=j["reduce_base"],
+            duration_jitter=j["duration_jitter"],
+            predicted_overhead=j["predicted_overhead"],
+        )
+        arrivals.append(JobArrival(at=float(j["at"]), spec=spec))
+    return arrivals

@@ -1,0 +1,31 @@
+"""WordCount workload: compute-heavy map with combiner-shrunk shuffle.
+
+WordCount with combiners emits a tiny fraction of its input as
+intermediate data; it is the CPU-bound control case where network
+scheduling should barely matter — a useful negative control for the
+benchmark suite (Pythia must not *hurt* such jobs).
+"""
+
+from __future__ import annotations
+
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.partition import zipf_weights
+
+GiB = 1024.0 * MiB
+
+
+def wordcount_job(input_gb: float = 50.0, num_reducers: int = 10) -> JobSpec:
+    """WordCount over text input with map-side combining."""
+    return JobSpec(
+        name=f"wordcount-{input_gb:g}GB",
+        input_bytes=input_gb * GiB,
+        num_reducers=num_reducers,
+        block_size=128.0 * MiB,
+        map_output_ratio=0.05,          # combiners collapse word counts
+        reducer_weights=zipf_weights(num_reducers, alpha=1.0),  # word skew
+        per_map_sigma=0.3,
+        map_rate=10.0 * MiB,            # tokenising text is CPU work
+        map_base=0.5,
+        reduce_rate=32.0 * MiB,
+        reduce_base=0.3,
+    )

@@ -1,0 +1,92 @@
+"""Unit tests for timeline extraction, speedup tables and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.speedup import SweepRow, speedup, sweep_table
+from repro.analysis.timeline import (
+    Segment,
+    job_timeline,
+    phase_fractions,
+    render_timeline,
+)
+from repro.hadoop.job import JobRun, JobSpec, TaskRecord, FetchRecord, MiB
+
+
+def make_run():
+    spec = JobSpec(name="t", input_bytes=2 * 128 * MiB, num_reducers=1, duration_jitter=0.0)
+    run = JobRun(spec=spec, submitted_at=0.0, completed_at=20.0)
+    run.maps[0] = TaskRecord(kind="map", task_id=0, node="h00", start=0.0, end=5.0)
+    run.maps[1] = TaskRecord(kind="map", task_id=1, node="h01", start=1.0, end=6.0)
+    rec = TaskRecord(kind="reduce", task_id=0, node="h10", start=5.0, end=20.0)
+    rec.shuffle_start, rec.shuffle_end, rec.sort_end = 5.0, 12.0, 14.0
+    run.reduces[0] = rec
+    run.fetches.append(
+        FetchRecord(
+            map_id=0, reducer_id=0, src="h00", dst="h10",
+            app_bytes=100.0, wire_bytes=102.7, local=False,
+            enqueued=5.0, start=5.0, end=10.0,
+        )
+    )
+    return run
+
+
+def test_job_timeline_segments():
+    segments = job_timeline(make_run())
+    phases = {(s.row, s.phase) for s in segments}
+    assert ("map-0@h00", "map") in phases
+    assert ("reduce-0@h10", "shuffle") in phases
+    assert ("reduce-0@h10", "sort") in phases
+    assert ("reduce-0@h10", "reduce") in phases
+    shuffle = [s for s in segments if s.phase == "shuffle"][0]
+    assert shuffle.duration == pytest.approx(7.0)
+    assert "MB" in shuffle.detail or shuffle.detail == "0MB"
+
+
+def test_phase_fractions_union_semantics():
+    fr = phase_fractions(make_run())
+    # maps overlap [0,5] and [1,6]: union 6s of a 20s job
+    assert fr["map"] == pytest.approx(0.3)
+    assert fr["shuffle"] == pytest.approx(7 / 20)
+    assert fr["reduce"] == pytest.approx(6 / 20)
+
+
+def test_render_timeline_contains_rows():
+    out = render_timeline(job_timeline(make_run()), width=60)
+    assert "map-0@h00" in out
+    assert "reduce-0@h10" in out
+    assert "legend" in out
+    assert render_timeline([]) == "(empty timeline)"
+
+
+def test_speedup_definition():
+    assert speedup(100.0, 54.0) == pytest.approx(0.46)
+    assert speedup(100.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        speedup(0.0, 1.0)
+
+
+def test_sweep_row_and_table():
+    rows = [
+        SweepRow(ratio=None, t_ecmp=100.0, t_pythia=97.0),
+        SweepRow(ratio=20, t_ecmp=450.0, t_pythia=243.0),
+    ]
+    table = sweep_table(rows)
+    assert table[0][0] == "none"
+    assert table[1][0] == "1:20"
+    assert table[1][3] == pytest.approx(46.0)
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [(1, 2.345), (10, 20.0)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "2.3" in lines[2]
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+def test_format_series():
+    out = format_series("x", [0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0], width=4)
+    assert out.startswith("x [")
+    assert format_series("empty", [], []) == "empty: (empty)"

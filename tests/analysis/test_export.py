@@ -1,0 +1,53 @@
+"""Tests for JSON run export/import."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import EXPORT_VERSION, export_run, load_run, run_to_dict
+from repro.experiments.common import run_experiment
+from repro.workloads.sort import sort_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        sort_job(input_gb=1.0, num_reducers=4), scheduler="pythia", ratio=None, seed=1
+    )
+
+
+def test_round_trip(tmp_path, result):
+    path = export_run(result, tmp_path / "run.json")
+    data = load_run(path)
+    assert data["version"] == EXPORT_VERSION
+    assert data["jct"] == pytest.approx(result.jct)
+    assert data["scheduler"] == "pythia"
+    assert len(data["maps"]) == result.run.spec.num_maps
+    assert len(data["reduces"]) == 4
+    assert len(data["fetches"]) == len(result.run.fetches)
+    assert data["predictions"], "pythia runs carry the prediction log"
+
+
+def test_export_is_plain_json(tmp_path, result):
+    path = export_run(result, tmp_path / "run.json")
+    raw = json.loads(path.read_text())  # must not require repro to parse
+    total_fetched = sum(f["app_bytes"] for f in raw["fetches"])
+    assert total_fetched == pytest.approx(result.run.spec.intermediate_bytes, rel=1e-6)
+
+
+def test_netflow_series_exported(tmp_path, result):
+    data = run_to_dict(result)
+    assert data["netflow"], "per-server egress series must be present"
+    for server, series in data["netflow"].items():
+        assert len(series["times"]) == len(series["cumulative_bytes"])
+        cum = series["cumulative_bytes"]
+        assert cum == sorted(cum), "cumulative egress must be monotone"
+
+
+def test_version_check(tmp_path, result):
+    path = export_run(result, tmp_path / "run.json")
+    data = json.loads(path.read_text())
+    data["version"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_run(path)

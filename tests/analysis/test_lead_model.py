@@ -1,0 +1,54 @@
+"""Tests for the §V-C prediction-lead model and its confirming sweep."""
+
+import pytest
+
+from repro.analysis.lead_model import (
+    lead_sensitivity_sweep,
+    predicted_lead_bounds,
+)
+from repro.hadoop.cluster import ClusterConfig
+
+
+def test_bounds_ordering():
+    b = predicted_lead_bounds(ClusterConfig())
+    assert 0 < b.lower <= b.expected
+
+
+def test_bounds_track_parameters():
+    slow_hb = predicted_lead_bounds(ClusterConfig(heartbeat=10.0))
+    fast_hb = predicted_lead_bounds(ClusterConfig(heartbeat=1.0))
+    assert slow_hb.expected > fast_hb.expected
+    assert slow_hb.lower == fast_hb.lower  # lower bound ignores alignment
+    big_startup = predicted_lead_bounds(ClusterConfig(reduce_startup=10.0))
+    assert big_startup.lower > predicted_lead_bounds(ClusterConfig()).lower
+
+
+def test_measured_lead_within_model_envelope():
+    """The simulator's measured lead must respect the analytical bounds."""
+    cluster = ClusterConfig()
+    bounds = predicted_lead_bounds(cluster)
+    samples = lead_sensitivity_sweep(
+        parallel_copies=(5,), heartbeats=(), input_gb=4.0
+    )
+    lead = samples[0].min_lead
+    assert lead >= bounds.lower * 0.8
+    assert lead <= bounds.expected * 2.0
+
+
+def test_parallel_copies_insensitivity():
+    """The paper's conjecture: the parallel-transfer limit does not
+    erode prediction timeliness."""
+    samples = lead_sensitivity_sweep(
+        parallel_copies=(2, 10), heartbeats=(), input_gb=4.0
+    )
+    leads = [s.min_lead for s in samples]
+    assert min(leads) > 0
+    assert max(leads) / min(leads) < 1.6, "lead must be roughly flat in copies"
+
+
+def test_heartbeat_moves_lead():
+    samples = lead_sensitivity_sweep(
+        parallel_copies=(), heartbeats=(1.0, 5.0), input_gb=4.0
+    )
+    by_value = {s.value: s.min_lead for s in samples}
+    assert by_value[5.0] > by_value[1.0] * 0.9  # not smaller; usually larger

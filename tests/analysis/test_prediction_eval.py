@@ -1,0 +1,75 @@
+"""Unit tests for the Figure-5 prediction evaluation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.prediction_eval import _crossing_times, evaluate_prediction
+from repro.core.aggregation import FlowAggregator, ServerPairAggregation
+from repro.core.collector import PredictionCollector
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+
+
+class FakeNetflow:
+    def __init__(self, series):
+        self._series = series
+
+    def series(self, server):
+        t, v = self._series[server]
+        return np.asarray(t), np.asarray(v)
+
+    def servers(self):
+        return sorted(self._series)
+
+
+def test_crossing_times_basic():
+    t = np.array([0.0, 1.0, 2.0, 3.0])
+    c = np.array([0.0, 10.0, 20.0, 30.0])
+    out = _crossing_times(t, c, np.array([5.0, 15.0, 25.0, 35.0]))
+    assert out[0] == 1.0 and out[1] == 2.0 and out[2] == 3.0
+    assert np.isinf(out[3])
+
+
+def build_collector(pred_time=0.0, sizes=(100.0,), dst="h10"):
+    sim = Simulator()
+    sim.now = pred_time
+    col = PredictionCollector(sim, FlowAggregator(ServerPairAggregation()))
+    col.receive_reducer_location(
+        ReducerLocationMessage(job="j", reducer_id=0, server=dst, created_at=pred_time)
+    )
+    col.receive_prediction(
+        PredictionMessage(
+            job="j", map_id=0, src_server="h00",
+            reducer_bytes=np.array(sizes), created_at=pred_time,
+        )
+    )
+    return col
+
+
+def test_evaluate_lead_and_overestimate():
+    col = build_collector(pred_time=1.0, sizes=(105.0,))
+    # measured: 100 bytes transferred between t=6 and t=8
+    nf = FakeNetflow({"h00": ([6.0, 7.0, 8.0], [0.0, 50.0, 100.0])})
+    ev = evaluate_prediction(col, nf, "h00")
+    assert ev.overestimate_fraction == pytest.approx(0.05)
+    assert ev.never_lags
+    # prediction at t=1, measurement starts reaching levels from t~6
+    assert 4.5 < ev.min_lead_seconds <= 7.0
+
+
+def test_evaluate_detects_lag():
+    # prediction arrives AFTER the traffic — must not report never_lags
+    col = build_collector(pred_time=10.0, sizes=(105.0,))
+    nf = FakeNetflow({"h00": ([0.0, 1.0], [0.0, 100.0])})
+    ev = evaluate_prediction(col, nf, "h00")
+    assert ev.min_lead_seconds < 0
+    assert not ev.never_lags
+
+
+def test_evaluate_requires_data():
+    col = build_collector()
+    nf = FakeNetflow({"h00": ([], [])})
+    with pytest.raises(ValueError):
+        evaluate_prediction(col, nf, "h00")
+    with pytest.raises(ValueError):
+        evaluate_prediction(col, nf, "h99")

@@ -1,0 +1,41 @@
+"""Tests for the standalone HTML run report."""
+
+import pytest
+
+from repro.analysis.report_html import run_report_html, write_report
+from repro.experiments.common import run_experiment
+from repro.workloads.sort import sort_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        sort_job(input_gb=1.0, num_reducers=4), scheduler="pythia", ratio=None, seed=1
+    )
+
+
+def test_report_contains_all_sections(result):
+    html = run_report_html(result)
+    for marker in (
+        "<!DOCTYPE html>",
+        "Phase coverage",
+        "Scheduler statistics",
+        "Sequence diagram",
+        "Shuffle egress",
+        "<svg",
+        "job completion time",
+    ):
+        assert marker in html
+
+
+def test_report_reflects_run_facts(result):
+    html = run_report_html(result, title="my run")
+    assert "my run" in html
+    assert f"{result.jct:.1f}" in html
+    assert "rule_hits" in html
+
+
+def test_write_report(tmp_path, result):
+    path = write_report(result, tmp_path / "report.html")
+    assert path.exists()
+    assert path.read_text().startswith("<!DOCTYPE html>")

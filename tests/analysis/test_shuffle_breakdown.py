@@ -1,0 +1,65 @@
+"""Tests for the shuffle wait-time decomposition."""
+
+import pytest
+
+from repro.analysis.shuffle_breakdown import (
+    breakdown_table,
+    mean_transfer_seconds,
+    shuffle_breakdown,
+    total_transfer_time,
+)
+from repro.experiments.common import run_experiment
+from repro.hadoop.cluster import ClusterConfig
+from repro.workloads.sort import sort_job
+
+
+@pytest.fixture(scope="module")
+def loaded_runs():
+    e = run_experiment(sort_job(input_gb=4.0, num_reducers=8), "ecmp", 10, seed=1)
+    p = run_experiment(sort_job(input_gb=4.0, num_reducers=8), "pythia", 10, seed=1)
+    return e, p
+
+
+def test_breakdown_covers_every_reducer(loaded_runs):
+    e, _ = loaded_runs
+    rows = shuffle_breakdown(e.run)
+    assert len(rows) == 8
+    for b in rows:
+        assert b.fetches == e.run.spec.num_maps
+        assert b.discovery_wait >= 0
+        assert b.queue_wait >= 0
+        assert b.transfer_time > 0
+        assert b.shuffle_span > 0
+
+
+def test_discovery_wait_reflects_heartbeat_path(loaded_runs):
+    e, _ = loaded_runs
+    rows = shuffle_breakdown(e.run)
+    # the two-hop heartbeat path makes discovery wait non-trivial
+    assert sum(b.discovery_wait for b in rows) > 0
+
+
+def test_queue_wait_appears_when_copies_scarce():
+    tight = run_experiment(
+        sort_job(input_gb=4.0, num_reducers=4),
+        "ecmp",
+        None,
+        seed=1,
+        cluster_config=ClusterConfig(parallel_copies=1),
+    )
+    rows = shuffle_breakdown(tight.run)
+    assert sum(b.queue_wait for b in rows) > 0, "1-copy fetches must queue"
+
+
+def test_pythia_cuts_transfer_time_not_hadoop_mechanics(loaded_runs):
+    """The JCT win must come from the network-sensitive component."""
+    e, p = loaded_runs
+    assert total_transfer_time(p.run) < total_transfer_time(e.run) * 0.8
+    assert mean_transfer_seconds(p.run) < mean_transfer_seconds(e.run)
+
+
+def test_breakdown_table_shape(loaded_runs):
+    e, _ = loaded_runs
+    rows = breakdown_table(e.run)
+    assert len(rows) == 8
+    assert all(len(r) == 6 for r in rows)

@@ -1,0 +1,107 @@
+"""Tests for the SVG figure writers (structure-validated via ElementTree)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import (
+    svg_grouped_bars,
+    svg_series,
+    svg_timeline,
+    write_svg,
+)
+from repro.analysis.timeline import Segment
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def _segments():
+    return [
+        Segment(row="map-0@h00", phase="map", start=0.0, end=5.0),
+        Segment(row="reduce-0@h10", phase="shuffle", start=5.0, end=12.0, detail="336MB"),
+        Segment(row="reduce-0@h10", phase="reduce", start=12.0, end=20.0),
+    ]
+
+
+def test_timeline_svg_valid_and_complete():
+    root = _parse(svg_timeline(_segments(), title="toy"))
+    assert root.tag == f"{SVG_NS}svg"
+    rects = root.findall(f".//{SVG_NS}rect")
+    # one rect per segment + 4 legend swatches
+    assert len(rects) == 3 + 4
+    texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+    assert "toy" in texts
+    assert any(t and "map-0@h00" in t for t in texts)
+    titles = [t.text for t in root.findall(f".//{SVG_NS}title")]
+    assert any("336MB" in t for t in titles)
+
+
+def test_timeline_requires_segments():
+    with pytest.raises(ValueError):
+        svg_timeline([])
+
+
+def test_series_svg_has_polyline_per_series():
+    svg = svg_series(
+        {
+            "predicted": ([0, 1, 2], [0, 10, 20]),
+            "measured": ([0, 1, 2], [0, 8, 19]),
+        },
+        title="fig5",
+        y_label="bytes",
+    )
+    root = _parse(svg)
+    polys = root.findall(f".//{SVG_NS}polyline")
+    assert len(polys) == 2
+    for p in polys:
+        pts = p.attrib["points"].split()
+        assert len(pts) == 3
+
+
+def test_series_requires_data():
+    with pytest.raises(ValueError):
+        svg_series({})
+    with pytest.raises(ValueError):
+        svg_series({"x": ([], [])})
+
+
+def test_grouped_bars_svg():
+    svg = svg_grouped_bars(
+        ["none", "1:10", "1:20"],
+        {"ECMP": [68.0, 96.0, 148.0], "Pythia": [67.0, 77.0, 92.0]},
+        title="fig3",
+    )
+    root = _parse(svg)
+    rects = root.findall(f".//{SVG_NS}rect")
+    # 3 categories x 2 series + 2 legend swatches
+    assert len(rects) == 8
+    heights = [float(r.attrib["height"]) for r in rects[:6]]
+    assert max(heights) > min(heights)
+
+
+def test_grouped_bars_validation():
+    with pytest.raises(ValueError):
+        svg_grouped_bars([], {})
+    with pytest.raises(ValueError):
+        svg_grouped_bars(["a"], {"s": [0.0]})
+
+
+def test_write_svg(tmp_path):
+    path = write_svg(svg_timeline(_segments()), tmp_path / "fig.svg")
+    assert path.exists()
+    _parse(path.read_text())  # still valid XML on disk
+
+
+def test_end_to_end_figure_render(tmp_path):
+    """Render a real run's sequence diagram to SVG."""
+    from repro.analysis.timeline import job_timeline
+    from repro.experiments.fig1a_sequence import run_fig1a
+
+    result = run_fig1a()
+    svg = svg_timeline(job_timeline(result.result.run), title="Figure 1a")
+    root = _parse(svg)
+    assert len(root.findall(f".//{SVG_NS}rect")) > 5

@@ -1,0 +1,72 @@
+"""Unit tests for the link-utilization recorder."""
+
+import pytest
+
+from repro.analysis.utilization import UtilizationRecorder
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, UDP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def build():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    rec = UtilizationRecorder(sim, net, period=0.5)
+    return sim, topo, net, rec
+
+
+def trunk_link(topo, trunk="trunk0"):
+    return [l for l in topo.links if l.src == "tor0" and l.dst == trunk][0]
+
+
+def test_records_rigid_load():
+    sim, topo, net, rec = build()
+    bg = Flow(
+        src="bg0", dst="bg1", size=None,
+        five_tuple=FiveTuple("a", "b", 1, 5001, UDP), rigid_rate=62.5e6,
+    )
+    net.start_flow(bg, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    rec.record_for(5.0)
+    sim.run(until=6.0)
+    lid = trunk_link(topo).lid
+    assert rec.mean_utilization(lid) == pytest.approx(0.5, rel=0.05)
+    assert rec.peak_utilization(lid) == pytest.approx(0.5, rel=0.05)
+    net.stop_flow(bg)
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_hottest_links_ranking():
+    sim, topo, net, rec = build()
+    hot = Flow(src="bg0", dst="bg1", size=None,
+               five_tuple=FiveTuple("a", "b", 1, 5001, UDP), rigid_rate=100e6)
+    net.start_flow(hot, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    rec.record_for(3.0)
+    sim.run(until=4.0)
+    top_ids = [lid for lid, _ in rec.hottest_links(top=6)]
+    assert trunk_link(topo, "trunk0").lid in top_ids
+    assert trunk_link(topo, "trunk1").lid not in top_ids
+    net.stop_flow(hot)
+    sim.run()
+
+
+def test_render_and_empty_series():
+    sim, topo, net, rec = build()
+    lid = trunk_link(topo).lid
+    t, u = rec.series(lid)
+    assert t.size == 0 and rec.mean_utilization(lid) == 0.0
+    rec.record_for(1.0)
+    sim.run()
+    out = rec.render([lid])
+    assert "tor0->trunk0" in out
+
+
+def test_stop_prevents_immortal_ticker():
+    sim, topo, net, rec = build()
+    rec.start()
+    sim.schedule(2.0, rec.stop)
+    sim.run()
+    assert sim.pending == 0
+    assert len(rec.times) >= 2

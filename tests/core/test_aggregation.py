@@ -1,0 +1,78 @@
+"""Unit + property tests for flow aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    FlowAggregator,
+    RackPairAggregation,
+    ServerPairAggregation,
+)
+from repro.simnet.topology import two_rack
+
+
+def test_server_pair_merges_same_pair():
+    agg = FlowAggregator(ServerPairAggregation())
+    agg.add("h00", "h10", map_id=0, reducer_id=0, nbytes=100.0)
+    agg.add("h00", "h10", map_id=1, reducer_id=1, nbytes=50.0)
+    agg.add("h00", "h11", map_id=0, reducer_id=2, nbytes=25.0)
+    assert len(agg.entries) == 2
+    e = agg.entries[("h00", "h10")]
+    assert e.predicted_bytes == pytest.approx(150.0)
+    assert e.pairs == {("h00", "h10")}
+    assert len(e.members) == 2
+
+
+def test_dirty_drained_once():
+    agg = FlowAggregator(ServerPairAggregation())
+    agg.add("h00", "h10", 0, 0, 1.0)
+    assert len(agg.drain_dirty()) == 1
+    assert agg.drain_dirty() == []
+    agg.add("h00", "h10", 1, 0, 1.0)
+    assert len(agg.drain_dirty()) == 1
+
+
+def test_rack_pair_groups_across_servers():
+    topo = two_rack()
+    agg = FlowAggregator(RackPairAggregation(topo))
+    agg.add("h00", "h10", 0, 0, 10.0)
+    agg.add("h01", "h12", 1, 1, 20.0)
+    agg.add("h00", "h01", 2, 2, 5.0)  # intra-rack: distinct key
+    assert len(agg.entries) == 2
+    cross = agg.entries[(("rack", 0), ("rack", 1))]
+    assert cross.predicted_bytes == pytest.approx(30.0)
+    assert cross.pairs == {("h00", "h10"), ("h01", "h12")}
+
+
+def test_entries_on_link():
+    agg = FlowAggregator(ServerPairAggregation())
+    e = agg.add("h00", "h10", 0, 0, 1.0)
+    e.path = [3, 4, 5]
+    assert agg.entries_on_link(4) == [e]
+    assert agg.entries_on_link(9) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),       # src index
+            st.integers(0, 4),       # dst index
+            st.floats(0.0, 1e9, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_aggregation_conserves_bytes(items):
+    """Sum of members equals aggregate total equals global total."""
+    agg = FlowAggregator(ServerPairAggregation())
+    total = 0.0
+    for i, (s, d, b) in enumerate(items):
+        agg.add(f"h0{s}", f"h1{d}", map_id=i, reducer_id=0, nbytes=b)
+        total += b
+    assert agg.total_predicted == pytest.approx(total, rel=1e-9)
+    for e in agg.entries.values():
+        assert e.member_total == pytest.approx(e.predicted_bytes, rel=1e-9)

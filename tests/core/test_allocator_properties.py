@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the path allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import AggregateEntry
+from repro.core.allocator import make_allocator
+from repro.core.routing import RoutingGraph
+from repro.sdn.stats_service import LinkStatsService
+from repro.sdn.topology_service import TopologyService
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def build(kind):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    stats = LinkStatsService(sim, net, period=0.5, alpha=1.0)
+    routing = RoutingGraph(TopologyService(topo, k=4))
+    return topo, make_allocator(kind, sim, routing, stats, net, demand_horizon=10.0)
+
+
+@st.composite
+def _entry_batches(draw):
+    n = draw(st.integers(1, 20))
+    out = []
+    for i in range(n):
+        src = f"h0{draw(st.integers(0, 4))}"
+        dst = f"h1{draw(st.integers(0, 4))}"
+        nbytes = draw(st.floats(1.0, 5e8, allow_nan=False))
+        out.append((src, dst, nbytes, i))
+    return out
+
+
+@settings(max_examples=30, deadline=None)
+@given(_entry_batches(), st.sampled_from(["first_fit", "best_fit", "water_filling"]))
+def test_property_every_entry_gets_a_valid_path(batch, kind):
+    topo, alloc = build(kind)
+    entries = []
+    for src, dst, nbytes, i in batch:
+        e = AggregateEntry(key=(src, dst, i))
+        e.add(src, dst, map_id=i, reducer_id=0, nbytes=nbytes)
+        entries.append(e)
+    result = alloc.allocate(entries)
+    assert len(result) == len(entries)
+    for entry, path in result:
+        src, dst = min(entry.pairs)
+        assert topo.links[path[0]].src == src
+        assert topo.links[path[-1]].dst == dst
+        for a, b in zip(path, path[1:]):
+            assert topo.links[a].dst == topo.links[b].src
+        assert entry.path == path
+        assert entry.allocated_at is not None
+    # planned bytes equal the batch total (nothing double-counted)
+    assert alloc.planned_load().max() <= sum(b for _, _, b, _ in batch) + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(_entry_batches())
+def test_property_first_fit_balances_substantial_batches(batch):
+    """With symmetric paths, first-fit decreasing never puts everything
+    on one trunk once the demands are big enough to matter.
+
+    (Byte-sized entries legitimately all land on the first path — their
+    queueing contribution is negligible — hence the size floor here.)
+    """
+    topo, alloc = build("first_fit")
+    entries = []
+    for src, dst, nbytes, i in batch:
+        e = AggregateEntry(key=(src, dst, i))
+        e.add(src, dst, map_id=i, reducer_id=0, nbytes=max(nbytes, 5e7))
+        entries.append(e)
+    result = alloc.allocate(entries)
+    # Batches sharing a source (or destination) host may legitimately
+    # stack on one trunk: the common access link dominates both paths'
+    # ETA identically, so the trunk choice is a tie.  The balancing
+    # claim needs genuinely independent endpoints.
+    distinct_srcs = {s for s, _, _, _ in batch}
+    distinct_dsts = {d for _, d, _, _ in batch}
+    if len(result) >= 4 and len(distinct_srcs) >= 4 and len(distinct_dsts) >= 4:
+        trunks = {topo.path_nodes(path)[2] for _, path in result}
+        assert len(trunks) == 2, "a big batch must use both trunks"

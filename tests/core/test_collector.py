@@ -1,0 +1,102 @@
+"""Unit tests for the prediction collector (late binding, batching)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import FlowAggregator, ServerPairAggregation
+from repro.core.collector import PredictionCollector
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+
+
+def build():
+    sim = Simulator()
+    agg = FlowAggregator(ServerPairAggregation())
+    col = PredictionCollector(sim, agg)
+    return sim, agg, col
+
+
+def pred(job="j", map_id=0, src="h00", sizes=(100.0, 50.0), at=0.0):
+    return PredictionMessage(
+        job=job, map_id=map_id, src_server=src, reducer_bytes=np.array(sizes), created_at=at
+    )
+
+
+def loc(job="j", rid=0, server="h10"):
+    return ReducerLocationMessage(job=job, reducer_id=rid, server=server, created_at=0.0)
+
+
+def test_prediction_with_known_location_completes_immediately():
+    sim, agg, col = build()
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    col.receive_reducer_location(loc(rid=1, server="h11"))
+    col.receive_prediction(pred())
+    assert col.pending_intents == 0
+    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(100.0)
+    assert agg.entries[("h00", "h11")].predicted_bytes == pytest.approx(50.0)
+
+
+def test_unknown_destination_held_then_flushed():
+    """§III: early predictions have unknown reducer destinations; the
+    collector thread fills them in as reducers initialise."""
+    sim, agg, col = build()
+    col.receive_prediction(pred())
+    assert col.pending_intents == 2
+    assert agg.entries == {}
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    assert col.pending_intents == 1
+    assert ("h00", "h10") in agg.entries
+    col.receive_reducer_location(loc(rid=1, server="h12"))
+    assert col.pending_intents == 0
+
+
+def test_local_reducer_not_aggregated_but_logged():
+    sim, agg, col = build()
+    col.receive_reducer_location(loc(rid=0, server="h00"))  # same server
+    col.receive_reducer_location(loc(rid=1, server="h10"))
+    col.receive_prediction(pred())
+    assert ("h00", "h00") not in agg.entries
+    assert len(col.log) == 2  # both logged for evaluation
+
+
+def test_on_ready_batched_per_instant():
+    sim, agg, col = build()
+    fired = []
+    col.on_ready = lambda entries: fired.append(len(entries))
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    col.receive_reducer_location(loc(rid=1, server="h11"))
+    col.receive_prediction(pred(map_id=0))
+    col.receive_prediction(pred(map_id=1, src="h01"))
+    sim.run()
+    # one wake-up covering all four dirty entries, not one per message
+    assert fired == [4]  # (h00,h10) (h00,h11) (h01,h10) (h01,h11)
+
+
+def test_log_records_promptness_fields():
+    sim, agg, col = build()
+    col.receive_prediction(pred(at=5.0))
+    sim.now = 7.0  # location arrives later
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    col.receive_reducer_location(loc(rid=1, server="h11"))
+    entry = [e for e in col.log if e.reducer_id == 0][0]
+    assert entry.predicted_at == pytest.approx(0.0)  # collector receive time
+    assert entry.completed_at >= entry.predicted_at
+
+
+def test_predicted_egress_sorted_and_remote_only():
+    sim, agg, col = build()
+    col.receive_reducer_location(loc(rid=0, server="h00"))  # local
+    col.receive_reducer_location(loc(rid=1, server="h11"))
+    col.receive_prediction(pred(sizes=(30.0, 70.0)))
+    events = col.predicted_egress("h00")
+    assert len(events) == 1
+    assert events[0][1] == pytest.approx(70.0)
+    both = col.predicted_egress("h00", remote_only=False)
+    assert len(both) == 2
+
+
+def test_jobs_do_not_cross_contaminate():
+    sim, agg, col = build()
+    col.receive_reducer_location(loc(job="a", rid=0, server="h10"))
+    col.receive_prediction(pred(job="b", sizes=(10.0,)))
+    assert col.pending_intents == 1  # job b's reducer 0 is still unknown

@@ -1,0 +1,75 @@
+"""Unit tests for the Pythia routing-graph adapter."""
+
+from repro.core.routing import RoutingGraph
+from repro.sdn.topology_service import TopologyService
+from repro.simnet.topology import leaf_spine, two_rack
+
+
+def build(topo=None):
+    topo = topo or two_rack()
+    return topo, RoutingGraph(TopologyService(topo, k=4))
+
+
+def test_candidate_paths_are_link_paths():
+    topo, routing = build()
+    paths = routing.candidate_paths("h00", "h10")
+    assert len(paths) == 2
+    for p in paths:
+        assert topo.links[p[0]].src == "h00"
+        assert topo.links[p[-1]].dst == "h10"
+
+
+def test_switch_backbone_extraction():
+    topo, routing = build()
+    [p0, p1] = routing.candidate_paths("h00", "h10")
+    b0 = routing.switch_backbone(p0)
+    b1 = routing.switch_backbone(p1)
+    assert b0 != b1
+    assert b0[0] == "tor0" and b0[-1] == "tor1"
+    assert b0[1] in ("trunk0", "trunk1")
+
+
+def test_path_matching_backbone_translates_pairs():
+    topo, routing = build()
+    [p0, _] = routing.candidate_paths("h00", "h10")
+    backbone = routing.switch_backbone(p0)
+    other = routing.path_matching_backbone("h01", "h12", backbone)
+    assert other is not None
+    assert routing.switch_backbone(other) == backbone
+    assert topo.links[other[0]].src == "h01"
+    assert topo.links[other[-1]].dst == "h12"
+
+
+def test_path_matching_backbone_none_when_gone():
+    topo, routing = build()
+    [p0, _] = routing.candidate_paths("h00", "h10")
+    backbone = routing.switch_backbone(p0)
+    trunk = backbone[1]
+    topo.fail_cable("tor0", trunk)
+    assert routing.path_matching_backbone("h01", "h12", backbone) is None
+
+
+def test_failure_listener_fires_only_on_down():
+    topo, routing = build()
+    events = []
+    routing.on_failure(lambda link: events.append(link.key()))
+    topo.fail_cable("tor0", "trunk0")
+    n_down = len(events)
+    assert n_down >= 1
+    topo.restore_cable("tor0", "trunk0")
+    assert len(events) == n_down, "restores must not fire failure listeners"
+
+
+def test_recomputation_counter():
+    topo, routing = build()
+    assert routing.recomputations == 0
+    topo.fail_cable("tor0", "trunk0")
+    assert routing.recomputations >= 1
+
+
+def test_backbone_on_leaf_spine():
+    topo, routing = build(leaf_spine(leaves=2, spines=3, hosts_per_leaf=2))
+    paths = routing.candidate_paths("h00", "h10")
+    assert len(paths) == 3
+    spines = {routing.switch_backbone(p)[1] for p in paths}
+    assert spines == {"spine0", "spine1", "spine2"}

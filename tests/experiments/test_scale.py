@@ -1,0 +1,28 @@
+"""Tests for the fabric-scaling study."""
+
+from repro.experiments import scale as scale_mod
+from repro.experiments.scale import FABRICS, run_scale_study
+
+
+def test_fabric_catalogue_is_ordered_and_buildable():
+    hosts = []
+    for label, factory in FABRICS:
+        topo = factory()
+        n = len(topo.worker_hosts())
+        assert str(n) in label, "label must state the host count"
+        hosts.append(n)
+    assert hosts == sorted(hosts)
+
+
+def test_scale_point_fields(monkeypatch):
+    # restrict to the two smallest fabrics to keep the test fast
+    monkeypatch.setattr(scale_mod, "FABRICS", FABRICS[:2])
+    points = run_scale_study(gb_per_host=0.2, seed=1)
+    assert len(points) == 2
+    small, big = points
+    assert big.hosts > small.hosts
+    assert big.predictions > small.predictions
+    for p in points:
+        assert p.jct > 0
+        assert p.peak_rules > 0
+        assert p.fallbacks == 0

@@ -1,0 +1,45 @@
+"""Unit tests for cluster configuration."""
+
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.simnet.topology import two_rack
+
+
+def test_defaults_match_testbed():
+    topo = two_rack()
+    cluster = HadoopCluster(topo)
+    assert len(cluster.nodes) == 10
+    assert cluster.total_map_slots == 80
+    assert cluster.total_reduce_slots == 40
+
+
+def test_generator_hosts_excluded():
+    cluster = HadoopCluster(two_rack())
+    assert all(not n.startswith("bg") for n in cluster.nodes)
+
+
+def test_explicit_nodes_validated():
+    topo = two_rack()
+    with pytest.raises(KeyError):
+        HadoopCluster(topo, nodes=["h00", "nonexistent"])
+
+
+def test_node_ip():
+    cluster = HadoopCluster(two_rack())
+    assert cluster.node_ip("h00") == "10.0.0"
+    assert cluster.node_ip("h14") == "10.1.4"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(slowstart=1.5)
+    with pytest.raises(ValueError):
+        ClusterConfig(parallel_copies=0)
+
+
+def test_config_defaults_sane():
+    cfg = ClusterConfig()
+    assert cfg.slowstart == pytest.approx(0.05)  # Hadoop 1.x default
+    assert cfg.parallel_copies == 5               # mapred.reduce.parallel.copies
+    assert 0 < cfg.wire_overhead < 0.1

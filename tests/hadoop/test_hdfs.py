@@ -1,0 +1,145 @@
+"""Unit + integration tests for the HDFS block placement model."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.hdfs import (
+    DATANODE_PORT,
+    NODE_LOCAL,
+    OFF_RACK,
+    RACK_LOCAL,
+    Block,
+    HdfsNamespace,
+    replica_preference,
+)
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.jobtracker import JobTracker
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def ns(replication=3):
+    racks = {f"h{r}{i}": r for r in range(2) for i in range(5)}
+    return HdfsNamespace(racks=racks, replication=replication)
+
+
+def test_block_validation():
+    with pytest.raises(ValueError):
+        Block(1, 10.0, ())
+    with pytest.raises(ValueError):
+        Block(1, 10.0, ("a", "a"))
+
+
+def test_placement_rack_awareness():
+    rng = np.random.default_rng(0)
+    blocks = ns().create_file("f", [128 * MiB] * 20, rng)
+    for b in blocks:
+        assert len(b.replicas) == 3
+        assert len(set(b.replicas)) == 3
+        racks = {("h0" in r and 0) or 1 for r in b.replicas}
+        # first on writer, second in the other rack, third beside second
+        assert len({r[1] for r in b.replicas}) == 2, "replicas must span both racks"
+
+
+def test_placement_spreads_writers():
+    rng = np.random.default_rng(0)
+    blocks = ns().create_file("f", [1.0] * 10, rng)
+    first_replicas = [b.replicas[0] for b in blocks]
+    assert len(set(first_replicas)) == 10  # round-robin over 10 nodes
+
+
+def test_replication_one():
+    rng = np.random.default_rng(0)
+    blocks = ns(replication=1).create_file("f", [1.0] * 4, rng)
+    assert all(len(b.replicas) == 1 for b in blocks)
+
+
+def test_duplicate_file_rejected():
+    rng = np.random.default_rng(0)
+    space = ns()
+    space.create_file("f", [1.0], rng)
+    with pytest.raises(ValueError):
+        space.create_file("f", [1.0], rng)
+
+
+def test_locality_classification():
+    space = ns()
+    b = Block(99, 1.0, ("h00", "h10", "h11"))
+    assert space.locality(b, "h00") == NODE_LOCAL
+    assert space.locality(b, "h01") == RACK_LOCAL  # h00 shares rack 0
+    b2 = Block(100, 1.0, ("h10", "h11"))
+    assert space.locality(b2, "h01") == OFF_RACK
+    assert replica_preference(space, b2, "h12") == 1
+
+
+def test_closest_replica():
+    space = ns()
+    b = Block(101, 1.0, ("h00", "h10"))
+    assert space.closest_replica(b, "h00") == "h00"
+    assert space.closest_replica(b, "h03") == "h00"   # rack-mate
+    assert space.closest_replica(b, "h14") == "h10"
+
+
+# ----------------------------------------------------------------------
+# jobtracker integration
+# ----------------------------------------------------------------------
+
+def run_with_hdfs(num_maps=10, replication=3, seed=0):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cfg = ClusterConfig(hdfs_enabled=True, hdfs_replication=replication)
+    cluster = HadoopCluster(topo, cfg)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(seed))
+    spec = JobSpec(
+        name="h",
+        input_bytes=num_maps * 128 * MiB,
+        num_reducers=4,
+        duration_jitter=0.0,
+    )
+    run = jt.submit(spec)
+    sim.run()
+    return run, net, jt
+
+
+def test_hdfs_job_completes_with_locality_tally():
+    run, net, jt = run_with_hdfs()
+    assert run.completed_at is not None
+    assert sum(run.map_locality.values()) == 10
+    # 3-way replication over 10 nodes: locality scheduling should make
+    # the vast majority of maps node-local
+    assert run.map_locality.get(NODE_LOCAL, 0) >= 7
+
+
+def test_hdfs_reads_use_datanode_port_and_default_routing():
+    run, net, jt = run_with_hdfs(replication=1, seed=3)
+    reads = [f for f in net.archive if f.tags.get("kind") == "hdfs_read"]
+    nonlocal_maps = sum(
+        v for k, v in run.map_locality.items() if k != NODE_LOCAL
+    )
+    assert len(reads) == nonlocal_maps
+    for f in reads:
+        assert f.five_tuple.src_port == DATANODE_PORT
+        assert not f.is_shuffle()
+
+
+def test_hdfs_disabled_by_default():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(0))
+    assert jt.hdfs is None
+    run = jt.submit(JobSpec(name="x", input_bytes=MiB, num_reducers=1))
+    sim.run()
+    assert run.map_locality == {}
+
+
+def test_hdfs_namespace_validation():
+    with pytest.raises(ValueError):
+        HdfsNamespace(racks={}, replication=3)
+    with pytest.raises(ValueError):
+        HdfsNamespace(racks={"a": 0}, replication=0)

@@ -1,0 +1,52 @@
+"""Unit tests for JobSpec and run records."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.job import JobRun, JobSpec, MiB
+from repro.hadoop.partition import explicit_weights
+
+
+def test_num_maps_and_block_bytes():
+    spec = JobSpec(name="j", input_bytes=300 * MiB, num_reducers=2, block_size=128 * MiB)
+    assert spec.num_maps == 3
+    assert spec.block_bytes(0) == 128 * MiB
+    assert spec.block_bytes(2) == pytest.approx(44 * MiB)
+    with pytest.raises(IndexError):
+        spec.block_bytes(3)
+
+
+def test_default_weights_uniform():
+    spec = JobSpec(name="j", input_bytes=MiB, num_reducers=4)
+    assert np.allclose(spec.reducer_weights, 0.25)
+
+
+def test_weights_length_validated():
+    with pytest.raises(ValueError):
+        JobSpec(
+            name="j",
+            input_bytes=MiB,
+            num_reducers=3,
+            reducer_weights=explicit_weights([1, 1]),
+        )
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        JobSpec(name="j", input_bytes=0, num_reducers=1)
+    with pytest.raises(ValueError):
+        JobSpec(name="j", input_bytes=1.0, num_reducers=0)
+
+
+def test_intermediate_bytes():
+    spec = JobSpec(name="j", input_bytes=100.0, num_reducers=1, map_output_ratio=0.5)
+    assert spec.intermediate_bytes == pytest.approx(50.0)
+
+
+def test_jct_requires_completion():
+    run = JobRun(spec=JobSpec(name="j", input_bytes=1.0, num_reducers=1))
+    with pytest.raises(RuntimeError):
+        _ = run.jct
+    run.completed_at = 10.0
+    run.submitted_at = 2.0
+    assert run.jct == pytest.approx(8.0)

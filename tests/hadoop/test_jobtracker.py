@@ -1,0 +1,179 @@
+"""Integration-ish unit tests for the jobtracker execution model."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.partition import explicit_weights
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def build(cluster_config=None, seed=0):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo, cluster_config or ClusterConfig())
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(seed))
+    return sim, topo, net, cluster, jt
+
+
+def small_spec(**kw):
+    defaults = dict(
+        name="t",
+        input_bytes=6 * 128 * MiB,
+        num_reducers=4,
+        map_output_ratio=1.0,
+        duration_jitter=0.0,
+        per_map_sigma=0.0,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def test_job_completes_and_all_tasks_recorded():
+    sim, topo, net, cluster, jt = build()
+    done = []
+    run = jt.submit(small_spec(), on_complete=done.append)
+    sim.run()
+    assert done == [run]
+    assert run.completed_at is not None
+    assert len(run.maps) == 6
+    assert len(run.reduces) == 4
+    assert len(run.fetches) == 6 * 4
+    for rec in run.maps.values():
+        assert rec.end is not None and rec.end > rec.start
+    for rec in run.reduces.values():
+        assert rec.shuffle_end is not None
+        assert rec.sort_end >= rec.shuffle_end
+        assert rec.end >= rec.sort_end
+
+
+def test_fetch_bytes_match_partition_weights():
+    sim, topo, net, cluster, jt = build()
+    spec = small_spec(num_reducers=2, reducer_weights=explicit_weights([5, 1]))
+    run = jt.submit(spec)
+    sim.run()
+    per_reducer = run.reducer_bytes()
+    assert per_reducer[0] / per_reducer[1] == pytest.approx(5.0, rel=1e-6)
+    assert per_reducer.sum() == pytest.approx(spec.intermediate_bytes, rel=1e-6)
+
+
+def test_slot_limits_respected():
+    cfg = ClusterConfig(map_slots=1, reduce_slots=1)
+    sim, topo, net, cluster, jt = build(cluster_config=cfg)
+    max_busy = {"m": 0}
+    spec = small_spec(input_bytes=30 * 128 * MiB, num_reducers=4)
+
+    def watch():
+        busy = sum(t.busy_maps for t in jt.trackers.values())
+        assert busy <= cluster.total_map_slots
+        max_busy["m"] = max(max_busy["m"], busy)
+        if sim.pending > 1:
+            sim.schedule(0.5, watch)
+
+    sim.schedule(0.1, watch)
+    jt.submit(spec)
+    sim.run()
+    assert max_busy["m"] == 10  # 10 nodes x 1 slot, 30 maps -> saturated
+
+
+def test_reducers_wait_for_slowstart():
+    cfg = ClusterConfig(slowstart=0.5)
+    sim, topo, net, cluster, jt = build(cluster_config=cfg)
+    run = jt.submit(small_spec(input_bytes=8 * 128 * MiB, num_reducers=2))
+    sim.run()
+    map_ends = sorted(t.end for t in run.maps.values())
+    threshold_end = map_ends[3]  # 4th of 8 maps = 50%
+    for rec in run.reduces.values():
+        assert rec.start >= threshold_end
+
+
+def test_reducer_waves_when_slots_scarce():
+    cfg = ClusterConfig(reduce_slots=1)
+    sim, topo, net, cluster, jt = build(cluster_config=cfg)
+    # 20 reducers on 10 single-slot nodes -> two waves
+    run = jt.submit(small_spec(num_reducers=20))
+    sim.run()
+    assert run.completed_at is not None
+    starts = sorted(r.start for r in run.reduces.values())
+    assert starts[-1] > starts[0]  # second wave started strictly later
+
+
+def test_local_fetches_bypass_network():
+    sim, topo, net, cluster, jt = build()
+    # enough maps and reducers that mapper/reducer co-location is certain
+    run = jt.submit(small_spec(input_bytes=20 * 128 * MiB, num_reducers=10))
+    sim.run()
+    locals_ = [f for f in run.fetches if f.local]
+    assert locals_, "with reducers on every node some fetches must be node-local"
+    shuffle_flows = [f for f in net.archive if f.is_shuffle()]
+    assert len(shuffle_flows) == len(run.fetches) - len(locals_)
+
+
+def test_remote_fraction_sane():
+    sim, topo, net, cluster, jt = build()
+    run = jt.submit(small_spec(num_reducers=8))
+    sim.run()
+    # 10 nodes -> roughly 90% of fetches remote
+    assert 0.5 < run.remote_fraction() <= 1.0
+
+
+def test_tasktracker_events_emitted():
+    sim, topo, net, cluster, jt = build()
+    events = []
+    jt.subscribe_all(lambda ev, **kw: events.append(ev))
+    jt.submit(small_spec())
+    sim.run()
+    assert events.count("map_start") == 6
+    assert events.count("spill") == 6
+    assert events.count("reduce_launch") == 4
+
+
+def test_instrumentation_inflation_slows_maps():
+    base_cfg = ClusterConfig()
+    infl_cfg = ClusterConfig(instrumentation_inflation=0.05)
+    _, _, _, _, jt1 = build(cluster_config=base_cfg)
+    sim1 = jt1.sim
+    run1 = jt1.submit(small_spec())
+    sim1.run()
+    _, _, _, _, jt2 = build(cluster_config=infl_cfg)
+    sim2 = jt2.sim
+    run2 = jt2.submit(small_spec())
+    sim2.run()
+    d1 = next(iter(run1.maps.values())).duration
+    d2 = next(iter(run2.maps.values())).duration
+    assert d2 == pytest.approx(d1 * 1.05, rel=1e-9)
+
+
+def test_two_concurrent_jobs_share_cluster():
+    sim, topo, net, cluster, jt = build()
+    done = []
+    jt.submit(small_spec(name="a"), on_complete=lambda r: done.append("a"))
+    jt.submit(small_spec(name="b", num_reducers=2), on_complete=lambda r: done.append("b"))
+    sim.run()
+    assert sorted(done) == ["a", "b"]
+
+
+def test_heartbeat_delays_first_fetch():
+    cfg = ClusterConfig(heartbeat=5.0)
+    sim, topo, net, cluster, jt = build(cluster_config=cfg)
+    run = jt.submit(small_spec())
+    sim.run()
+    # no fetch can start before the reducer's first completion poll
+    for rec in run.reduces.values():
+        first = min(f.start for f in run.fetches if f.reducer_id == rec.task_id)
+        assert first >= rec.start
+
+
+def test_single_map_single_reducer_minimal_job():
+    sim, topo, net, cluster, jt = build()
+    spec = JobSpec(name="tiny", input_bytes=1 * MiB, num_reducers=1, duration_jitter=0.0)
+    run = jt.submit(spec)
+    sim.run()
+    assert run.completed_at is not None
+    assert len(run.fetches) == 1

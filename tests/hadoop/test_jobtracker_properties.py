@@ -1,0 +1,96 @@
+"""Hypothesis property tests over the MapReduce execution model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.partition import zipf_weights
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+@st.composite
+def _job_cases(draw):
+    num_maps = draw(st.integers(1, 24))
+    num_reducers = draw(st.integers(1, 12))
+    alpha = draw(st.floats(0.0, 1.5, allow_nan=False))
+    slowstart = draw(st.sampled_from([0.05, 0.5, 1.0]))
+    parallel_copies = draw(st.integers(1, 8))
+    map_slots = draw(st.integers(1, 4))
+    reduce_slots = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**31))
+    return (
+        num_maps,
+        num_reducers,
+        alpha,
+        slowstart,
+        parallel_copies,
+        map_slots,
+        reduce_slots,
+        seed,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_job_cases())
+def test_property_job_invariants(case):
+    (
+        num_maps,
+        num_reducers,
+        alpha,
+        slowstart,
+        parallel_copies,
+        map_slots,
+        reduce_slots,
+        seed,
+    ) = case
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cfg = ClusterConfig(
+        slowstart=slowstart,
+        parallel_copies=parallel_copies,
+        map_slots=map_slots,
+        reduce_slots=reduce_slots,
+    )
+    cluster = HadoopCluster(topo, cfg)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(seed))
+    spec = JobSpec(
+        name="prop",
+        input_bytes=num_maps * 32 * MiB,
+        block_size=32 * MiB,
+        num_reducers=num_reducers,
+        reducer_weights=zipf_weights(num_reducers, alpha),
+    )
+    run = jt.submit(spec)
+    sim.run(max_events=500_000)
+
+    # 1. completion
+    assert run.completed_at is not None
+    # 2. every task ran exactly once with sane timestamps
+    assert len(run.maps) == num_maps
+    assert len(run.reduces) == num_reducers
+    for rec in run.maps.values():
+        assert 0 <= rec.start <= rec.end <= run.completed_at
+    for rec in run.reduces.values():
+        assert rec.start <= rec.shuffle_end <= rec.sort_end <= rec.end
+    # 3. every reducer fetched every map exactly once
+    assert len(run.fetches) == num_maps * num_reducers
+    seen = {(f.map_id, f.reducer_id) for f in run.fetches}
+    assert len(seen) == num_maps * num_reducers
+    # 4. shuffle byte conservation
+    assert run.reducer_bytes().sum() == pytest.approx(
+        spec.intermediate_bytes, rel=1e-6
+    )
+    # 5. slots all returned
+    for tracker in jt.trackers.values():
+        assert tracker.busy_maps == 0
+        assert tracker.busy_reduces == 0
+    # 6. event queue fully drained (no immortal timers)
+    assert sim.pending == 0

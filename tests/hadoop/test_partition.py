@@ -1,0 +1,81 @@
+"""Unit + property tests for partition-skew models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.partition import (
+    dirichlet_weights,
+    explicit_weights,
+    perturbed,
+    uniform_weights,
+    zipf_weights,
+)
+
+
+def test_uniform_weights():
+    w = uniform_weights(4)
+    assert np.allclose(w, 0.25)
+    with pytest.raises(ValueError):
+        uniform_weights(0)
+
+
+def test_zipf_weights_shape():
+    w = zipf_weights(5, alpha=1.0)
+    assert w.sum() == pytest.approx(1.0)
+    assert (np.diff(w) < 0).all(), "zipf shares decrease with rank"
+    assert w[0] / w[4] == pytest.approx(5.0)
+
+
+def test_zipf_alpha_zero_is_uniform():
+    assert np.allclose(zipf_weights(8, alpha=0.0), uniform_weights(8))
+
+
+def test_zipf_negative_alpha_rejected():
+    with pytest.raises(ValueError):
+        zipf_weights(4, alpha=-1)
+
+
+def test_explicit_weights_normalised():
+    w = explicit_weights([5, 1])
+    assert w[0] == pytest.approx(5 / 6)
+    with pytest.raises(ValueError):
+        explicit_weights([0, 0])
+    with pytest.raises(ValueError):
+        explicit_weights([-1, 2])
+
+
+def test_dirichlet_weights_valid():
+    rng = np.random.default_rng(0)
+    w = dirichlet_weights(6, 0.5, rng)
+    assert w.sum() == pytest.approx(1.0)
+    assert (w >= 0).all()
+    with pytest.raises(ValueError):
+        dirichlet_weights(6, 0.0, rng)
+
+
+def test_perturbed_preserves_total_and_zero_sigma():
+    rng = np.random.default_rng(1)
+    base = zipf_weights(10, 0.8)
+    p = perturbed(base, rng, sigma=0.3)
+    assert p.sum() == pytest.approx(1.0)
+    assert not np.allclose(p, base)
+    assert np.allclose(perturbed(base, rng, sigma=0.0), base)
+    with pytest.raises(ValueError):
+        perturbed(base, rng, sigma=-0.1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 64),
+    alpha=st.floats(0.0, 3.0, allow_nan=False),
+    sigma=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**31),
+)
+def test_property_weights_always_a_distribution(n, alpha, sigma, seed):
+    rng = np.random.default_rng(seed)
+    w = perturbed(zipf_weights(n, alpha), rng, sigma=sigma)
+    assert len(w) == n
+    assert (w >= 0).all()
+    assert w.sum() == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,107 @@
+"""Unit tests for the shuffle fetcher (parallel-copy limit, barrier)."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobRun, JobSpec, MiB
+from repro.hadoop.shuffle import ShuffleFetcher
+from repro.hadoop.spill import SpillFile
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def build(parallel_copies=2, num_maps=6):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo, ClusterConfig(parallel_copies=parallel_copies))
+    spec = JobSpec(name="s", input_bytes=num_maps * 128 * MiB, num_reducers=1)
+    run = JobRun(spec=spec)
+    done = []
+    fetcher = ShuffleFetcher(
+        sim=sim,
+        network=net,
+        policy=EcmpPolicy(topo),
+        cluster=cluster,
+        run=run,
+        reducer_id=0,
+        node="h10",
+        num_maps=num_maps,
+        rng=np.random.default_rng(0),
+        on_all_fetched=lambda: done.append(True),
+    )
+    return sim, net, run, fetcher, done
+
+
+def spill(map_id, node, nbytes=10e6):
+    return SpillFile(
+        map_id=map_id, node=node, created_at=0.0, partition_bytes=np.array([nbytes])
+    )
+
+
+def test_parallel_copy_limit_enforced():
+    sim, net, run, fetcher, done = build(parallel_copies=2, num_maps=6)
+    fetcher.offer([spill(i, "h00") for i in range(6)])
+    # only 2 concurrent network fetches may be active
+    assert len(net.elastic) == 2
+    sim.run()
+    assert done == [True]
+    assert len(run.fetches) == 6
+
+
+def test_duplicate_offers_ignored():
+    sim, net, run, fetcher, done = build(num_maps=2)
+    s = spill(0, "h00")
+    fetcher.offer([s])
+    fetcher.offer([s])
+    fetcher.offer([spill(1, "h01")])
+    sim.run()
+    assert len(run.fetches) == 2
+    assert done == [True]
+
+
+def test_local_fetch_no_network_flow():
+    sim, net, run, fetcher, done = build(num_maps=1)
+    fetcher.offer([spill(0, "h10")])  # same node as reducer
+    assert net.elastic == []
+    sim.run()
+    assert done == [True]
+    assert run.fetches[0].local
+
+
+def test_zero_byte_partition_fetches_instantly():
+    sim, net, run, fetcher, done = build(num_maps=1)
+    fetcher.offer([spill(0, "h00", nbytes=0.0)])
+    assert net.elastic == []
+    sim.run()
+    assert done == [True]
+
+
+def test_wire_overhead_applied_to_flow_size():
+    sim, net, run, fetcher, done = build(num_maps=1)
+    fetcher.offer([spill(0, "h00", nbytes=100e6)])
+    flow = net.elastic[0]
+    assert flow.size == pytest.approx(100e6 * 1.027)
+    assert run.fetches[0].wire_bytes == pytest.approx(flow.size)
+    sim.run()
+
+
+def test_barrier_requires_all_maps():
+    sim, net, run, fetcher, done = build(num_maps=3)
+    fetcher.offer([spill(0, "h00"), spill(1, "h01")])
+    sim.run()
+    assert done == []  # map 2 still missing
+    fetcher.offer([spill(2, "h02")])
+    sim.run()
+    assert done == [True]
+
+
+def test_fetch_records_have_timestamps():
+    sim, net, run, fetcher, done = build(num_maps=2)
+    fetcher.offer([spill(0, "h00"), spill(1, "h01")])
+    sim.run()
+    for f in run.fetches:
+        assert f.start is not None and f.end is not None and f.end >= f.start

@@ -1,0 +1,94 @@
+"""Tests for speculative map execution and straggler injection."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.jobtracker import JobTracker
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def run_job(cluster_config, num_maps=30, seed=0):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo, cluster_config)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(seed))
+    spec = JobSpec(
+        name="spec-test",
+        input_bytes=num_maps * 128 * MiB,
+        num_reducers=4,
+        duration_jitter=0.05,
+    )
+    run = jt.submit(spec)
+    sim.run()
+    return run, jt
+
+
+STRAGGLER = {"h00": 6.0}  # one node runs maps 6x slower
+
+
+def test_speculation_beats_straggler():
+    base = ClusterConfig(node_slowdown=dict(STRAGGLER), speculative_execution=False)
+    spec_on = ClusterConfig(node_slowdown=dict(STRAGGLER), speculative_execution=True)
+    run_off, _ = run_job(base)
+    run_on, _ = run_job(spec_on)
+    assert run_on.speculative_attempts >= 1
+    _, map_end_off = run_off.map_phase_span
+    _, map_end_on = run_on.map_phase_span
+    assert map_end_on < map_end_off * 0.8, (
+        f"speculation must cut the straggler tail: {map_end_on:.1f} vs {map_end_off:.1f}"
+    )
+    assert run_on.jct < run_off.jct
+
+
+def test_no_speculation_without_stragglers():
+    cfg = ClusterConfig(speculative_execution=True)
+    run, _ = run_job(cfg)
+    # homogeneous cluster, 5% jitter: nothing should cross the 1.5x bar
+    assert run.speculative_attempts == 0
+    assert run.completed_at is not None
+
+
+def test_speculation_off_by_default():
+    cfg = ClusterConfig(node_slowdown=dict(STRAGGLER))
+    run, jt = run_job(cfg)
+    assert run.speculative_attempts == 0
+
+
+def test_slots_balance_after_speculation():
+    cfg = ClusterConfig(node_slowdown=dict(STRAGGLER), speculative_execution=True)
+    run, jt = run_job(cfg)
+    assert run.completed_at is not None
+    for tracker in jt.trackers.values():
+        assert tracker.busy_maps == 0, f"{tracker.node} leaked a map slot"
+        assert tracker.busy_reduces == 0
+
+
+def test_winner_node_recorded():
+    cfg = ClusterConfig(node_slowdown={"h00": 20.0}, speculative_execution=True)
+    run, _ = run_job(cfg, num_maps=30)
+    assert run.speculative_attempts >= 1
+    # the straggler node cannot have won all of its originally-assigned
+    # maps: some records must have migrated to other nodes
+    h00_maps = [r for r in run.maps.values() if r.node == "h00"]
+    assert len(h00_maps) < 3 + 30 // 10
+
+
+def test_every_map_spills_exactly_once():
+    cfg = ClusterConfig(node_slowdown=dict(STRAGGLER), speculative_execution=True)
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo, cfg)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(0))
+    spills = []
+    jt.subscribe_all(lambda ev, **kw: spills.append(kw["spill"].map_id) if ev == "spill" else None)
+    spec = JobSpec(name="s", input_bytes=30 * 128 * MiB, num_reducers=4)
+    run = jt.submit(spec)
+    sim.run()
+    assert sorted(spills) == list(range(30)), "one spill per map, winners only"

@@ -1,0 +1,79 @@
+"""Unit tests for spill decoding and the overhead cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.spill import SpillFile, make_spill
+from repro.hadoop.partition import zipf_weights
+from repro.instrumentation.decoder import SpillDecoder
+from repro.instrumentation.overhead import InstrumentationCostModel
+
+
+def spill(partitions):
+    return SpillFile(
+        map_id=0, node="h00", created_at=0.0, partition_bytes=np.asarray(partitions, float)
+    )
+
+
+def test_decode_adds_overhead():
+    dec = SpillDecoder(predicted_overhead=0.08, overhead_jitter=0.0)
+    pred = dec.decode(spill([100.0, 50.0]), np.random.default_rng(0))
+    assert pred[0] == pytest.approx(108.0)
+    assert pred[1] == pytest.approx(54.0)
+
+
+def test_decode_jitter_bounded():
+    dec = SpillDecoder(predicted_overhead=0.08, overhead_jitter=0.02)
+    rng = np.random.default_rng(1)
+    for _ in range(50):
+        pred = dec.decode(spill([100.0]), rng)
+        assert 106.0 - 1e-9 <= pred[0] <= 110.0 + 1e-9
+
+
+def test_decode_time_scales_with_reducers():
+    dec = SpillDecoder(0.08, decode_base=0.02, decode_per_reducer=0.001)
+    assert dec.decode_time(spill([1.0] * 10)) == pytest.approx(0.03)
+
+
+def test_negative_overhead_rejected():
+    with pytest.raises(ValueError):
+        SpillDecoder(predicted_overhead=-0.1)
+
+
+def test_make_spill_conserves_bytes():
+    rng = np.random.default_rng(2)
+    s = make_spill(3, "h01", 1.0, 1000.0, zipf_weights(5, 0.5), rng, sigma=0.2)
+    assert s.total_bytes == pytest.approx(1000.0)
+    assert s.partition(0) > s.partition(4)  # skew survives jitter on average
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nbytes=st.floats(1.0, 1e9, allow_nan=False),
+    n=st.integers(1, 32),
+    seed=st.integers(0, 2**31),
+)
+def test_property_prediction_never_below_app_bytes(nbytes, n, seed):
+    """The decoder must never under-predict the application volume:
+    the paper observed Pythia 'was always able to never lag the actual
+    traffic measurement trace'."""
+    rng = np.random.default_rng(seed)
+    dec = SpillDecoder(predicted_overhead=0.08, overhead_jitter=0.015)
+    s = make_spill(0, "h00", 0.0, nbytes, zipf_weights(n, 0.8), rng, sigma=0.1)
+    pred = dec.decode(s, rng)
+    assert (pred >= s.partition_bytes).all()
+    # and above the actual wire volume (2.7% framing) too
+    assert (pred >= s.partition_bytes * 1.027 - 1e-6).all()
+
+
+def test_cost_model_band():
+    model = InstrumentationCostModel()
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        f = model.sample_dc_fraction(rng)
+        assert 0.02 <= f <= 0.05
+    assert model.mean_dc_fraction() == pytest.approx(0.035)
+    with pytest.raises(ValueError):
+        InstrumentationCostModel(dc_low=0.5, dc_high=0.1)

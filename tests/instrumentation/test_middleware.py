@@ -1,0 +1,98 @@
+"""Unit tests for the per-server instrumentation middleware."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.job import JobSpec, MiB
+from repro.hadoop.jobtracker import JobTracker
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.instrumentation.middleware import (
+    InstrumentationConfig,
+    InstrumentationMiddleware,
+)
+from repro.sdn.policy import EcmpPolicy
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+class RecordingCollector:
+    def __init__(self):
+        self.predictions = []
+        self.locations = []
+
+    def receive_prediction(self, msg):
+        self.predictions.append(msg)
+
+    def receive_reducer_location(self, msg):
+        self.locations.append(msg)
+
+
+def run_job(num_maps=4, num_reducers=2, detection_delay=0.05):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    cluster = HadoopCluster(topo)
+    jt = JobTracker(sim, net, cluster, EcmpPolicy(topo), np.random.default_rng(0))
+    collector = RecordingCollector()
+    mw = InstrumentationMiddleware(
+        sim,
+        jt,
+        collector,
+        InstrumentationConfig(detection_delay=detection_delay),
+        np.random.default_rng(1),
+    )
+    spec = JobSpec(
+        name="t",
+        input_bytes=num_maps * 128 * MiB,
+        num_reducers=num_reducers,
+        duration_jitter=0.0,
+        per_map_sigma=0.0,
+    )
+    run = jt.submit(spec)
+    sim.run()
+    return run, collector, mw
+
+
+def test_one_prediction_per_map():
+    run, collector, mw = run_job(num_maps=4, num_reducers=2)
+    assert len(collector.predictions) == 4
+    assert mw.predictions_sent == 4
+    assert mw.maps_tracked == 4
+    for msg in collector.predictions:
+        assert isinstance(msg, PredictionMessage)
+        assert len(msg.reducer_bytes) == 2
+
+
+def test_one_location_per_reducer():
+    run, collector, mw = run_job(num_maps=4, num_reducers=3)
+    assert len(collector.locations) == 3
+    reported = {(m.reducer_id, m.server) for m in collector.locations}
+    actual = {(rid, rec.node) for rid, rec in run.reduces.items()}
+    assert reported == actual
+
+
+def test_prediction_arrives_after_spill_with_latency():
+    run, collector, mw = run_job(detection_delay=0.5)
+    for msg in collector.predictions:
+        map_end = run.maps[msg.map_id].end
+        assert msg.created_at >= map_end + 0.5
+
+
+def test_prediction_before_first_fetch_of_that_map():
+    """The whole premise: intent is known before the flow starts."""
+    run, collector, mw = run_job(num_maps=6, num_reducers=2)
+    arrival = {m.map_id: m.created_at for m in collector.predictions}
+    for fetch in run.fetches:
+        if fetch.local:
+            continue
+        assert arrival[fetch.map_id] < fetch.start
+
+
+def test_predicted_volume_covers_wire_volume():
+    run, collector, mw = run_job(num_maps=3, num_reducers=2)
+    predicted = sum(float(m.reducer_bytes.sum()) for m in collector.predictions)
+    wire = sum(f.wire_bytes for f in run.fetches)
+    assert predicted >= wire
+    assert predicted <= wire * 1.2  # but not wildly over

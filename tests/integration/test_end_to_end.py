@@ -1,0 +1,156 @@
+"""End-to-end integration tests over the full stack.
+
+These drive complete jobs through topology + network + controller +
+Hadoop + instrumentation, asserting the paper's qualitative claims and
+cross-cutting invariants rather than per-module behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.hadoop.job import JobSpec, MiB
+from repro.simnet.topology import leaf_spine
+from repro.workloads import make_workload, nutch_indexing_job, sort_job
+
+
+def small_sort(gb=6.0, reducers=10):
+    return sort_job(input_gb=gb, num_reducers=reducers)
+
+
+def test_all_schedulers_complete_unloaded():
+    for sched in ("ecmp", "pythia", "hedera"):
+        res = run_experiment(small_sort(), scheduler=sched, ratio=None, seed=3)
+        assert res.run.completed_at is not None
+        assert res.jct > 0
+
+
+def test_pythia_beats_ecmp_under_load():
+    """The headline claim, at a single loaded operating point."""
+    e = run_experiment(small_sort(), scheduler="ecmp", ratio=10, seed=1)
+    p = run_experiment(small_sort(), scheduler="pythia", ratio=10, seed=1)
+    assert p.jct < e.jct * 0.9, f"pythia {p.jct:.0f}s vs ecmp {e.jct:.0f}s"
+
+
+def test_pythia_close_to_ecmp_unloaded():
+    """Without contention there is nothing to win — but nothing big to
+    lose either (the rules still route over shortest paths)."""
+    e = run_experiment(small_sort(), scheduler="ecmp", ratio=None, seed=1)
+    p = run_experiment(small_sort(), scheduler="pythia", ratio=None, seed=1)
+    assert abs(p.jct - e.jct) / e.jct < 0.10
+
+
+def test_hedera_helps_on_elephants_but_not_on_mice():
+    """The §II/§VI comparison, measured honestly.
+
+    On an elephant-dominated sort, an (idealised) reactive global
+    rescheduler is competitive with ahead-of-time placement — both
+    crush ECMP.  On Nutch's many small flows, Hedera's elephant
+    detector never fires and it collapses to ECMP, while Pythia's
+    prediction still works — the structural advantage the paper argues.
+    """
+    sort_jcts = {}
+    for sched in ("ecmp", "hedera", "pythia"):
+        sort_jcts[sched] = np.mean(
+            [
+                run_experiment(small_sort(), scheduler=sched, ratio=10, seed=s).jct
+                for s in (1, 2)
+            ]
+        )
+    assert sort_jcts["hedera"] < sort_jcts["ecmp"] * 0.8, "reactive must help on elephants"
+    assert sort_jcts["pythia"] < sort_jcts["ecmp"] * 0.8
+    assert sort_jcts["pythia"] < sort_jcts["hedera"] * 1.25, "prediction stays competitive"
+
+    nutch_jcts = {
+        sched: run_experiment(
+            nutch_indexing_job(pages=1.5e6), scheduler=sched, ratio=20, seed=1
+        ).jct
+        for sched in ("ecmp", "hedera", "pythia")
+    }
+    assert nutch_jcts["hedera"] > nutch_jcts["ecmp"] * 0.95, (
+        "small flows evade the elephant detector: Hedera ~ ECMP"
+    )
+    assert nutch_jcts["pythia"] < nutch_jcts["hedera"] * 0.9, (
+        "prediction needs no elephants: Pythia must clearly win"
+    )
+
+
+def test_deterministic_replay():
+    a = run_experiment(small_sort(), scheduler="pythia", ratio=10, seed=7)
+    b = run_experiment(small_sort(), scheduler="pythia", ratio=10, seed=7)
+    assert a.jct == b.jct
+    assert a.sim.events_processed == b.sim.events_processed
+
+
+def test_seed_changes_ecmp_outcome():
+    jcts = {
+        run_experiment(small_sort(), scheduler="ecmp", ratio=10, seed=s).jct
+        for s in (1, 2, 3)
+    }
+    assert len(jcts) > 1, "ephemeral ports must vary across seeds"
+
+
+def test_shuffle_bytes_conserved_through_network():
+    res = run_experiment(small_sort(), scheduler="pythia", ratio=None, seed=2)
+    run = res.run
+    remote_wire = sum(f.wire_bytes for f in run.fetches if not f.local)
+    measured = sum(res.netflow.total_sourced(s) for s in res.netflow.servers())
+    assert measured == pytest.approx(remote_wire, rel=1e-6)
+
+
+def test_prediction_counts_match_job_shape():
+    spec = small_sort()
+    res = run_experiment(spec, scheduler="pythia", ratio=None, seed=2)
+    assert res.collector is not None
+    assert res.collector.predictions_received == spec.num_maps
+    assert res.collector.locations_received == spec.num_reducers
+    assert res.collector.pending_intents == 0
+    # every remote fetch was covered by an installed rule (no races)
+    assert res.policy_stats["fallbacks"] <= 0.02 * len(res.run.fetches)
+
+
+def test_pythia_on_leaf_spine_fabric():
+    res = run_experiment(
+        sort_job(input_gb=4.0, num_reducers=8),
+        scheduler="pythia",
+        ratio=None,
+        seed=1,
+        topology_factory=lambda: leaf_spine(leaves=4, spines=2, hosts_per_leaf=3),
+    )
+    assert res.run.completed_at is not None
+    assert res.policy_stats["rule_hits"] > 0
+
+
+def test_nutch_flat_sort_not_flat():
+    """Figure 3 vs Figure 4's qualitative contrast."""
+    nutch_idle = run_experiment(nutch_indexing_job(pages=5e6), "pythia", None, seed=1).jct
+    nutch_20 = run_experiment(nutch_indexing_job(pages=5e6), "pythia", 20, seed=1).jct
+    sort_idle = run_experiment(make_workload("sort", scale=0.1), "pythia", None, seed=1).jct
+    sort_20 = run_experiment(make_workload("sort", scale=0.1), "pythia", 20, seed=1).jct
+    nutch_growth = nutch_20 / nutch_idle
+    sort_growth = sort_20 / sort_idle
+    assert nutch_growth < 1.5, "Pythia must hold Nutch nearly flat"
+    assert sort_growth > 2.0, "sort's shuffle must exceed one path's residual"
+
+
+def test_wordcount_negative_control():
+    """A CPU-bound job with a tiny shuffle must be scheduler-insensitive."""
+    spec = make_workload("wordcount", scale=0.2)
+    e = run_experiment(spec, scheduler="ecmp", ratio=10, seed=1).jct
+    spec = make_workload("wordcount", scale=0.2)
+    p = run_experiment(spec, scheduler="pythia", ratio=10, seed=1).jct
+    assert abs(p - e) / e < 0.15
+
+
+def test_instrumentation_cost_shows_up_but_small():
+    free = run_experiment(small_sort(), "pythia", None, seed=1,
+                          model_instrumentation_cost=False).jct
+    charged = run_experiment(small_sort(), "pythia", None, seed=1,
+                             model_instrumentation_cost=True).jct
+    assert charged > free
+    assert (charged - free) / free < 0.06  # bounded by the 2-5% CPU band
+
+
+def test_invalid_scheduler_rejected():
+    with pytest.raises(ValueError):
+        run_experiment(small_sort(), scheduler="valiant")

@@ -1,0 +1,48 @@
+"""Property test: the full stack works on arbitrary leaf-spine fabrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import run_experiment
+from repro.hadoop.job import JobSpec, MiB
+from repro.simnet.topology import leaf_spine
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    leaves=st.integers(2, 4),
+    spines=st.integers(1, 3),
+    hosts_per_leaf=st.integers(1, 3),
+    reducers=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_property_full_stack_on_random_leaf_spine(
+    leaves, spines, hosts_per_leaf, reducers, seed
+):
+    spec = JobSpec(
+        name="fuzz",
+        input_bytes=6 * 64 * MiB,
+        block_size=64 * MiB,
+        num_reducers=reducers,
+    )
+    for scheduler in ("ecmp", "pythia"):
+        res = run_experiment(
+            spec,
+            scheduler=scheduler,
+            ratio=None,
+            seed=seed,
+            topology_factory=lambda: leaf_spine(
+                leaves=leaves, spines=spines, hosts_per_leaf=hosts_per_leaf
+            ),
+        )
+        run = res.run
+        assert run.completed_at is not None
+        assert len(run.fetches) == spec.num_maps * reducers
+        assert run.reducer_bytes().sum() == pytest.approx(
+            spec.intermediate_bytes, rel=1e-6
+        )
+        assert res.sim.pending == 0, "event queue must drain"
+        if scheduler == "pythia":
+            assert res.collector is not None
+            assert res.collector.pending_intents == 0

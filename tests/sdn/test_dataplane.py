@@ -1,0 +1,119 @@
+"""Tests for the table-driven data plane with reactive miss handling."""
+
+import pytest
+
+from repro.sdn.dataplane import TableDrivenPolicy
+from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+from repro.simnet.topology import two_rack
+
+
+def build():
+    sim = Simulator()
+    topo = two_rack()
+    prog = FlowProgrammer(sim, per_rule_latency=0.0, control_rtt=0.0)
+    policy = TableDrivenPolicy(topo, prog)
+    return sim, topo, prog, policy
+
+
+def flow(sport=SHUFFLE_PORT, dport=42000, src="h00", dst="h10"):
+    return Flow(
+        src=src,
+        dst=dst,
+        size=1.0,
+        five_tuple=FiveTuple(f"10.0.{src[2]}", f"10.1.{dst[2]}", sport, dport, TCP),
+    )
+
+
+def test_miss_punts_and_installs_reactive_rule():
+    sim, topo, prog, policy = build()
+    f = flow()
+    path = policy.place(f)
+    assert policy.packet_ins == 1
+    assert policy.table_hits == 0
+    sim.run()  # commit the reactive rule
+    assert prog.table_size == 1
+    # second flow with the SAME five-tuple now hits the table
+    path2 = policy.place(flow())
+    assert policy.table_hits == 1
+    assert path2 == path
+
+
+def test_different_tuple_punts_again():
+    sim, topo, prog, policy = build()
+    policy.place(flow(dport=42000))
+    sim.run()
+    policy.place(flow(dport=59999))
+    assert policy.packet_ins == 2
+
+
+def test_pythia_aggregate_rules_hit_without_punt():
+    sim, topo, prog, policy = build()
+    aggregate = Rule(
+        match=Match(src_ip="10.0.0", dst_ip="10.1.0", src_port=SHUFFLE_PORT),
+        path=topo.path_links(["h00", "tor0", "trunk1", "tor1", "h10"]),
+        priority=10,
+    )
+    prog.install([aggregate])
+    sim.run()
+    path = policy.place(flow(dport=51111))
+    assert policy.packet_ins == 0
+    assert policy.table_hits == 1
+    assert "trunk1" in topo.path_nodes(path)
+
+
+def test_walk_path_matches_central_intent_under_mixed_state():
+    sim, topo, prog, policy = build()
+    aggregate = Rule(
+        match=Match(src_ip="10.0.0", dst_ip="10.1.0", src_port=SHUFFLE_PORT),
+        path=topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]),
+        priority=10,
+    )
+    prog.install([aggregate])
+    sim.run()
+    # a non-shuffle flow between the same hosts misses (port differs)
+    other = flow(sport=50010)
+    policy.place(other)
+    assert policy.packet_ins == 1
+    sim.run()
+    # and the shuffle flow still follows the aggregate (priority wins)
+    path = policy.place(flow())
+    assert "trunk0" in topo.path_nodes(path)
+
+
+def test_repair_after_failure():
+    sim, topo, prog, policy = build()
+    f = flow()
+    policy.place(f)
+    sim.run()
+    topo.fail_cable("tor0", "trunk0")
+    topo.fail_cable("tor0", "trunk1")
+    assert policy.repair(f) is None
+    topo.restore_cable("tor0", "trunk1")
+    repaired = policy.repair(f)
+    assert repaired is not None
+    assert "trunk1" in topo.path_nodes(repaired)
+
+
+def test_end_to_end_job_on_table_driven_data_plane():
+    """A whole sort job where every flow is placed by table walks."""
+    import numpy as np
+
+    from repro.hadoop.cluster import HadoopCluster
+    from repro.hadoop.jobtracker import JobTracker
+    from repro.simnet.network import Network
+    from repro.workloads.sort import sort_job
+
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    prog = FlowProgrammer(sim, per_rule_latency=0.001)
+    policy = TableDrivenPolicy(topo, prog)
+    cluster = HadoopCluster(topo)
+    jt = JobTracker(sim, net, cluster, policy, np.random.default_rng(0))
+    run = jt.submit(sort_job(input_gb=2.0, num_reducers=8))
+    sim.run()
+    assert run.completed_at is not None
+    assert policy.packet_ins > 0
+    assert prog.table_size == policy.packet_ins  # one reactive rule per punt

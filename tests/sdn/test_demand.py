@@ -1,0 +1,73 @@
+"""Tests for Hedera's natural-demand estimator."""
+
+import pytest
+
+from repro.sdn.demand import estimate_demands
+
+
+def test_single_flow_gets_full_nic():
+    [d] = estimate_demands([("a", "b")], nic_rate=100.0)
+    assert d == pytest.approx(100.0)
+
+
+def test_two_flows_same_source_split():
+    d = estimate_demands([("a", "b"), ("a", "c")], nic_rate=100.0)
+    assert d == pytest.approx([50.0, 50.0])
+
+
+def test_receiver_limited():
+    # three senders into one receiver: receiver NIC caps each at 1/3
+    d = estimate_demands([("a", "x"), ("b", "x"), ("c", "x")], nic_rate=90.0)
+    assert d == pytest.approx([30.0, 30.0, 30.0])
+
+
+def test_mixed_sender_receiver_limits():
+    # a sends to x and y; b sends to x.  max-min: a->x and b->x share x
+    # with a->y... source a splits 50/50; x sees 50 (a) + 100 (b) = 150 > 100.
+    # receiver x: equal share 50 each; a->y keeps a's other 50.
+    d = estimate_demands([("a", "x"), ("a", "y"), ("b", "x")], nic_rate=100.0)
+    a_x, a_y, b_x = d
+    assert a_x == pytest.approx(50.0)
+    assert b_x == pytest.approx(50.0)
+    assert a_y == pytest.approx(50.0)
+
+
+def test_nsdi_style_asymmetry():
+    # small flow below the receiver's equal share keeps its own demand
+    # h1->r (alone from h1), h2->r plus h2->z: h2 splits 50/50.
+    # r sees 100 + 50 = 150 > 100: equal share 50; h2->r already 50;
+    # h1->r receiver-limited to 50.
+    d = estimate_demands([("h1", "r"), ("h2", "r"), ("h2", "z")], nic_rate=100.0)
+    assert d[0] == pytest.approx(50.0)
+    assert d[1] == pytest.approx(50.0)
+    assert d[2] == pytest.approx(50.0)
+
+
+def test_heterogeneous_nics():
+    d = estimate_demands(
+        [("fat", "thin")], nic_rate={"fat": 1000.0, "thin": 100.0}
+    )
+    assert d[0] == pytest.approx(100.0)
+
+
+def test_empty():
+    assert estimate_demands([]) == []
+
+
+def test_parallel_flows_same_pair():
+    d = estimate_demands([("a", "b"), ("a", "b")], nic_rate=100.0)
+    assert d == pytest.approx([50.0, 50.0])
+
+
+def test_demands_never_exceed_either_nic():
+    pairs = [("a", "x"), ("a", "y"), ("b", "x"), ("c", "x"), ("c", "y")]
+    d = estimate_demands(pairs, nic_rate=100.0)
+    from collections import defaultdict
+
+    out = defaultdict(float)
+    inn = defaultdict(float)
+    for (s, t), dem in zip(pairs, d):
+        out[s] += dem
+        inn[t] += dem
+    for host, total in {**out, **inn}.items():
+        assert total <= 100.0 + 1e-6

@@ -1,0 +1,84 @@
+"""Unit + property tests for ECMP hashing and path selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdn.ecmp import EcmpSelector, ecmp_index
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+from repro.simnet.topology import two_rack
+
+
+def ft(sport=40000, dport=50060, src="10.0.0", dst="10.1.0"):
+    return FiveTuple(src, dst, sport, dport, TCP)
+
+
+def test_index_stable():
+    t = ft()
+    assert ecmp_index(t, 4) == ecmp_index(t, 4)
+
+
+def test_index_in_range():
+    for sport in range(1000, 1100):
+        assert 0 <= ecmp_index(ft(sport=sport), 3) < 3
+
+
+def test_index_requires_paths():
+    with pytest.raises(ValueError):
+        ecmp_index(ft(), 0)
+
+
+def test_index_spreads_over_paths():
+    hits = [0, 0]
+    for sport in range(2000):
+        hits[ecmp_index(ft(sport=32768 + sport), 2)] += 1
+    # a decent hash puts roughly half on each path
+    assert 800 < hits[0] < 1200
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    sport=st.integers(1, 65535),
+    dport=st.integers(1, 65535),
+    n=st.integers(1, 16),
+)
+def test_property_index_deterministic_and_bounded(sport, dport, n):
+    t = ft(sport=sport, dport=dport)
+    i = ecmp_index(t, n)
+    assert 0 <= i < n
+    assert i == ecmp_index(t, n)
+
+
+def test_selector_returns_valid_path():
+    topo = two_rack()
+    sel = EcmpSelector(topo, k=4)
+    flow = Flow(src="h00", dst="h12", size=1.0, five_tuple=ft(dst="10.1.2"))
+    path = sel.path_for(flow)
+    links = topo.links
+    assert links[path[0]].src == "h00"
+    assert links[path[-1]].dst == "h12"
+
+
+def test_selector_cache_invalidated_on_failure():
+    topo = two_rack()
+    sel = EcmpSelector(topo, k=4)
+    assert len(sel.paths("h00", "h10")) == 2
+    topo.fail_cable("tor0", "trunk0")
+    assert len(sel.paths("h00", "h10")) == 1
+
+
+def test_different_ports_can_take_different_trunks():
+    topo = two_rack()
+    sel = EcmpSelector(topo, k=4)
+    trunks = set()
+    for sport in range(32768, 32868):
+        flow = Flow(
+            src="h00",
+            dst="h10",
+            size=1.0,
+            five_tuple=FiveTuple("10.0.0", "10.1.0", SHUFFLE_PORT, sport, TCP),
+        )
+        path = sel.path_for(flow)
+        trunks.add(topo.path_nodes(path)[2])
+    assert trunks == {"trunk0", "trunk1"}

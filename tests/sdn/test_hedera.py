@@ -1,0 +1,122 @@
+"""Unit tests for the Hedera-style reactive baseline."""
+
+import pytest
+
+from repro.sdn.controller import Controller
+from repro.sdn.hedera import HederaScheduler
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, UDP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def build(poll=1.0):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    ctrl = Controller(sim, net)
+    hedera = HederaScheduler(poll_period=poll)
+    ctrl.register(hedera)
+    ctrl.start()
+    return sim, topo, net, ctrl, hedera
+
+
+def test_hedera_moves_elephant_off_congested_path():
+    sim, topo, net, ctrl, hedera = build()
+    # saturate trunk0 with rigid background
+    bg = Flow(
+        src="bg0",
+        dst="bg1",
+        size=None,
+        five_tuple=FiveTuple("10.0.250", "10.1.250", 50000, 5001, UDP),
+        rigid_rate=120e6,
+    )
+    net.start_flow(bg, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    # elephant stuck on trunk0
+    f = Flow(
+        src="h00",
+        dst="h10",
+        size=500e6,
+        five_tuple=FiveTuple("10.0.0", "10.1.0", 50060, 42000, TCP),
+    )
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+    sim.run(until=30.0)
+    assert hedera.reroutes >= 1
+    assert f.end_time is not None
+    # rerouted onto trunk1: finishes far faster than the 100s it would
+    # have needed at trunk0's 5MB/s residual
+    assert f.end_time < 20.0
+    ctrl.stop()
+    net.stop_flow(bg)
+    sim.run()
+
+
+def test_hedera_ignores_mice():
+    sim, topo, net, ctrl, hedera = build(poll=0.5)
+    f = Flow(
+        src="h00",
+        dst="h10",
+        size=1e5,  # tiny
+        five_tuple=FiveTuple("10.0.0", "10.1.0", 50060, 42000, TCP),
+    )
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+    sim.run(until=5.0)
+    assert hedera.reroutes == 0
+    ctrl.stop()
+    sim.run()
+
+
+def test_hedera_stop_halts_polling():
+    sim, topo, net, ctrl, hedera = build(poll=0.5)
+    ctrl.stop()
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_hedera_min_outstanding_gate():
+    """Flows with little left cannot amortise a reroute and are skipped."""
+    sim, topo, net, ctrl, hedera = build(poll=0.5)
+    hedera.min_outstanding_bytes = 50e6
+    bg = Flow(
+        src="bg0", dst="bg1", size=None,
+        five_tuple=FiveTuple("10.0.250", "10.1.250", 50000, 5001, UDP),
+        rigid_rate=120e6,
+    )
+    net.start_flow(bg, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    f = Flow(
+        src="h00", dst="h10", size=20e6,  # below the 50MB gate
+        five_tuple=FiveTuple("10.0.0", "10.1.0", 50060, 42000, TCP),
+    )
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+    sim.run(until=10.0)
+    assert hedera.reroutes == 0
+    ctrl.stop()
+    net.stop_flow(bg)
+    sim.run()
+
+
+def test_hedera_reroute_pause_charges_disruption():
+    """Each move stalls the flow briefly (TCP reordering recovery)."""
+    sim, topo, net, ctrl, hedera = build(poll=1.0)
+    hedera.reroute_pause = 2.0  # exaggerated so the effect is visible
+    bg = Flow(
+        src="bg0", dst="bg1", size=None,
+        five_tuple=FiveTuple("10.0.250", "10.1.250", 50000, 5001, UDP),
+        rigid_rate=124e6,
+    )
+    net.start_flow(bg, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    f = Flow(
+        src="h00", dst="h10", size=125e6,
+        five_tuple=FiveTuple("10.0.0", "10.1.0", 50060, 42000, TCP),
+    )
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+    sim.run(until=60.0)
+    assert f.end_time is not None
+    assert hedera.reroutes >= 1
+    # even with the stall, escaping the hot trunk beats staying: the
+    # flow must finish well before the ~100s it would take at 1.25MB/s,
+    # but after the charged pause window
+    assert 2.0 < f.end_time < 30.0
+    ctrl.stop()
+    net.stop_flow(bg)
+    sim.run()

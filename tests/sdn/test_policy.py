@@ -1,0 +1,81 @@
+"""Unit tests for path policies and failure repair."""
+
+import pytest
+
+from repro.sdn.policy import EcmpPolicy, FailureRepairService
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def mk_flow(sport=40000):
+    return Flow(
+        src="h00",
+        dst="h10",
+        size=100e6,
+        five_tuple=FiveTuple("10.0.0", "10.1.0", 50060, sport, TCP),
+    )
+
+
+def test_ecmp_policy_place_matches_selector_hash():
+    topo = two_rack()
+    policy = EcmpPolicy(topo, k=4)
+    f = mk_flow()
+    p1 = policy.place(f)
+    p2 = policy.place(f)
+    assert p1 == p2  # same tuple, same path
+
+
+def test_ecmp_policy_repair_avoids_dead_trunk():
+    topo = two_rack()
+    policy = EcmpPolicy(topo, k=4)
+    f = mk_flow()
+    topo.fail_cable("tor0", "trunk0")
+    path = policy.repair(f)
+    assert path is not None
+    assert "trunk1" in topo.path_nodes(path)
+
+
+def test_ecmp_policy_repair_none_when_partitioned():
+    topo = two_rack()
+    policy = EcmpPolicy(topo, k=4)
+    f = mk_flow()
+    policy.place(f)
+    topo.fail_cable("tor0", "trunk0")
+    topo.fail_cable("tor0", "trunk1")
+    assert policy.repair(f) is None
+
+
+def test_failure_repair_reroutes_live_flows():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    policy = EcmpPolicy(topo, k=4)
+    repair = FailureRepairService(net, policy)
+    f = mk_flow()
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+    sim.schedule(0.1, topo.fail_cable, "tor0", "trunk0")
+    sim.run()
+    assert f.end_time is not None
+    assert repair.repairs == 1
+    assert repair.stranded == 0
+
+
+def test_failure_repair_counts_stranded():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    policy = EcmpPolicy(topo, k=4)
+    repair = FailureRepairService(net, policy)
+    f = mk_flow()
+    net.start_flow(f, topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"]))
+
+    def nuke():
+        topo.fail_cable("tor0", "trunk0")
+        topo.fail_cable("tor0", "trunk1")
+
+    sim.schedule(0.1, nuke)
+    sim.run(until=1.0)
+    assert repair.stranded >= 1
+    assert f.end_time is None

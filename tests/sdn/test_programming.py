@@ -1,0 +1,99 @@
+"""Unit tests for rule tables and install latency."""
+
+import pytest
+
+from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+
+
+def mk_flow(src_ip="10.0.0", dst_ip="10.1.0", sport=SHUFFLE_PORT, dport=45000):
+    return Flow(
+        src="h00",
+        dst="h10",
+        size=1.0,
+        five_tuple=FiveTuple(src_ip, dst_ip, sport, dport, TCP),
+    )
+
+
+def test_match_wildcards():
+    m = Match(src_ip="10.0.0", dst_ip="10.1.0", src_port=SHUFFLE_PORT)
+    assert m.covers(mk_flow())
+    assert m.covers(mk_flow(dport=60000))  # dst port wildcarded
+    assert not m.covers(mk_flow(src_ip="10.0.9"))
+    assert not m.covers(mk_flow(sport=1234))
+
+
+def test_match_specificity():
+    assert Match().specificity() == 0
+    assert Match(src_ip="a", dst_ip="b", src_port=1, dst_port=2).specificity() == 8
+    # exact-IP rules outrank prefix rules covering the same flow
+    exact = Match(src_ip="10.0.0", dst_ip="10.1.0")
+    prefix = Match(src_prefix="10.0.", dst_prefix="10.1.")
+    assert exact.specificity() > prefix.specificity()
+
+
+def test_match_prefix_covers():
+    m = Match(src_prefix="10.0.", dst_prefix="10.1.", src_port=SHUFFLE_PORT)
+    assert m.covers(mk_flow(src_ip="10.0.3", dst_ip="10.1.4"))
+    assert not m.covers(mk_flow(src_ip="10.1.3", dst_ip="10.1.4"))
+    assert not m.covers(mk_flow(sport=1234))
+
+
+def test_install_latency_scales_with_batch():
+    sim = Simulator()
+    prog = FlowProgrammer(sim, per_rule_latency=0.004, control_rtt=0.002)
+    rules = [Rule(match=Match(src_ip=f"10.0.{i}"), path=[0]) for i in range(5)]
+    done_at = prog.install(rules)
+    assert done_at == pytest.approx(0.002 + 5 * 0.004)
+    assert prog.lookup(mk_flow(src_ip="10.0.1")) is None  # not yet live
+    sim.run()
+    assert prog.table_size == 5
+    assert prog.lookup(mk_flow(src_ip="10.0.1")) is not None
+
+
+def test_lookup_prefers_priority_then_specificity():
+    sim = Simulator()
+    prog = FlowProgrammer(sim)
+    low = Rule(match=Match(src_ip="10.0.0"), path=[0], priority=0)
+    hi = Rule(match=Match(src_ip="10.0.0", dst_ip="10.1.0"), path=[1], priority=10)
+    prog.install([low, hi])
+    sim.run()
+    assert prog.lookup(mk_flow()).path == [1]
+
+
+def test_lookup_counts_hits():
+    sim = Simulator()
+    prog = FlowProgrammer(sim)
+    rule = Rule(match=Match(src_ip="10.0.0"), path=[0])
+    prog.install([rule])
+    sim.run()
+    prog.lookup(mk_flow())
+    prog.lookup(mk_flow())
+    assert rule.hits == 2
+
+
+def test_remove_and_clear():
+    sim = Simulator()
+    prog = FlowProgrammer(sim)
+    rule = Rule(match=Match(src_ip="10.0.0"), path=[0])
+    prog.install([rule])
+    sim.run()
+    prog.remove(rule)
+    assert prog.lookup(mk_flow()) is None
+    prog.remove(rule)  # idempotent
+    prog.install([rule])
+    sim.run()
+    prog.clear()
+    assert prog.table_size == 0
+
+
+def test_install_callback_fires_after_latency():
+    sim = Simulator()
+    prog = FlowProgrammer(sim, per_rule_latency=0.01, control_rtt=0.0)
+    seen = []
+    prog.install([Rule(match=Match(), path=[0])], on_installed=seen.append)
+    assert seen == []
+    sim.run()
+    assert len(seen) == 1
+    assert sim.now == pytest.approx(0.01)

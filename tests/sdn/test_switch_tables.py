@@ -1,0 +1,126 @@
+"""Unit tests for the per-switch TCAM expansion and hop-by-hop walk."""
+
+import pytest
+
+from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.sdn.switch_tables import SwitchTableView
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+from repro.simnet.topology import two_rack
+
+
+def build():
+    sim = Simulator()
+    topo = two_rack()
+    prog = FlowProgrammer(sim, per_rule_latency=0.0, control_rtt=0.0)
+    return sim, topo, prog, SwitchTableView(topo, prog)
+
+
+def exact_rule(topo, src="h00", dst="h10", trunk="trunk0", priority=10):
+    path = topo.path_links([src, "tor0", trunk, "tor1", dst])
+    return Rule(
+        match=Match(src_ip=f"10.0.{src[2]}", dst_ip=f"10.1.{dst[2]}",
+                    src_port=SHUFFLE_PORT),
+        path=path,
+        priority=priority,
+    )
+
+
+def shuffle_flow(src="h00", dst="h10", dport=42000):
+    return Flow(
+        src=src,
+        dst=dst,
+        size=1.0,
+        five_tuple=FiveTuple(f"10.0.{src[2]}", f"10.1.{dst[2]}", SHUFFLE_PORT, dport, TCP),
+    )
+
+
+def test_expansion_places_entries_along_path():
+    sim, topo, prog, view = build()
+    prog.install([exact_rule(topo)])
+    sim.run()
+    occ = view.occupancy()
+    # switches on the path: tor0, trunk0, tor1
+    assert occ["tor0"] == 1 and occ["trunk0"] == 1 and occ["tor1"] == 1
+    assert occ["trunk1"] == 0
+    assert view.total_entries() == 3
+    assert view.max_occupancy() == 1
+
+
+def test_walk_reproduces_installed_path():
+    sim, topo, prog, view = build()
+    prog.install([exact_rule(topo, trunk="trunk1")])
+    sim.run()
+    walked = view.walk(shuffle_flow())
+    assert walked == ["h00", "tor0", "trunk1", "tor1", "h10"]
+
+
+def test_walk_misses_without_rule():
+    sim, topo, prog, view = build()
+    assert view.walk(shuffle_flow()) is None  # inter-rack, no state
+
+
+def test_walk_intra_rack_uses_default_l2():
+    sim, topo, prog, view = build()
+    flow = Flow(
+        src="h00",
+        dst="h01",
+        size=1.0,
+        five_tuple=FiveTuple("10.0.0", "10.0.1", SHUFFLE_PORT, 40000, TCP),
+    )
+    assert view.walk(flow) == ["h00", "tor0", "h01"]
+
+
+def test_prefix_rule_skips_edge_entries_and_covers_all_pairs():
+    sim, topo, prog, view = build()
+    path = topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"])
+    prefix = Rule(
+        match=Match(src_prefix="10.0.", dst_prefix="10.1.", src_port=SHUFFLE_PORT),
+        path=path,
+        priority=10,
+    )
+    prog.install([prefix])
+    sim.run()
+    occ = view.occupancy()
+    # no entry at tor1 (host-facing hop is default-L2 delivered)
+    assert occ["tor0"] == 1 and occ["trunk0"] == 1 and occ["tor1"] == 0
+    # a *different* server pair in the same racks walks the same trunk
+    walked = view.walk(shuffle_flow(src="h03", dst="h12"))
+    assert walked == ["h03", "tor0", "trunk0", "tor1", "h12"]
+
+
+def test_prefix_rule_tcam_savings():
+    """One prefix rule covers what would take 25 exact rules."""
+    sim, topo, prog, view = build()
+    exact = [
+        exact_rule(topo, src=f"h0{i}", dst=f"h1{j}")
+        for i in range(5)
+        for j in range(5)
+    ]
+    prog.install(exact)
+    sim.run()
+    exact_tcam = view.max_occupancy()
+    prog.clear()
+    path = topo.path_links(["h00", "tor0", "trunk0", "tor1", "h10"])
+    prog.install(
+        [Rule(match=Match(src_prefix="10.0.", dst_prefix="10.1.", src_port=SHUFFLE_PORT),
+              path=path, priority=10)]
+    )
+    sim.run()
+    assert view.max_occupancy() == 1
+    assert exact_tcam >= 25
+
+
+def test_walk_detects_loops():
+    sim, topo, prog, view = build()
+    # adversarial state: trunk0 sends traffic back toward tor0
+    fwd = topo.path_links(["h00", "tor0", "trunk0"])
+    back = topo.path_links(["trunk0", "tor0"])
+    prog.install(
+        [
+            Rule(match=Match(src_ip="10.0.0"), path=fwd[1:], priority=5),
+            Rule(match=Match(src_ip="10.0.0"), path=back, priority=5),
+        ]
+    )
+    sim.run()
+    assert view.walk(shuffle_flow()) is None

@@ -1,0 +1,106 @@
+"""Unit tests for over-subscription background traffic."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.background import (
+    BackgroundTraffic,
+    _path_targets,
+    oversubscription_background_rate,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.topology import GBPS, two_rack
+
+TRUNK = 2 * GBPS       # two 1G trunks
+DEMAND = 5 * GBPS      # five 1G workers per rack
+
+
+def test_rate_none_and_low_ratio_is_zero():
+    topo = two_rack()
+    assert oversubscription_background_rate(topo, None) == 0.0
+    # nominal over-subscription is already 1:2.5 -> no traffic needed
+    assert oversubscription_background_rate(topo, 2) == 0.0
+    assert oversubscription_background_rate(topo, 2.5) == 0.0
+
+
+@pytest.mark.parametrize("ratio", [5, 10, 20])
+def test_rate_matches_effective_capacity(ratio):
+    topo = two_rack()
+    rate = oversubscription_background_rate(topo, ratio)
+    expected = min(TRUNK - DEMAND / ratio, 0.96 * TRUNK)
+    assert rate == pytest.approx(expected)
+
+
+def test_rate_ignores_generator_uplinks():
+    with_gen = oversubscription_background_rate(two_rack(), 10)
+    without = oversubscription_background_rate(two_rack(traffic_generators=False), 10)
+    assert with_gen == pytest.approx(without)
+
+
+def test_path_targets_split_and_cap():
+    targets = _path_targets([100.0, 100.0], total=150.0, imbalance=0.6)
+    assert sum(targets) == pytest.approx(150.0)
+    assert targets[0] == pytest.approx(90.0)  # 0.6 share
+    assert targets[0] <= 96.0 + 1e-9
+    # overload: want 120 on path0, capped at 96, spill to path1
+    targets = _path_targets([100.0, 100.0], total=190.0, imbalance=0.63)
+    assert targets[0] == pytest.approx(96.0)
+    assert sum(targets) == pytest.approx(190.0)
+
+
+def test_path_targets_rejects_empty():
+    with pytest.raises(ValueError):
+        _path_targets([], 10.0, 0.6)
+
+
+def test_populate_loads_trunks_unevenly_and_not_workers():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    flows = bg.populate(10)
+    assert flows
+    # trunk links carry rigid load, unevenly
+    t0 = [l for l in topo.links if l.src == "tor0" and l.dst == "trunk0"][0]
+    t1 = [l for l in topo.links if l.src == "tor0" and l.dst == "trunk1"][0]
+    assert t0.rigid_rate > t1.rigid_rate > 0
+    assert t0.rigid_rate + t1.rigid_rate == pytest.approx(
+        oversubscription_background_rate(topo, 10)
+    )
+    # worker access links carry none of it
+    for h in topo.worker_hosts():
+        for link in topo.up_links_from(h.name):
+            assert link.rigid_rate == 0.0
+
+
+def test_populate_none_is_noop():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    assert bg.populate(None) == []
+    assert all(l.rigid_rate == 0.0 for l in topo.links)
+
+
+def test_teardown_clears_load_and_queue():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    bg.populate(20)
+    bg.teardown()
+    assert all(l.rigid_rate == pytest.approx(0.0) for l in topo.links)
+    sim.run()  # queue must drain (no immortal events)
+    assert sim.pending == 0
+
+
+def test_both_directions_loaded():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    BackgroundTraffic(net, np.random.default_rng(0)).populate(10)
+    fwd = [l for l in topo.links if l.src == "tor0" and l.dst.startswith("trunk")]
+    rev = [l for l in topo.links if l.dst == "tor0" and l.src.startswith("trunk")]
+    assert sum(l.rigid_rate for l in fwd) > 0
+    assert sum(l.rigid_rate for l in rev) > 0

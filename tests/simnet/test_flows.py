@@ -1,0 +1,62 @@
+"""Unit tests for flow records and five-tuples."""
+
+import pytest
+
+from repro.simnet.flows import (
+    SHUFFLE_PORT,
+    TCP,
+    UDP,
+    FiveTuple,
+    Flow,
+    make_five_tuple,
+)
+
+
+def mk(sport=SHUFFLE_PORT, dport=42000, rate=None, size=10.0):
+    return Flow(
+        src="a",
+        dst="b",
+        size=size,
+        five_tuple=FiveTuple("10.0.0", "10.1.0", sport, dport, TCP),
+        rigid_rate=rate,
+    )
+
+
+def test_flow_ids_unique_and_hash_by_identity():
+    f1, f2 = mk(), mk()
+    assert f1.fid != f2.fid
+    assert f1 != f2
+    assert len({f1, f2}) == 2
+
+
+def test_elastic_vs_rigid():
+    assert mk().elastic
+    assert not mk(rate=100.0).elastic
+
+
+def test_is_shuffle_source_or_destination_port():
+    assert mk(sport=SHUFFLE_PORT, dport=42000).is_shuffle()
+    assert mk(sport=42000, dport=SHUFFLE_PORT).is_shuffle()
+    assert not mk(sport=42000, dport=42001).is_shuffle()
+
+
+def test_lifecycle_properties():
+    f = mk()
+    assert not f.active
+    assert f.duration is None
+    f.start_time = 1.0
+    assert f.active
+    f.end_time = 3.5
+    assert not f.active
+    assert f.duration == pytest.approx(2.5)
+
+
+def test_make_five_tuple_defaults():
+    ft = make_five_tuple("10.0.0", "10.1.0", src_port=50060)
+    assert ft.dst_port == SHUFFLE_PORT
+    assert ft.proto == TCP
+    assert make_five_tuple("a", "b", src_port=1, proto=UDP).proto == UDP
+
+
+def test_default_weight_is_one():
+    assert mk().weight == 1.0

@@ -1,0 +1,41 @@
+"""Unit tests for link state and byte accounting."""
+
+import pytest
+
+from repro.simnet.links import Link
+
+
+def test_rates_and_utilization():
+    link = Link(lid=0, src="a", dst="b", capacity=100.0)
+    assert link.utilization == 0.0
+    link.rigid_rate = 30.0
+    link.elastic_rate = 50.0
+    assert link.total_rate == pytest.approx(80.0)
+    assert link.utilization == pytest.approx(0.8)
+    link.elastic_rate = 90.0
+    assert link.utilization == 1.0  # clamped
+
+
+def test_residual_floor_under_overload():
+    link = Link(lid=0, src="a", dst="b", capacity=100.0)
+    link.rigid_rate = 250.0
+    assert link.residual == pytest.approx(Link.ELASTIC_FLOOR * 100.0)
+    link.rigid_rate = 40.0
+    assert link.residual == pytest.approx(60.0)
+
+
+def test_advance_integrates_bytes():
+    link = Link(lid=0, src="a", dst="b", capacity=100.0)
+    link.elastic_rate = 10.0
+    link.advance(2.0)
+    assert link.bytes_carried == pytest.approx(20.0)
+    link.rigid_rate = 5.0
+    link.advance(4.0)
+    assert link.bytes_carried == pytest.approx(20.0 + 15.0 * 2.0)
+    link.advance(4.0)  # no time passed: no change
+    assert link.bytes_carried == pytest.approx(50.0)
+
+
+def test_zero_capacity_utilization():
+    link = Link(lid=0, src="a", dst="b", capacity=0.0)
+    assert link.utilization == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the NetFlow measurement pipeline."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import SHUFFLE_PORT, TCP, UDP, FiveTuple, Flow
+from repro.simnet.netflow import NetFlowCollector
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def mk_shuffle(src, dst, size, dport=45555):
+    return Flow(
+        src=src,
+        dst=dst,
+        size=size,
+        five_tuple=FiveTuple(f"ip-{src}", f"ip-{dst}", SHUFFLE_PORT, dport, TCP),
+    )
+
+
+def trunk_path(topo, src, dst, trunk="trunk0"):
+    return topo.path_links([src, "tor0", trunk, "tor1", dst])
+
+
+def test_cumulative_series_monotone_and_complete():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    nf = NetFlowCollector(sim, net, interval=0.25)
+    f1 = mk_shuffle("h00", "h10", 50e6)
+    f2 = mk_shuffle("h00", "h11", 25e6, dport=45556)
+    net.start_flow(f1, trunk_path(topo, "h00", "h10"))
+    net.start_flow(f2, trunk_path(topo, "h00", "h11"))
+    sim.run()
+    times, cum = nf.series("h00")
+    assert len(times) > 2
+    assert (cum[1:] >= cum[:-1]).all(), "cumulative series must be monotone"
+    assert cum[-1] == pytest.approx(75e6, rel=1e-6)
+    assert nf.total_sourced("h00") == pytest.approx(75e6, rel=1e-6)
+
+
+def test_non_shuffle_traffic_ignored():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    nf = NetFlowCollector(sim, net)
+    f = Flow(
+        src="h00",
+        dst="h10",
+        size=10e6,
+        five_tuple=FiveTuple("a", "b", 40000, 5001, UDP),
+    )
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.run()
+    assert nf.servers() == []
+
+
+def test_traffic_matrix():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    nf = NetFlowCollector(sim, net)
+    net.start_flow(mk_shuffle("h00", "h10", 10e6), trunk_path(topo, "h00", "h10"))
+    net.start_flow(mk_shuffle("h01", "h10", 20e6), trunk_path(topo, "h01", "h10"))
+    sim.run()
+    m = nf.traffic_matrix()
+    assert m[("h00", "h10")] == pytest.approx(10e6, rel=1e-6)
+    assert m[("h01", "h10")] == pytest.approx(20e6, rel=1e-6)
+
+
+def test_sampler_stops_when_idle():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    NetFlowCollector(sim, net, interval=0.5)
+    net.start_flow(mk_shuffle("h00", "h10", 1e6), trunk_path(topo, "h00", "h10"))
+    sim.run()
+    assert sim.pending == 0, "netflow ticker must not outlive the flows"

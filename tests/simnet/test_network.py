@@ -1,0 +1,202 @@
+"""Unit tests for the fluid network manager."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, UDP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+MBps = 1e6
+
+
+def make_net():
+    sim = Simulator()
+    topo = two_rack()
+    return sim, topo, Network(sim, topo)
+
+
+def mk_flow(src, dst, size, sport=40000, dport=50060, proto=TCP, rate=None):
+    return Flow(
+        src=src,
+        dst=dst,
+        size=size,
+        five_tuple=FiveTuple(f"ip-{src}", f"ip-{dst}", sport, dport, proto),
+        rigid_rate=rate,
+    )
+
+
+def trunk_path(topo, src, dst, trunk="trunk0"):
+    return topo.path_links([src, "tor0", trunk, "tor1", dst])
+
+
+def test_single_flow_completes_at_line_rate():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    done = []
+    net.start_flow(f, trunk_path(topo, "h00", "h10"), on_complete=done.append)
+    sim.run()
+    assert done == [f]
+    assert f.duration == pytest.approx(1.0)
+    assert f.bytes_sent == pytest.approx(125e6)
+
+
+def test_two_flows_share_trunk_fairly():
+    sim, topo, net = make_net()
+    f1 = mk_flow("h00", "h10", 125e6, sport=1)
+    f2 = mk_flow("h01", "h10", 125e6, sport=2)
+    net.start_flow(f1, trunk_path(topo, "h00", "h10"))
+    net.start_flow(f2, trunk_path(topo, "h01", "h10"))
+    sim.run()
+    # both share the h10 access link: 2x the time
+    assert f1.duration == pytest.approx(2.0)
+    assert f2.duration == pytest.approx(2.0)
+
+
+def test_staggered_arrival_rates_adjust():
+    sim, topo, net = make_net()
+    f1 = mk_flow("h00", "h10", 125e6, sport=1)
+    f2 = mk_flow("h01", "h10", 125e6, sport=2)
+    net.start_flow(f1, trunk_path(topo, "h00", "h10"))
+    sim.schedule(0.5, lambda: net.start_flow(f2, trunk_path(topo, "h01", "h10")))
+    sim.run()
+    # f1: 0.5s alone (62.5MB) + shares until done
+    assert f1.end_time == pytest.approx(1.5)
+    assert f2.end_time == pytest.approx(2.0)
+
+
+def test_rigid_flow_reduces_elastic_share():
+    sim, topo, net = make_net()
+    bg = mk_flow("h00", "h10", None, proto=UDP, rate=62.5e6)  # half the trunk
+    f = mk_flow("h01", "h10", 62.5e6, sport=7)
+    net.start_flow(bg, trunk_path(topo, "h00", "h10"))
+    net.start_flow(f, trunk_path(topo, "h01", "h10"))
+    sim.run(until=10.0)
+    assert f.end_time == pytest.approx(1.0)  # 62.5MB at 62.5MB/s residual
+    net.stop_flow(bg)
+    sim.run()
+    assert bg.end_time is not None
+
+
+def test_rigid_finite_flow_completes():
+    sim, topo, net = make_net()
+    bg = mk_flow("h00", "h10", 10e6, proto=UDP, rate=5e6)
+    done = []
+    net.start_flow(bg, trunk_path(topo, "h00", "h10"), on_complete=done.append)
+    sim.run()
+    assert done == [bg]
+    assert bg.duration == pytest.approx(2.0)
+
+
+def test_elastic_floor_prevents_starvation():
+    sim, topo, net = make_net()
+    # rigid overload: 2x the trunk capacity
+    bg = mk_flow("h00", "h10", None, proto=UDP, rate=250e6)
+    f = mk_flow("h01", "h10", 2.5e6, sport=9)
+    net.start_flow(bg, trunk_path(topo, "h00", "h10"))
+    net.start_flow(f, trunk_path(topo, "h01", "h10"))
+    sim.run(until=5.0)
+    assert f.end_time is not None  # floor share (2%) still drains it
+    net.stop_flow(bg)
+    sim.run()
+
+
+def test_reroute_moves_traffic():
+    sim, topo, net = make_net()
+    f1 = mk_flow("h00", "h10", 250e6, sport=1)
+    f2 = mk_flow("h01", "h11", 250e6, sport=2)
+    net.start_flow(f1, trunk_path(topo, "h00", "h10"))
+    net.start_flow(f2, trunk_path(topo, "h01", "h11"))  # same trunk: share
+    sim.schedule(1.0, lambda: net.reroute(f2, trunk_path(topo, "h01", "h11", "trunk1")))
+    sim.run()
+    # after reroute at t=1 both have their own trunk
+    assert f1.end_time == pytest.approx(2.5)  # 62.5MB in 1s, then 187.5 at full
+    assert f2.end_time == pytest.approx(2.5)
+
+
+def test_path_validation_rejects_wrong_endpoints():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 1e6)
+    with pytest.raises(ValueError):
+        net.start_flow(f, trunk_path(topo, "h01", "h10"))
+
+
+def test_path_validation_rejects_discontiguous():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 1e6)
+    p1 = trunk_path(topo, "h00", "h10")
+    p2 = trunk_path(topo, "h00", "h10", "trunk1")
+    frankenstein = [p1[0], p2[2], p1[3]]
+    with pytest.raises(ValueError):
+        net.start_flow(f, frankenstein)
+
+
+def test_double_start_rejected():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 1e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    with pytest.raises(ValueError):
+        net.start_flow(f, trunk_path(topo, "h00", "h10"))
+
+
+def test_link_failure_stalls_until_reroute():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.schedule(0.5, topo.fail_cable, "tor0", "trunk0")
+    sim.run(until=3.0)
+    assert f.end_time is None  # stalled on the dead path
+    assert f.rate == 0.0
+    net.reroute(f, trunk_path(topo, "h00", "h10", "trunk1"))
+    sim.run()
+    assert f.end_time == pytest.approx(3.5)  # 62.5MB left at 125MB/s
+
+
+def test_flow_hooks_fire():
+    sim, topo, net = make_net()
+    events = []
+    net.add_flow_hook(lambda ev, fl: events.append((ev, fl.fid)))
+    f = mk_flow("h00", "h10", 1e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.run()
+    assert ("start", f.fid) in events and ("end", f.fid) in events
+
+
+def test_link_byte_accounting_matches_flow():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 50e6)
+    path = trunk_path(topo, "h00", "h10")
+    net.start_flow(f, path)
+    sim.run()
+    net.sample_counters()
+    for lid in path:
+        assert topo.links[lid].bytes_carried == pytest.approx(50e6, rel=1e-6)
+
+
+def test_zero_size_flow_completes_immediately():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 0.0)
+    done = []
+    net.start_flow(f, trunk_path(topo, "h00", "h10"), on_complete=done.append)
+    sim.run()
+    assert done == [f]
+    assert f.duration == pytest.approx(0.0)
+
+
+def test_many_concurrent_flows_conserve_bytes():
+    sim, topo, net = make_net()
+    rng = np.random.default_rng(3)
+    flows = []
+    for i in range(40):
+        src = f"h0{i % 5}"
+        dst = f"h1{(i * 3) % 5}"
+        f = mk_flow(src, dst, float(rng.uniform(1e6, 5e7)), sport=1000 + i)
+        trunk = "trunk0" if i % 2 else "trunk1"
+        delay = float(rng.uniform(0, 2))
+        sim.schedule(delay, net.start_flow, f, trunk_path(topo, src, dst, trunk))
+        flows.append(f)
+    sim.run()
+    for f in flows:
+        assert f.end_time is not None
+        assert f.bytes_sent == pytest.approx(f.size, rel=1e-6)

@@ -1,0 +1,87 @@
+"""Hypothesis property tests over random flow schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+@st.composite
+def _schedules(draw):
+    n = draw(st.integers(1, 15))
+    flows = []
+    for i in range(n):
+        src_rack = draw(st.integers(0, 1))
+        src = f"h{src_rack}{draw(st.integers(0, 4))}"
+        dst = f"h{1 - src_rack}{draw(st.integers(0, 4))}"
+        size = draw(st.floats(1.0, 2e8, allow_nan=False))
+        start = draw(st.floats(0.0, 5.0, allow_nan=False))
+        trunk = draw(st.sampled_from(["trunk0", "trunk1"]))
+        flows.append((src, dst, size, start, trunk, 33000 + i))
+    return flows
+
+
+@settings(max_examples=40, deadline=None)
+@given(_schedules())
+def test_property_all_flows_complete_and_conserve_bytes(schedule):
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    flows = []
+    for src, dst, size, start, trunk, port in schedule:
+        f = Flow(
+            src=src,
+            dst=dst,
+            size=size,
+            five_tuple=FiveTuple(f"ip{src}", f"ip{dst}", 50060, port, TCP),
+        )
+        src_tor = f"tor{topo.nodes[src].rack}"
+        dst_tor = f"tor{topo.nodes[dst].rack}"
+        path = topo.path_links([src, src_tor, trunk, dst_tor, dst])
+        sim.schedule(start, net.start_flow, f, path)
+        flows.append(f)
+    sim.run(max_events=200_000)
+    for f in flows:
+        assert f.end_time is not None, "no flow may starve on an idle network"
+        assert f.bytes_sent == pytest.approx(f.size, rel=1e-6, abs=1e-2)
+        assert f.end_time >= f.start_time
+    # per-link accounting: carried bytes equal the sum over flows
+    net.sample_counters()
+    per_link = np.zeros(len(topo.links))
+    for f in flows:
+        for lid in f.path:
+            per_link[lid] += f.size
+    for link in topo.links:
+        assert link.bytes_carried == pytest.approx(per_link[link.lid], rel=1e-6, abs=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_schedules(), st.integers(0, 2**31))
+def test_property_replay_is_bit_identical(schedule, seed):
+    def run():
+        sim = Simulator()
+        topo = two_rack()
+        net = Network(sim, topo)
+        ends = []
+        for src, dst, size, start, trunk, port in schedule:
+            f = Flow(
+                src=src,
+                dst=dst,
+                size=size,
+                five_tuple=FiveTuple(f"ip{src}", f"ip{dst}", 50060, port, TCP),
+            )
+            src_tor = f"tor{topo.nodes[src].rack}"
+            dst_tor = f"tor{topo.nodes[dst].rack}"
+            sim.schedule(
+                start, net.start_flow, f, topo.path_links([src, src_tor, trunk, dst_tor, dst])
+            )
+            ends.append(f)
+        sim.run(max_events=200_000)
+        return [f.end_time for f in ends]
+
+    assert run() == run()

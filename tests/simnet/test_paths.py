@@ -1,0 +1,116 @@
+"""Unit + property tests for Dijkstra / Yen k-shortest paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.paths import k_shortest_paths, shortest_path
+from repro.simnet.topology import GBPS, Topology, leaf_spine, two_rack
+
+
+def test_shortest_path_two_rack():
+    topo = two_rack()
+    p = shortest_path(topo, "h00", "h10")
+    assert p is not None
+    assert p[0] == "h00" and p[-1] == "h10"
+    assert len(p) == 5  # host-tor-trunk-tor-host
+
+
+def test_shortest_path_same_rack():
+    topo = two_rack()
+    assert shortest_path(topo, "h00", "h01") == ["h00", "tor0", "h01"]
+
+
+def test_shortest_path_unreachable():
+    topo = Topology()
+    topo.add_host("a", ip="10.0.0")
+    topo.add_host("b", ip="10.0.1")
+    assert shortest_path(topo, "a", "b") is None
+
+
+def test_k_shortest_two_rack_finds_both_trunks():
+    topo = two_rack()
+    paths = k_shortest_paths(topo, "h00", "h10", 4)
+    assert len(paths) == 2
+    trunks = {p[2] for p in paths}
+    assert trunks == {"trunk0", "trunk1"}
+    assert all(len(p) == 5 for p in paths)
+
+
+def test_k_shortest_respects_k():
+    topo = two_rack()
+    assert len(k_shortest_paths(topo, "h00", "h10", 1)) == 1
+    with pytest.raises(ValueError):
+        k_shortest_paths(topo, "h00", "h10", 0)
+
+
+def test_k_shortest_leaf_spine_spine_count():
+    topo = leaf_spine(leaves=2, spines=4, hosts_per_leaf=1)
+    paths = k_shortest_paths(topo, "h00", "h10", 8)
+    assert len(paths) == 4  # one per spine
+    assert {p[2] for p in paths} == {f"spine{i}" for i in range(4)}
+
+
+def test_k_shortest_skips_failed_trunk():
+    topo = two_rack()
+    topo.fail_cable("tor0", "trunk0")
+    paths = k_shortest_paths(topo, "h00", "h10", 4)
+    assert len(paths) == 1
+    assert paths[0][2] == "trunk1"
+
+
+def test_paths_sorted_by_length():
+    # build a graph with a short and a long detour
+    topo = Topology()
+    for n in ("a", "b"):
+        topo.add_host(n, ip=f"10.0.{n}")
+    for s in ("s1", "s2", "s3", "s4"):
+        topo.add_switch(s)
+    topo.add_cable("a", "s1", GBPS)
+    topo.add_cable("s1", "b", GBPS)
+    topo.add_cable("s1", "s2", GBPS)
+    topo.add_cable("s2", "s3", GBPS)
+    topo.add_cable("s3", "s4", GBPS)
+    topo.add_cable("s4", "b", GBPS)
+    paths = k_shortest_paths(topo, "a", "b", 5)
+    lengths = [len(p) for p in paths]
+    assert lengths == sorted(lengths)
+    assert lengths[0] == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_yen_paths_simple_distinct_sorted(data):
+    """On random connected graphs, Yen paths are simple, unique, sorted."""
+    n_switches = data.draw(st.integers(3, 7), label="n_switches")
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31), label="seed"))
+    topo = Topology()
+    topo.add_host("a", ip="10.0.a")
+    topo.add_host("b", ip="10.0.b")
+    names = [f"s{i}" for i in range(n_switches)]
+    for s in names:
+        topo.add_switch(s)
+    # random spanning chain guarantees connectivity, extra random edges
+    topo.add_cable("a", names[0], GBPS)
+    topo.add_cable(names[-1], "b", GBPS)
+    for x, y in zip(names, names[1:]):
+        topo.add_cable(x, y, GBPS)
+    for _ in range(n_switches):
+        i, j = rng.integers(0, n_switches, size=2)
+        if i != j and not topo.links_between(names[i], names[j]):
+            topo.add_cable(names[i], names[j], GBPS)
+    k = data.draw(st.integers(1, 6), label="k")
+    paths = k_shortest_paths(topo, "a", "b", k)
+    assert 1 <= len(paths) <= k
+    seen = set()
+    for p in paths:
+        assert p[0] == "a" and p[-1] == "b"
+        assert len(set(p)) == len(p), "path must be simple"
+        seen.add(tuple(p))
+    assert len(seen) == len(paths), "paths must be distinct"
+    lengths = [len(p) for p in paths]
+    assert lengths == sorted(lengths)
+    # first path must be a true shortest path
+    sp = shortest_path(topo, "a", "b")
+    assert sp is not None and len(paths[0]) == len(sp)

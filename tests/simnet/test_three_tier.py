@@ -1,0 +1,60 @@
+"""Tests for the 3-tier datacenter topology and Pythia on it."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.simnet.paths import k_shortest_paths
+from repro.simnet.topology import three_tier
+from repro.workloads.sort import sort_job
+
+
+def test_three_tier_shape():
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=3, cores=2)
+    assert len(topo.worker_hosts()) == 12
+    switches = {s.name for s in topo.switches()}
+    assert {"core0", "core1", "agg0", "agg1", "tor0", "tor1", "tor2", "tor3"} <= switches
+    racks = {h.rack for h in topo.hosts()}
+    assert racks == {0, 1, 2, 3}
+
+
+def test_cross_pod_paths_one_per_core():
+    topo = three_tier(pods=2, racks_per_pod=1, hosts_per_rack=2, cores=3)
+    paths = k_shortest_paths(topo, "h00", "h10", 8)
+    assert len(paths) == 3  # one per core switch
+    assert {p[3] for p in paths} == {"core0", "core1", "core2"}
+
+
+def test_same_pod_traffic_stays_in_pod():
+    topo = three_tier(pods=2, racks_per_pod=2, hosts_per_rack=2, cores=2)
+    paths = k_shortest_paths(topo, "h00", "h10", 4)
+    # rack0 and rack1 share agg0: the path goes via the pod agg, no core
+    assert len(paths) >= 1
+    assert not any("core" in n for n in paths[0])
+
+
+def test_pythia_job_on_three_tier():
+    res = run_experiment(
+        sort_job(input_gb=2.0, num_reducers=8),
+        scheduler="pythia",
+        ratio=None,
+        seed=1,
+        topology_factory=lambda: three_tier(pods=2, racks_per_pod=2, hosts_per_rack=3),
+    )
+    assert res.run.completed_at is not None
+    assert res.policy_stats["rule_hits"] > 0
+
+
+def test_core_failure_survivable():
+    def fault(sim, topo):
+        sim.schedule(5.0, topo.fail_cable, "agg0", "core0")
+
+    res = run_experiment(
+        sort_job(input_gb=2.0, num_reducers=8),
+        scheduler="pythia",
+        ratio=None,
+        seed=1,
+        topology_factory=lambda: three_tier(pods=2, racks_per_pod=2, hosts_per_rack=3),
+        fault=fault,
+    )
+    assert res.run.completed_at is not None
+    assert res.policy_stats["stranded"] == 0

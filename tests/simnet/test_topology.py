@@ -1,0 +1,111 @@
+"""Unit tests for topology model and builders."""
+
+import pytest
+
+from repro.simnet.topology import GBPS, NodeKind, Topology, fat_tree, leaf_spine, two_rack
+
+
+def make_triangle():
+    topo = Topology()
+    topo.add_switch("s0")
+    topo.add_switch("s1")
+    topo.add_host("a", ip="10.0.0")
+    topo.add_host("b", ip="10.0.1")
+    topo.add_cable("a", "s0", GBPS)
+    topo.add_cable("s0", "s1", GBPS)
+    topo.add_cable("s1", "b", GBPS)
+    return topo
+
+
+def test_cable_creates_two_directed_links():
+    topo = make_triangle()
+    assert len(topo.links_between("a", "s0")) == 1
+    assert len(topo.links_between("s0", "a")) == 1
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_host("a", ip="10.0.0")
+    with pytest.raises(ValueError):
+        topo.add_host("a", ip="10.0.1")
+
+
+def test_link_to_unknown_node_rejected():
+    topo = Topology()
+    topo.add_host("a", ip="10.0.0")
+    with pytest.raises(KeyError):
+        topo.add_cable("a", "ghost", GBPS)
+
+
+def test_path_links_and_back():
+    topo = make_triangle()
+    lids = topo.path_links(["a", "s0", "s1", "b"])
+    assert len(lids) == 3
+    assert topo.path_nodes(lids) == ["a", "s0", "s1", "b"]
+
+
+def test_path_links_rejects_gap():
+    topo = make_triangle()
+    with pytest.raises(ValueError):
+        topo.path_links(["a", "s1"])
+
+
+def test_fail_cable_notifies_observers_and_blocks_path():
+    topo = make_triangle()
+    events = []
+    topo.observe(lambda link: events.append((link.key(), link.up)))
+    topo.fail_cable("s0", "s1")
+    assert (("s0", "s1"), False) in events
+    assert (("s1", "s0"), False) in events
+    with pytest.raises(ValueError):
+        topo.path_links(["a", "s0", "s1", "b"])
+    topo.restore_cable("s0", "s1")
+    assert topo.path_links(["a", "s0", "s1", "b"])
+
+
+def test_host_by_ip():
+    topo = make_triangle()
+    assert topo.host_by_ip("10.0.1").name == "b"
+    with pytest.raises(KeyError):
+        topo.host_by_ip("1.2.3.4")
+
+
+def test_two_rack_shape():
+    topo = two_rack()
+    workers = topo.worker_hosts()
+    assert len(workers) == 10
+    assert len(topo.generator_hosts()) == 2
+    # two distinct trunk paths between opposite-rack hosts
+    assert {n.name for n in topo.switches()} >= {"tor0", "tor1", "trunk0", "trunk1"}
+    racks = {h.rack for h in workers}
+    assert racks == {0, 1}
+
+
+def test_two_rack_without_generators():
+    topo = two_rack(traffic_generators=False)
+    assert topo.generator_hosts() == []
+    assert len(topo.hosts()) == 10
+
+
+def test_leaf_spine_shape():
+    topo = leaf_spine(leaves=3, spines=2, hosts_per_leaf=2)
+    assert len(topo.worker_hosts()) == 6
+    # every leaf connects to every spine
+    for leaf in range(3):
+        for spine in range(2):
+            assert topo.links_between(f"leaf{leaf}", f"spine{spine}")
+
+
+def test_fat_tree_host_count():
+    k = 4
+    topo = fat_tree(k)
+    assert len(topo.hosts()) == k**3 // 4
+    with pytest.raises(ValueError):
+        fat_tree(3)
+
+
+def test_generator_hosts_not_workers():
+    topo = two_rack()
+    names = {h.name for h in topo.worker_hosts()}
+    assert "bg0" not in names and "bg1" not in names
+    assert topo.nodes["bg0"].kind is NodeKind.HOST

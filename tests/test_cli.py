@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_ratio, build_parser, main
+
+
+def test_parse_ratio_forms():
+    assert _parse_ratio("none") is None
+    assert _parse_ratio("0") is None
+    assert _parse_ratio("10") == 10.0
+    assert _parse_ratio("1:20") == 20.0
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sort" in out and "pythia" in out and "fig3" in out
+
+
+def test_run_command_small(capsys):
+    rc = main(
+        ["run", "--workload", "sort", "--scale", "0.01", "--scheduler", "ecmp",
+         "--ratio", "none", "--seed", "1"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "JCT" in out and "phase coverage" in out
+
+
+def test_run_with_timeline(capsys):
+    rc = main(
+        ["run", "--workload", "toy-sort", "--scale", "1.0", "--timeline"]
+    )
+    assert rc == 0
+    assert "legend" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    rc = main(
+        ["compare", "--workload", "sort", "--scale", "0.01", "--ratio", "10",
+         "--seeds", "1", "--schedulers", "ecmp", "pythia"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ecmp" in out and "pythia" in out
+
+
+def test_figure_fig1a(capsys):
+    assert main(["figure", "fig1a"]) == 0
+    assert "reduce-0" in capsys.readouterr().out
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "hive-join"])
+
+
+def test_run_with_export(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    rc = main(
+        ["run", "--workload", "sort", "--scale", "0.01", "--scheduler", "pythia",
+         "--export", str(out)]
+    )
+    assert rc == 0
+    assert out.exists()
+    assert "measurements written" in capsys.readouterr().out
+
+
+def test_mix_command(capsys):
+    rc = main(["mix", "--jobs", "2", "--ratio", "none", "--seed", "3",
+               "--schedulers", "ecmp"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mean JCT" in out and "makespan" in out

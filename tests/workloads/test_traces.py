@@ -1,0 +1,40 @@
+"""Tests for trace save/replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.mix import run_mix
+from repro.workloads.mix import synthesize_mix
+from repro.workloads.traces import load_trace, save_trace
+
+
+def test_round_trip_preserves_stream(tmp_path):
+    arrivals = synthesize_mix(n_jobs=5, seed=4)
+    path = save_trace(arrivals, tmp_path / "trace.json")
+    loaded = load_trace(path)
+    assert len(loaded) == 5
+    for a, b in zip(arrivals, loaded):
+        assert a.at == b.at
+        assert a.spec.name == b.spec.name
+        assert a.spec.input_bytes == pytest.approx(b.spec.input_bytes)
+        assert np.allclose(a.spec.reducer_weights, b.spec.reducer_weights)
+
+
+def test_replay_reproduces_run(tmp_path):
+    arrivals = synthesize_mix(n_jobs=3, seed=5)
+    path = save_trace(arrivals, tmp_path / "trace.json")
+    direct = run_mix(arrivals, scheduler="ecmp", ratio=None, seed=5)
+    replayed = run_mix(load_trace(path), scheduler="ecmp", ratio=None, seed=5)
+    assert direct.makespan == pytest.approx(replayed.makespan)
+    assert sorted(direct.jcts.values()) == pytest.approx(sorted(replayed.jcts.values()))
+
+
+def test_version_guard(tmp_path):
+    path = save_trace(synthesize_mix(n_jobs=1, seed=0), tmp_path / "t.json")
+    data = json.loads(path.read_text())
+    data["version"] = 42
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_trace(path)

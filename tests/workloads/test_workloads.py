@@ -1,0 +1,74 @@
+"""Unit tests for the workload catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.hadoop.job import MiB
+from repro.workloads import (
+    HIBENCH,
+    make_workload,
+    nutch_indexing_job,
+    sort_job,
+    terasort_job,
+    toy_sort_job,
+    wordcount_job,
+)
+
+GiB = 1024 * MiB
+
+
+def test_sort_job_shape():
+    spec = sort_job(input_gb=240)
+    assert spec.input_bytes == pytest.approx(240 * GiB)
+    assert spec.map_output_ratio == 1.0            # sort shuffles everything
+    assert spec.num_maps == 1920                   # 240 GiB / 128 MiB
+    assert spec.reducer_weights.sum() == pytest.approx(1.0)
+
+
+def test_nutch_job_matches_paper_sizing():
+    spec = nutch_indexing_job(pages=5e6)
+    assert spec.input_bytes == pytest.approx(8 * GiB)
+    # indexing is compute-heavy: much slower per byte than sort
+    assert spec.map_rate < sort_job().map_rate / 10
+    assert spec.map_output_ratio < 1.0
+
+
+def test_toy_sort_five_to_one_skew():
+    spec = toy_sort_job()
+    assert spec.num_maps == 3
+    assert spec.num_reducers == 2
+    assert spec.reducer_weights[0] / spec.reducer_weights[1] == pytest.approx(5.0)
+    assert spec.per_map_sigma == 0.0               # exact skew, no jitter
+
+
+def test_terasort_uniform():
+    spec = terasort_job(input_gb=10)
+    assert np.allclose(spec.reducer_weights, spec.reducer_weights[0])
+
+
+def test_wordcount_tiny_shuffle():
+    spec = wordcount_job()
+    assert spec.map_output_ratio <= 0.1            # combiners shrink output
+
+
+def test_make_workload_scaling():
+    small = make_workload("sort", scale=0.1)
+    assert small.input_bytes == pytest.approx(24 * GiB)
+    assert make_workload("nutch", scale=0.5).input_bytes == pytest.approx(4 * GiB)
+
+
+def test_make_workload_errors():
+    with pytest.raises(KeyError):
+        make_workload("hive-join")
+    with pytest.raises(ValueError):
+        make_workload("sort", scale=0)
+
+
+def test_catalogue_complete():
+    assert set(HIBENCH) == {
+        "sort", "intsort", "nutch", "terasort", "wordcount", "pagerank", "toy-sort",
+    }
+    for name in HIBENCH:
+        spec = make_workload(name, scale=0.1 if name != "toy-sort" else 1.0)
+        assert spec.input_bytes > 0
+        assert spec.num_maps >= 1
