@@ -18,7 +18,9 @@ def test_a1_aggregation_policy(benchmark, seeds):
     print()
     print(render_ablation("A1 — aggregation granularity (nutch, 1:10)", rows))
     by = {r.label: r for r in rows}
-    peak = lambda r: int(r.detail.split()[0].split("=")[1])
+    def peak(r):
+        return int(r.detail.split()[0].split("=")[1])
+
     # rack-pair conserves forwarding state (the §IV motivation)...
     assert peak(by["rack_pair"]) < peak(by["server_pair"]) / 4
     # ...at a bounded JCT cost
@@ -80,7 +82,9 @@ def test_a3b_install_latency(benchmark, seeds):
     print()
     print(render_ablation("A3b — rule-install latency sensitivity (sort, 1:10)", rows))
     by = {r.label: r for r in rows}
-    fallbacks = lambda r: int(r.detail.split("=")[1])
+    def fallbacks(r):
+        return int(r.detail.split("=")[1])
+
     # at hardware speed rules win the race; at 5s/rule they lose it
     assert fallbacks(by["4ms/rule"]) <= fallbacks(by["5000ms/rule"])
     assert by["4ms/rule"].jct <= by["5000ms/rule"].jct * 1.05

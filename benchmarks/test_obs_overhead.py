@@ -1,0 +1,87 @@
+"""Observability overhead: the §VI discipline applied to ourselves.
+
+The paper quantifies its own instrumentation cost (§VI: the Pythia
+middleware stays within a few percent of job time); the reproduction
+holds its telemetry layer to the same standard.  Two properties are
+checked here:
+
+* **Disabled = free.**  With the default :class:`NullRegistry` and no
+  tracer the simulator keeps its bare event loop (structural check: no
+  per-event wall-clock measurement, shared inert instruments).
+* **Enabled <= 10%.**  A full registry + tracer on the sort microbench
+  costs at most 10% wall time over the uninstrumented run.
+
+Timing uses interleaved min-of-N: scheduling noise only ever adds
+time, so the minimum is the faithful estimator of each variant's cost.
+"""
+
+import time
+
+from repro import obs
+from repro.experiments.common import run_experiment
+from repro.simnet.engine import Simulator
+from repro.workloads import sort_job
+
+_REPS = 7
+
+
+def _microbench(registry=None, tracer=None) -> float:
+    start = time.perf_counter()
+    run_experiment(
+        sort_job(input_gb=4.0, num_reducers=12),
+        scheduler="pythia",
+        ratio=10,
+        seed=1,
+        registry=registry,
+        tracer=tracer,
+    )
+    return time.perf_counter() - start
+
+
+def test_noop_registry_keeps_bare_event_loop():
+    """Disabled instrumentation must not touch the per-event hot path."""
+    sim = Simulator()
+    assert not sim._instrumented
+    assert sim.tracer is None
+    registry = obs.get_registry()
+    assert isinstance(registry, obs.NullRegistry)
+    assert not registry.enabled
+    # all no-op instruments are shared singletons: no per-name allocation
+    assert registry.counter("a") is registry.counter("b")
+    assert registry.histogram("a") is registry.histogram("b")
+    # and they discard their inputs
+    registry.counter("a").inc(10)
+    assert registry.counter("a").value == 0.0
+    assert registry.snapshot() == {}
+
+
+def test_enabled_overhead_under_10_percent():
+    """Full metrics + tracing stay within 10% of the bare run."""
+    _microbench()  # warm caches outside the measurement
+    baseline, instrumented = [], []
+    for _ in range(_REPS):
+        baseline.append(_microbench())
+        instrumented.append(
+            _microbench(registry=obs.MetricsRegistry(), tracer=obs.Tracer())
+        )
+    base, inst = min(baseline), min(instrumented)
+    ratio = inst / base
+    print(f"\nobs overhead: baseline {base:.3f}s, instrumented {inst:.3f}s, "
+          f"ratio {ratio:.3f}")
+    assert ratio <= 1.10, (
+        f"instrumentation overhead {100 * (ratio - 1):.1f}% exceeds the 10% budget"
+    )
+
+
+def test_disabled_run_not_slower_than_itself():
+    """The no-op registry run must be statistically flat: two disabled
+    batches interleaved should land within noise of each other."""
+    _microbench()
+    first, second = [], []
+    for _ in range(_REPS):
+        first.append(_microbench())
+        second.append(_microbench())
+    ratio = min(second) / min(first)
+    print(f"\nnoop self-ratio: {ratio:.3f}")
+    # generous band: this guards against systematic (not noise) drift
+    assert 0.8 <= ratio <= 1.2

@@ -54,6 +54,36 @@ def format_grouped_bars(
     return "\n".join(lines).rstrip()
 
 
+def format_metrics(snapshot: dict[str, dict]) -> str:
+    """Render a metrics-registry snapshot as a fixed-width table.
+
+    Counters show their value; gauges value and high-water; histograms
+    count, mean and tail quantiles — one line per metric, so the table
+    drops straight into benchmark output and experiment reports.
+    """
+    if not snapshot:
+        return "(no metrics)"
+    rows = []
+    for name, m in sorted(snapshot.items()):
+        kind = m.get("type", "?")
+        if kind == "counter":
+            detail = f"{m['value']:g}"
+        elif kind == "gauge":
+            detail = f"{m['value']:g} (high-water {m['high_water']:g})"
+        elif kind == "histogram":
+            if m.get("count", 0) == 0:
+                detail = "no samples"
+            else:
+                detail = (
+                    f"n={m['count']} mean={m['mean']:.3g} "
+                    f"p50={m['p50']:.3g} p99={m['p99']:.3g} max={m['max']:.3g}"
+                )
+        else:  # pragma: no cover — future instrument kinds
+            detail = repr(m)
+        rows.append((name, kind, detail))
+    return format_table(["metric", "type", "value"], rows)
+
+
 def format_series(
     name: str, xs: Sequence[float], ys: Sequence[float], width: int = 60
 ) -> str:

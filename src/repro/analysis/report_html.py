@@ -57,6 +57,22 @@ def run_report_html(result: RunResult, title: str = "") -> str:
     stats_table = _kv_table(
         [(k, str(v)) for k, v in sorted(result.policy_stats.items())]
     )
+    telemetry_section = ""
+    if result.metrics:
+        rows = []
+        for name, m in sorted(result.metrics.items()):
+            kind = m.get("type", "?")
+            if kind == "histogram" and m.get("count", 0):
+                value = (
+                    f"n={m['count']}  mean={m['mean']:.3g}  "
+                    f"p50={m['p50']:.3g}  p99={m['p99']:.3g}"
+                )
+            elif kind == "gauge":
+                value = f"{m['value']:g}  (high-water {m['high_water']:g})"
+            else:
+                value = f"{m.get('value', m.get('count', 0)):g}"
+            rows.append((name, value))
+        telemetry_section = f"<h2>Telemetry</h2>\n{_kv_table(rows)}"
     timeline_svg = svg_timeline(
         job_timeline(run), title="sequence diagram", width=900
     )
@@ -84,6 +100,7 @@ def run_report_html(result: RunResult, title: str = "") -> str:
 {phase_table}
 <h2>Scheduler statistics</h2>
 {stats_table}
+{telemetry_section}
 <h2>Sequence diagram</h2>
 <div class="figure">{timeline_svg}</div>
 <h2>Shuffle egress</h2>

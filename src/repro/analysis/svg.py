@@ -13,7 +13,7 @@ tests can validate it with ``xml.etree`` and humans can read it.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 from xml.sax.saxutils import escape
 
 from repro.analysis.timeline import Segment

@@ -6,13 +6,18 @@ Usage (installed as ``python -m repro``):
     python -m repro run --workload sort --scale 0.05 --scheduler pythia --ratio 10
     python -m repro compare --workload nutch --ratio 20
     python -m repro figure fig3 --scale 0.2 --seeds 1
+    python -m repro metrics --workload sort --ratio 10
+    python -m repro trace --workload sort --subsystem allocator
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
+
+from repro import obs
 
 from repro.analysis.report import format_table
 from repro.analysis.speedup import speedup
@@ -151,6 +156,63 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_run(args: argparse.Namespace, tracer: Optional[obs.Tracer] = None):
+    """Run one instrumented experiment for the telemetry commands."""
+    registry = obs.MetricsRegistry()
+    spec = make_workload(args.workload, scale=args.scale)
+    res = run_experiment(
+        spec,
+        scheduler=args.scheduler,
+        ratio=args.ratio,
+        seed=args.seed,
+        registry=registry,
+        tracer=tracer,
+    )
+    return registry, res
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    registry, res = _telemetry_run(args)
+    snapshot = {
+        "run": {
+            "workload": res.run.spec.name,
+            "scheduler": res.scheduler,
+            "ratio": res.ratio,
+            "seed": res.seed,
+            "jct_seconds": res.jct,
+        },
+        "metrics": registry.snapshot(),
+    }
+    print(json.dumps(snapshot, indent=2 if args.indent else None))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = obs.Tracer(capacity=args.capacity)
+    _registry, _res = _telemetry_run(args, tracer=tracer)
+    events = tracer.events(subsystem=args.subsystem, kind=args.kind)
+    if args.limit is not None:
+        events = events[-args.limit:]
+    for ev in events:
+        print(json.dumps(ev.to_dict()))
+    if tracer.dropped:
+        print(
+            f"note: ring buffer dropped {tracer.dropped} older events "
+            f"(capacity {tracer.capacity})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--scheduler", default="pythia", choices=SCHEDULERS)
+    p.add_argument("--ratio", type=_parse_ratio, default=10.0,
+                   help="over-subscription 1:N (e.g. 10 or 1:10; none = unloaded)")
+    p.add_argument("--seed", type=int, default=1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -184,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", type=float, default=0.2)
     fig_p.add_argument("--seeds", type=int, nargs="+", default=[1])
 
+    met_p = sub.add_parser("metrics", help="run one job and emit its metrics as JSON")
+    _add_telemetry_args(met_p)
+    met_p.add_argument("--indent", action="store_true", help="pretty-print the JSON")
+
+    trc_p = sub.add_parser("trace", help="run one job and emit its trace as JSON lines")
+    _add_telemetry_args(trc_p)
+    trc_p.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring-buffer capacity (oldest events drop)")
+    trc_p.add_argument("--limit", type=int, default=None,
+                       help="print only the last N events")
+    trc_p.add_argument("--subsystem", default=None,
+                       help="filter by subsystem (sim, network, allocator, ...)")
+    trc_p.add_argument("--kind", default=None,
+                       help="filter by event kind (flow_start, placement, ...)")
+
     mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
     mix_p.add_argument("--jobs", type=int, default=8)
     mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
@@ -202,6 +279,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "mix": _cmd_mix,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.aggregation import AggregateEntry
 from repro.core.routing import RoutingGraph
 from repro.sdn.stats_service import LinkStatsService
@@ -65,6 +66,10 @@ class _BaseAllocator:
         self.ordering = ordering
         self._planned = np.zeros(len(network.topology.links))
         self.allocations = 0
+        self._registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_placements = self._registry.counter("allocator.placements")
+        self._m_planned_hw = self._registry.gauge("allocator.planned_load_bytes")
 
     # ------------------------------------------------------------------
     def allocate(
@@ -98,6 +103,19 @@ class _BaseAllocator:
             entry.path = list(chosen)
             entry.allocated_at = self.sim.now
             self.allocations += 1
+            self._m_placements.inc()
+            # path-choice distribution: which candidate rank won
+            self._registry.counter(f"allocator.path_choice.{idx}").inc()
+            self._m_planned_hw.set(float(self._planned.max()))
+            if self._tracer is not None:
+                self._tracer.emit(
+                    self.sim.now,
+                    "allocator",
+                    "placement",
+                    key=repr(entry.key),
+                    path_rank=idx,
+                    bytes=entry.predicted_bytes,
+                )
             out.append((entry, list(chosen)))
         return out
 
@@ -183,13 +201,21 @@ class WaterFillingAllocator(_BaseAllocator):
 
     name = "water_filling"
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rotation = 0
+
     def _choose(self, paths, residuals, queued_bytes, delta) -> int:
         # Identical objective to first-fit for a single entry, but the
         # tie-break spreads equal-ETA entries round-robin rather than
         # always taking the first path.
         etas = self._eta(residuals, queued_bytes, delta)
-        order = sorted(range(len(etas)), key=lambda i: (round(etas[i], 6), queued_bytes[i]))
-        return order[0]
+        keys = [(round(e, 6), round(q, 6)) for e, q in zip(etas, queued_bytes)]
+        best = min(keys)
+        tied = [i for i, k in enumerate(keys) if k == best]
+        choice = tied[self._rotation % len(tied)]
+        self._rotation += 1
+        return choice
 
 
 _ALLOCATORS = {

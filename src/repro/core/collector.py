@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs
 from repro.core.aggregation import AggregateEntry, FlowAggregator
 from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
 from repro.simnet.engine import Simulator
@@ -65,6 +66,12 @@ class PredictionCollector:
         self._wake_scheduled = False
         self.predictions_received = 0
         self.locations_received = 0
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_predictions = registry.counter("collector.predictions_received")
+        self._m_locations = registry.counter("collector.locations_received")
+        self._m_pending = registry.gauge("collector.pending_intents")
+        self._m_late_binding = registry.histogram("collector.late_binding_seconds")
 
     # ------------------------------------------------------------------
     # middleware-facing endpoints
@@ -86,6 +93,8 @@ class PredictionCollector:
                 self._pending.setdefault((msg.job, reducer_id), []).append(intent)
             else:
                 self._complete(intent, loc)
+        self._m_predictions.inc()
+        self._m_pending.set(self.pending_intents)
         self._wake()
 
     def receive_reducer_location(self, msg: ReducerLocationMessage) -> None:
@@ -95,6 +104,8 @@ class PredictionCollector:
         self._locations[key] = msg.server
         for intent in self._pending.pop(key, []):
             self._complete(intent, msg.server)
+        self._m_locations.inc()
+        self._m_pending.set(self.pending_intents)
         self._wake()
 
     # ------------------------------------------------------------------
@@ -113,6 +124,17 @@ class PredictionCollector:
                 completed_at=self.sim.now,
             )
         )
+        self._m_late_binding.observe(self.sim.now - intent.predicted_at)
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.sim.now,
+                "collector",
+                "intent_complete",
+                job=intent.job,
+                map_id=intent.map_id,
+                reducer_id=intent.reducer_id,
+                bytes=intent.nbytes,
+            )
         if intent.src_server != dst_server:
             self.aggregator.add(
                 intent.src_server, dst_server, intent.map_id, intent.reducer_id, intent.nbytes

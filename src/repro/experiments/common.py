@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.collector import PredictionCollector
 from repro.core.config import PythiaConfig
 from repro.core.scheduler import PythiaScheduler
@@ -53,6 +54,9 @@ class RunResult:
     collector: Optional[PredictionCollector] = None
     policy_stats: dict = field(default_factory=dict)
     controller: Optional[Controller] = None
+    #: metrics snapshot (empty unless the run had a real registry).
+    metrics: dict = field(default_factory=dict)
+    tracer: Optional[obs.Tracer] = None
 
     @property
     def jct(self) -> float:
@@ -71,6 +75,8 @@ def run_experiment(
     netflow_interval: float = 1.0,
     model_instrumentation_cost: bool = False,
     fault: Optional[Callable[[Simulator, Topology], None]] = None,
+    registry: Optional[obs.MetricsRegistry] = None,
+    tracer: Optional[obs.Tracer] = None,
 ) -> RunResult:
     """Run one job under one scheduler and return its trace.
 
@@ -86,9 +92,44 @@ def run_experiment(
     fault:
         Optional hook to schedule topology faults, e.g.
         ``lambda sim, topo: sim.schedule(30, topo.fail_cable, "tor0", "trunk0")``.
+    registry / tracer:
+        Optional observability sinks; when given, every subsystem built
+        for this run binds its instruments there and the result carries
+        ``metrics`` (a snapshot) and ``tracer``.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
+    with obs.use(registry=registry, tracer=tracer):
+        return _run_experiment_inner(
+            spec,
+            scheduler,
+            ratio,
+            seed,
+            topology_factory,
+            cluster_config,
+            pythia_config,
+            netflow_interval,
+            model_instrumentation_cost,
+            fault,
+            registry,
+            tracer,
+        )
+
+
+def _run_experiment_inner(
+    spec: JobSpec,
+    scheduler: str,
+    ratio: Optional[float],
+    seed: int,
+    topology_factory: Callable[[], Topology],
+    cluster_config: Optional[ClusterConfig],
+    pythia_config: Optional[PythiaConfig],
+    netflow_interval: float,
+    model_instrumentation_cost: bool,
+    fault: Optional[Callable[[Simulator, Topology], None]],
+    registry: Optional[obs.MetricsRegistry],
+    tracer: Optional[obs.Tracer],
+) -> RunResult:
     sim = Simulator()
     rng = np.random.default_rng(seed)
     topology = topology_factory()
@@ -182,6 +223,8 @@ def run_experiment(
         collector=pythia.collector if pythia is not None else None,
         policy_stats=stats,
         controller=controller,
+        metrics=registry.snapshot() if registry is not None else {},
+        tracer=tracer,
     )
 
 

@@ -1,0 +1,94 @@
+"""Runtime observability: metrics registry + structured trace stream.
+
+Subsystems bind their instruments at construction time from the
+process-wide context (:func:`get_registry` / :func:`get_tracer`), which
+defaults to a no-op :class:`NullRegistry` and no tracer.  Enable
+telemetry for a run by building the stack inside :func:`use`::
+
+    from repro import obs
+
+    with obs.use(registry=obs.MetricsRegistry(), tracer=obs.Tracer()):
+        result = run_experiment(...)
+
+``run_experiment`` accepts ``registry=``/``tracer=`` and does this for
+you; the ``repro metrics`` and ``repro trace`` CLI commands export the
+results as JSON.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import TraceEvent, Tracer, replay
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TraceEvent",
+    "Tracer",
+    "replay",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "use",
+]
+
+_NULL_REGISTRY = NullRegistry()
+_active_registry: MetricsRegistry = _NULL_REGISTRY
+_active_tracer: Optional[Tracer] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry new subsystems should bind instruments from."""
+    return _active_registry
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The tracer new subsystems should emit to (None = tracing off)."""
+    return _active_tracer
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Install a process-wide registry (None restores the no-op default)."""
+    global _active_registry
+    _active_registry = registry if registry is not None else _NULL_REGISTRY
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install a process-wide tracer (None disables tracing)."""
+    global _active_tracer
+    _active_tracer = tracer
+
+
+@contextmanager
+def use(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Iterator[None]:
+    """Scoped override of the observability context.
+
+    Only the arguments given are overridden; the previous context is
+    restored on exit, so nested experiment runs compose.
+    """
+    global _active_registry, _active_tracer
+    prev_registry, prev_tracer = _active_registry, _active_tracer
+    if registry is not None:
+        _active_registry = registry
+    if tracer is not None:
+        _active_tracer = tracer
+    try:
+        yield
+    finally:
+        _active_registry, _active_tracer = prev_registry, prev_tracer

@@ -80,7 +80,6 @@ class HederaScheduler:
         ctrl = self.controller
         assert ctrl is not None
         net = ctrl.network
-        topo = net.topology
         # Hedera classifies by *estimated natural demand* (NSDI'10
         # host-limited max-min), not the currently observed — possibly
         # throttled — rate: a large transfer crawling through a

@@ -14,9 +14,10 @@ wildcarded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs
 from repro.simnet.engine import Simulator
 from repro.simnet.flows import Flow
 
@@ -94,6 +95,11 @@ class FlowProgrammer:
         #: (switch TCAM is the scarce resource, not install throughput).
         self.peak_table_size = 0
         self._rule_hooks: list[Callable[[str, Rule], None]] = []
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_rules = registry.counter("programmer.rules_installed")
+        self._m_install_latency = registry.histogram("programmer.install_seconds")
+        self._m_table = registry.gauge("programmer.table_size")
 
     # ------------------------------------------------------------------
     def add_rule_hook(self, fn: Callable[[str, Rule], None]) -> None:
@@ -115,14 +121,26 @@ class FlowProgrammer:
         latency = self.control_rtt + self.per_rule_latency * len(rules)
         done_at = self.sim.now + latency
         self.install_batches += 1
+        self._m_install_latency.observe(latency)
 
         def _commit() -> None:
             for rule in rules:
                 rule.installed_at = self.sim.now
                 self._rules.append(rule)
                 self.rules_installed += 1
+                self._m_rules.inc()
                 self._emit("install", rule)
             self.peak_table_size = max(self.peak_table_size, len(self._rules))
+            self._m_table.set(len(self._rules))
+            if self._tracer is not None:
+                self._tracer.emit(
+                    self.sim.now,
+                    "programmer",
+                    "install",
+                    rules=len(rules),
+                    latency=latency,
+                    table_size=len(self._rules),
+                )
             if on_installed is not None:
                 on_installed(rules)
 
@@ -133,6 +151,7 @@ class FlowProgrammer:
         """Delete a rule from the table (idempotent)."""
         if rule in self._rules:
             self._rules.remove(rule)
+            self._m_table.set(len(self._rules))
             self._emit("remove", rule)
 
     def clear(self) -> None:

@@ -10,9 +10,12 @@ what hardware counters would.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.simnet.engine import Simulator
+from repro import obs
+from repro.simnet.engine import Event, Simulator
 from repro.simnet.network import Network
 
 
@@ -36,7 +39,13 @@ class LinkStatsService:
         self._last_bytes = np.zeros(nlinks)
         self._last_time = sim.now
         self._running = False
+        #: the in-flight periodic poll event, cancelled on stop() so a
+        #: stop()/start() cycle cannot leave two live polling chains.
+        self._pending_tick: Optional[Event] = None
         self.samples = 0
+        registry = obs.get_registry()
+        self._m_samples = registry.counter("stats.samples")
+        self._m_lag = registry.gauge("stats.ewma_lag_seconds")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -48,17 +57,21 @@ class LinkStatsService:
         self._last_bytes = np.array(
             [l.bytes_carried for l in self.network.topology.links]
         )
-        self.sim.schedule(self.period, self._tick)
+        self._pending_tick = self.sim.schedule(self.period, self._tick)
 
     def stop(self) -> None:
         """Stop polling (lets the event queue drain)."""
         self._running = False
+        if self._pending_tick is not None:
+            self._pending_tick.cancel()
+            self._pending_tick = None
 
     def _tick(self) -> None:
+        self._pending_tick = None
         if not self._running:
             return
         self.sample()
-        self.sim.schedule(self.period, self._tick)
+        self._pending_tick = self.sim.schedule(self.period, self._tick)
 
     def sample(self) -> None:
         """Poll byte counters and fold the measured rates into the EWMA."""
@@ -84,6 +97,10 @@ class LinkStatsService:
             self._last_bytes = counters
             self._last_time = now
             self.samples += 1
+            self._m_samples.inc()
+            # How stale the EWMA was when this sample folded in — the
+            # gauge's high-water exposes missed/late polling intervals.
+            self._m_lag.set(dt)
 
     # ------------------------------------------------------------------
     def load(self, lid: int) -> float:

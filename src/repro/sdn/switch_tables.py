@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.sdn.programming import FlowProgrammer, Match, Rule
+from repro.sdn.programming import FlowProgrammer, Match
 from repro.simnet.flows import Flow
 from repro.simnet.topology import NodeKind, Topology
 

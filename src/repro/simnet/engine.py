@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+from repro import obs
 
 
 @dataclass(order=True)
@@ -43,6 +46,15 @@ class Simulator:
         self._seq = itertools.count()
         self.now: float = 0.0
         self._events_processed = 0
+        # Observability is bound at construction: when the active
+        # registry is the no-op default and no tracer is installed,
+        # the event loop keeps its bare fast path (one None check).
+        registry = obs.get_registry()
+        self.tracer = obs.get_tracer()
+        self._instrumented = registry.enabled or self.tracer is not None
+        self._m_events = registry.counter("sim.events_processed")
+        self._m_depth = registry.gauge("sim.queue_depth")
+        self._m_cb_time = registry.histogram("sim.callback_wall_seconds")
 
     # ------------------------------------------------------------------
     # scheduling
@@ -72,9 +84,27 @@ class Simulator:
                 continue
             self.now = ev.time
             self._events_processed += 1
-            ev.fn(*ev.args)
+            if self._instrumented:
+                self._execute_instrumented(ev)
+            else:
+                ev.fn(*ev.args)
             return True
         return False
+
+    def _execute_instrumented(self, ev: Event) -> None:
+        start = time.perf_counter()
+        ev.fn(*ev.args)
+        self._m_cb_time.observe(time.perf_counter() - start)
+        self._m_events.inc()
+        self._m_depth.set(len(self._queue))
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.now,
+                "sim",
+                "event",
+                fn=getattr(ev.fn, "__qualname__", repr(ev.fn)),
+                seq=ev.seq,
+            )
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the event queue.
@@ -85,9 +115,11 @@ class Simulator:
             Stop once the clock would pass this time (the clock is left
             at ``until``; the event that would have run stays queued).
         max_events:
-            Safety valve for tests — raise if exceeded.
+            Safety valve for tests — at most this many events execute;
+            a further pending live event raises.
         """
         processed = 0
+        instrumented = self._instrumented
         while self._queue:
             ev = self._queue[0]
             if ev.cancelled:
@@ -96,13 +128,16 @@ class Simulator:
             if until is not None and ev.time > until:
                 self.now = until
                 return
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
             heapq.heappop(self._queue)
             self.now = ev.time
             self._events_processed += 1
-            ev.fn(*ev.args)
+            if instrumented:
+                self._execute_instrumented(ev)
+            else:
+                ev.fn(*ev.args)
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
         if until is not None and until > self.now:
             self.now = until
 

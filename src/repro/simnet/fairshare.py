@@ -47,8 +47,17 @@ def maxmin_rates(
     -------
     np.ndarray
         Rate per flow.  Flows crossing a zero-residual link get 0.
+
+    Raises
+    ------
+    ValueError
+        If a flow's link list is empty (the documented precondition) —
+        such a flow would otherwise silently freeze at rate 0.
     """
     nflows = len(flow_links)
+    for f, links in enumerate(flow_links):
+        if len(links) == 0:
+            raise ValueError(f"flow {f} has an empty link list")
     rates = np.zeros(nflows)
     if nflows == 0:
         return rates
@@ -110,8 +119,13 @@ def maxmin_rates(
 
 
 def path_available_bandwidth(load: np.ndarray, capacity: np.ndarray, lids: list[int]) -> float:
-    """Available bandwidth of a path = min over its links of (capacity - load)."""
+    """Available bandwidth of a path = min over its links of (capacity - load).
+
+    An empty path is a caller bug (it used to yield ``inf``, which made
+    a mis-built path look infinitely attractive to allocation); enforce
+    the same non-empty precondition as :func:`maxmin_rates`.
+    """
     if not lids:
-        return float("inf")
+        raise ValueError("path has an empty link list")
     idx = np.asarray(lids, dtype=np.intp)
     return float(np.min(capacity[idx] - load[idx]))

@@ -10,10 +10,12 @@ heap surgery.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.simnet.engine import Simulator
 from repro.simnet.fairshare import maxmin_rates
 from repro.simnet.flows import Flow
@@ -36,6 +38,13 @@ class Network:
         self._generation = 0
         self._last_integration = sim.now
         self._flow_hooks: list[Callable[[str, Flow], None]] = []
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._measure_recompute = registry.enabled
+        self._m_arrivals = registry.counter("network.flow_arrivals")
+        self._m_departures = registry.counter("network.flow_departures")
+        self._m_recomputes = registry.counter("network.fair_share_recomputes")
+        self._m_recompute_time = registry.histogram("network.fair_share_wall_seconds")
         topology.observe(self._on_link_state_change)
 
     # ------------------------------------------------------------------
@@ -46,6 +55,20 @@ class Network:
         self._flow_hooks.append(fn)
 
     def _emit(self, event: str, flow: Flow) -> None:
+        if event == "start":
+            self._m_arrivals.inc()
+        elif event == "end":
+            self._m_departures.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.sim.now,
+                "network",
+                f"flow_{event}",
+                fid=flow.fid,
+                src=flow.src,
+                dst=flow.dst,
+                bytes=flow.bytes_sent,
+            )
         for fn in self._flow_hooks:
             fn(event, flow)
 
@@ -196,7 +219,9 @@ class Network:
 
     def _recompute(self) -> None:
         """Re-solve max-min rates and schedule the next completion."""
+        start = time.perf_counter() if self._measure_recompute else 0.0
         self._integrate()
+        self._m_recomputes.inc()
         self._generation += 1
         links = self.topology.links
         residual = np.array(
@@ -229,6 +254,8 @@ class Network:
         # flows already at/below zero remaining complete immediately
         if any(f.remaining <= _DONE_EPS for f in self.elastic):
             self.sim.schedule(0.0, self._completion_tick, self._generation)
+        if self._measure_recompute:
+            self._m_recompute_time.observe(time.perf_counter() - start)
 
     def _completion_tick(self, generation: int) -> None:
         if generation != self._generation:

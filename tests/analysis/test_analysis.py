@@ -1,12 +1,10 @@
 """Unit tests for timeline extraction, speedup tables and reporting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.report import format_series, format_table
 from repro.analysis.speedup import SweepRow, speedup, sweep_table
 from repro.analysis.timeline import (
-    Segment,
     job_timeline,
     phase_fractions,
     render_timeline,

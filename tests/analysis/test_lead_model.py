@@ -1,6 +1,5 @@
 """Tests for the §V-C prediction-lead model and its confirming sweep."""
 
-import pytest
 
 from repro.analysis.lead_model import (
     lead_sensitivity_sweep,

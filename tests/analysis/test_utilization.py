@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.utilization import UtilizationRecorder
 from repro.simnet.engine import Simulator
-from repro.simnet.flows import TCP, UDP, FiveTuple, Flow
+from repro.simnet.flows import UDP, FiveTuple, Flow
 from repro.simnet.network import Network
 from repro.simnet.topology import two_rack
 

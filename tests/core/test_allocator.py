@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.aggregation import AggregateEntry
-from repro.core.allocator import (
-    BestFitAllocator,
-    FirstFitAllocator,
-    WaterFillingAllocator,
-    make_allocator,
-)
+from repro.core.allocator import make_allocator
 from repro.core.routing import RoutingGraph
 from repro.sdn.stats_service import LinkStatsService
 from repro.sdn.topology_service import TopologyService
@@ -129,6 +124,31 @@ def test_water_filling_balances():
     entries = [entry(f"h0{i}", f"h1{i}", 100e6) for i in range(4)]
     result = alloc.allocate(entries)
     trunks = [trunk_of(topo, p) for _, p in result]
+    assert trunks.count("trunk0") == 2 and trunks.count("trunk1") == 2
+
+
+def test_water_filling_choose_rotates_ties():
+    """Regression: the claimed round-robin tie-break deterministically
+    returned the first sorted index, piling equal-ETA entries onto one
+    path."""
+    sim, topo, net, stats, alloc = build(kind="water_filling")
+    paths = [np.array([0]), np.array([1]), np.array([2])]
+    picks = [
+        alloc._choose(paths, [100.0, 100.0, 100.0], [0.0, 0.0, 0.0], 10.0)
+        for _ in range(6)
+    ]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_water_filling_spreads_already_planned_entries():
+    """Re-allocation rounds (delta = 0) keep every ETA exactly tied, so
+    only the rotation spreads the entries across the trunks."""
+    sim, topo, net, stats, alloc = build(kind="water_filling")
+    entries = [entry("h00", "h10", 10e6) for _ in range(4)]
+    for e in entries:
+        e._planned_bytes = e.predicted_bytes  # bytes claimed in an earlier round
+    trunks = [trunk_of(topo, path) for _, path in alloc.allocate(entries)]
+    assert set(trunks) == {"trunk0", "trunk1"}
     assert trunks.count("trunk0") == 2 and trunks.count("trunk1") == 2
 
 

@@ -1,7 +1,5 @@
 """Hypothesis property tests for the path allocators."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -100,3 +100,56 @@ def test_jobs_do_not_cross_contaminate():
     col.receive_reducer_location(loc(job="a", rid=0, server="h10"))
     col.receive_prediction(pred(job="b", sizes=(10.0,)))
     assert col.pending_intents == 1  # job b's reducer 0 is still unknown
+
+
+def test_location_before_any_prediction_is_remembered():
+    """§III late binding, reversed order: the reducer initialises first
+    and every later prediction must complete immediately against it."""
+    sim, agg, col = build()
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    assert col.pending_intents == 0
+    assert agg.entries == {}          # nothing to aggregate yet
+    assert col.log == []
+    col.receive_prediction(pred(sizes=(40.0,)))
+    assert col.pending_intents == 0   # bound without ever waiting
+    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(40.0)
+
+
+def test_duplicate_location_reports_are_idempotent():
+    sim, agg, col = build()
+    col.receive_prediction(pred(sizes=(25.0,)))
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    col.receive_reducer_location(loc(rid=0, server="h10"))  # duplicate report
+    assert col.locations_received == 2
+    # the waiter flushed exactly once: no double aggregation, no relog
+    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(25.0)
+    assert len(col.log) == 1
+    assert col.pending_intents == 0
+    # and later predictions still bind to the (unchanged) location
+    col.receive_prediction(pred(map_id=1, sizes=(5.0,)))
+    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(30.0)
+
+
+def test_same_instant_prediction_and_location_share_one_wake():
+    """A prediction and the location that completes it arriving at the
+    same instant must batch through one _wake into one on_ready call."""
+    sim, agg, col = build()
+    fired = []
+    col.on_ready = lambda entries: fired.append([e.key for e in entries])
+    col.receive_prediction(pred(sizes=(60.0,)))   # waits: location unknown
+    col.receive_reducer_location(loc(rid=0, server="h10"))  # same instant
+    sim.run()
+    assert fired == [[("h00", "h10")]]
+
+
+def test_wake_rearms_after_firing():
+    sim, agg, col = build()
+    fired = []
+    col.on_ready = lambda entries: fired.append(len(entries))
+    col.receive_reducer_location(loc(rid=0, server="h10"))
+    col.receive_prediction(pred(sizes=(10.0,)))
+    sim.run()
+    # a second batch later in time must trigger a fresh wake-up
+    sim.schedule(1.0, col.receive_prediction, pred(map_id=1, sizes=(20.0,)))
+    sim.run()
+    assert fired == [1, 1]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.chain import run_chain
-from repro.workloads.pagerank import pagerank_chain, pagerank_iteration_job
+from repro.workloads.pagerank import pagerank_chain
 
 
 def test_pagerank_chain_specs():

@@ -39,7 +39,6 @@ def test_placement_rack_awareness():
     for b in blocks:
         assert len(b.replicas) == 3
         assert len(set(b.replicas)) == 3
-        racks = {("h0" in r and 0) or 1 for r in b.replicas}
         # first on writer, second in the other rack, third beside second
         assert len({r[1] for r in b.replicas}) == 2, "replicas must span both racks"
 

@@ -1,7 +1,6 @@
 """Tests for speculative map execution and straggler injection."""
 
 import numpy as np
-import pytest
 
 from repro.hadoop.cluster import ClusterConfig, HadoopCluster
 from repro.hadoop.job import JobSpec, MiB
@@ -89,6 +88,6 @@ def test_every_map_spills_exactly_once():
     spills = []
     jt.subscribe_all(lambda ev, **kw: spills.append(kw["spill"].map_id) if ev == "spill" else None)
     spec = JobSpec(name="s", input_bytes=30 * 128 * MiB, num_reducers=4)
-    run = jt.submit(spec)
+    jt.submit(spec)
     sim.run()
     assert sorted(spills) == list(range(30)), "one spill per map, winners only"

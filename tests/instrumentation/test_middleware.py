@@ -1,12 +1,11 @@
 """Unit tests for the per-server instrumentation middleware."""
 
 import numpy as np
-import pytest
 
-from repro.hadoop.cluster import ClusterConfig, HadoopCluster
+from repro.hadoop.cluster import HadoopCluster
 from repro.hadoop.job import JobSpec, MiB
 from repro.hadoop.jobtracker import JobTracker
-from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.instrumentation.messages import PredictionMessage
 from repro.instrumentation.middleware import (
     InstrumentationConfig,
     InstrumentationMiddleware,

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.common import run_experiment
-from repro.hadoop.job import JobSpec, MiB
 from repro.simnet.topology import leaf_spine
 from repro.workloads import make_workload, nutch_indexing_job, sort_job
 

@@ -1,0 +1,131 @@
+"""End-to-end telemetry: every subsystem reports into one registry."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.analysis.report import format_metrics
+from repro.analysis.report_html import run_report_html
+from repro.cli import main
+from repro.experiments.common import run_experiment
+from repro.workloads import sort_job
+
+
+@pytest.fixture(scope="module")
+def instrumented_run():
+    registry = obs.MetricsRegistry()
+    tracer = obs.Tracer()
+    result = run_experiment(
+        sort_job(input_gb=1.0, num_reducers=4),
+        scheduler="pythia",
+        ratio=10,
+        seed=1,
+        registry=registry,
+        tracer=tracer,
+    )
+    return registry, tracer, result
+
+
+def test_every_subsystem_registers_metrics(instrumented_run):
+    registry, _tracer, _result = instrumented_run
+    snap = registry.snapshot()
+    for name in [
+        "sim.events_processed",
+        "sim.queue_depth",
+        "sim.callback_wall_seconds",
+        "collector.predictions_received",
+        "collector.pending_intents",
+        "collector.late_binding_seconds",
+        "allocator.placements",
+        "allocator.planned_load_bytes",
+        "stats.samples",
+        "stats.ewma_lag_seconds",
+        "programmer.rules_installed",
+        "programmer.install_seconds",
+        "network.flow_arrivals",
+        "network.flow_departures",
+        "network.fair_share_recomputes",
+        "network.fair_share_wall_seconds",
+    ]:
+        assert name in snap, f"missing metric {name}"
+    assert snap["sim.events_processed"]["value"] > 0
+    assert snap["network.flow_arrivals"]["value"] >= snap["network.flow_departures"]["value"]
+    assert snap["programmer.rules_installed"]["value"] > 0
+    assert snap["network.fair_share_wall_seconds"]["count"] > 0
+
+
+def test_metrics_agree_with_legacy_counters(instrumented_run):
+    registry, _tracer, result = instrumented_run
+    snap = registry.snapshot()
+    assert snap["collector.predictions_received"]["value"] == (
+        result.collector.predictions_received
+    )
+    assert snap["programmer.rules_installed"]["value"] == (
+        result.policy_stats["rules_installed"]
+    )
+    assert snap["sim.events_processed"]["value"] == result.sim.events_processed
+
+
+def test_trace_stream_covers_run(instrumented_run):
+    _registry, tracer, _result = instrumented_run
+    subsystems = {ev.subsystem for ev in tracer}
+    assert {"sim", "network", "collector", "allocator", "programmer"} <= subsystems
+    # flows both start and end on the stream
+    assert tracer.events(subsystem="network", kind="flow_start")
+    assert tracer.events(subsystem="network", kind="flow_end")
+
+
+def test_run_result_carries_snapshot(instrumented_run):
+    _registry, tracer, result = instrumented_run
+    assert result.metrics
+    assert result.tracer is tracer
+
+
+def test_format_metrics_renders_all_rows(instrumented_run):
+    registry, _tracer, _result = instrumented_run
+    text = format_metrics(registry.snapshot())
+    assert "sim.events_processed" in text
+    assert "collector.late_binding_seconds" in text
+    assert format_metrics({}) == "(no metrics)"
+
+
+def test_html_report_embeds_telemetry(instrumented_run):
+    _registry, _tracer, result = instrumented_run
+    html = run_report_html(result)
+    assert "<h2>Telemetry</h2>" in html
+    assert "sim.events_processed" in html
+
+
+def test_uninstrumented_run_has_no_metrics():
+    result = run_experiment(
+        sort_job(input_gb=0.5, num_reducers=2), scheduler="ecmp", ratio=None, seed=1
+    )
+    assert result.metrics == {}
+    assert result.tracer is None
+
+
+def test_cli_metrics_emits_json(capsys):
+    assert main(["metrics", "--workload", "sort", "--scale", "0.005", "--ratio", "10"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["run"]["scheduler"] == "pythia"
+    assert out["metrics"]["sim.events_processed"]["value"] > 0
+
+
+def test_cli_trace_emits_jsonl(capsys):
+    assert main(
+        [
+            "trace",
+            "--workload", "sort",
+            "--scale", "0.005",
+            "--ratio", "10",
+            "--subsystem", "network",
+            "--limit", "10",
+        ]
+    ) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert 0 < len(lines) <= 10
+    for line in lines:
+        ev = json.loads(line)
+        assert ev["subsystem"] == "network"
+        assert "time" in ev and "kind" in ev

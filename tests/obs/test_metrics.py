@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_accumulates():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    assert c.snapshot() == {"type": "counter", "value": 3.5}
+
+
+def test_gauge_tracks_high_water():
+    g = Gauge("g")
+    g.set(3.0)
+    g.set(10.0)
+    g.set(4.0)
+    assert g.value == 4.0
+    assert g.high_water == 10.0
+
+
+def test_histogram_moments_and_quantiles():
+    h = Histogram("h")
+    for v in [0.001, 0.002, 0.003, 0.004, 0.1]:
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(0.11)
+    assert snap["min"] == pytest.approx(0.001)
+    assert snap["max"] == pytest.approx(0.1)
+    assert snap["mean"] == pytest.approx(0.022)
+    # quantiles are bucket approximations: check ordering and range
+    assert 0.001 <= snap["p50"] <= snap["p90"] <= snap["p99"] <= 0.1
+
+
+def test_histogram_empty_snapshot():
+    assert Histogram("h").snapshot() == {"type": "histogram", "count": 0}
+
+
+def test_registry_caches_by_name():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    assert len(reg) == 3
+
+
+def test_registry_rejects_kind_collision():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_registry_snapshot_round_trips_json():
+    reg = MetricsRegistry()
+    reg.counter("events").inc(7)
+    reg.gauge("depth").set(3)
+    reg.histogram("latency").observe(0.01)
+    decoded = json.loads(reg.to_json())
+    assert decoded["events"]["value"] == 7
+    assert decoded["depth"]["value"] == 3
+    assert decoded["latency"]["count"] == 1
+
+
+def test_null_registry_is_inert():
+    reg = NullRegistry()
+    assert not reg.enabled
+    c = reg.counter("anything")
+    c.inc(100)
+    assert c.value == 0.0
+    g = reg.gauge("anything")
+    g.set(5.0)
+    assert g.value == 0.0
+    h = reg.histogram("anything")
+    h.observe(1.0)
+    assert h.count == 0
+    assert reg.snapshot() == {}
+    # one shared instrument per kind, regardless of name
+    assert reg.counter("a") is reg.counter("b")

@@ -1,0 +1,62 @@
+"""Unit tests for the trace-event ring buffer and JSONL export."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import Tracer, replay
+from repro.simnet.engine import Simulator
+
+
+def test_emit_and_filter():
+    t = Tracer()
+    t.emit(1.0, "sim", "event", fn="a")
+    t.emit(2.0, "network", "flow_start", fid=1)
+    t.emit(3.0, "network", "flow_end", fid=1)
+    assert len(t) == 3
+    assert [ev.kind for ev in t.events(subsystem="network")] == [
+        "flow_start",
+        "flow_end",
+    ]
+    assert t.events(kind="flow_end")[0].time == 3.0
+
+
+def test_ring_buffer_drops_oldest():
+    t = Tracer(capacity=3)
+    for i in range(5):
+        t.emit(float(i), "sim", "event", i=i)
+    assert len(t) == 3
+    assert t.dropped == 2
+    assert [ev.payload["i"] for ev in t] == [2, 3, 4]
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_jsonl_round_trip():
+    t = Tracer()
+    t.emit(1.5, "allocator", "placement", path_rank=1, bytes=100.0)
+    t.emit(2.5, "sim", "event", fn="x")
+    back = replay(t.to_jsonl().splitlines())
+    assert back == list(t)
+
+
+def test_simulator_emits_trace_events():
+    tracer = Tracer()
+    with obs.use(tracer=tracer):
+        sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    events = tracer.events(subsystem="sim", kind="event")
+    assert len(events) == 2
+    assert events[0].time == 1.0
+    assert "append" in events[0].payload["fn"]
+
+
+def test_simulator_without_tracer_stays_bare():
+    sim = Simulator()
+    assert sim.tracer is None
+    assert not sim._instrumented

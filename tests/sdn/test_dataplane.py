@@ -1,6 +1,5 @@
 """Tests for the table-driven data plane with reactive miss handling."""
 
-import pytest
 
 from repro.sdn.dataplane import TableDrivenPolicy
 from repro.sdn.programming import FlowProgrammer, Match, Rule

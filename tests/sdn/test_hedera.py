@@ -1,6 +1,5 @@
 """Unit tests for the Hedera-style reactive baseline."""
 
-import pytest
 
 from repro.sdn.controller import Controller
 from repro.sdn.hedera import HederaScheduler

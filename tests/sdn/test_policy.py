@@ -1,6 +1,5 @@
 """Unit tests for path policies and failure repair."""
 
-import pytest
 
 from repro.sdn.policy import EcmpPolicy, FailureRepairService
 from repro.simnet.engine import Simulator

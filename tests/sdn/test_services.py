@@ -115,3 +115,36 @@ def test_stats_stop_lets_queue_drain():
     sim.schedule(1.0, svc.stop)
     sim.run()
     assert sim.pending == 0
+
+
+def test_stats_restart_keeps_single_polling_chain():
+    """Regression: stop() then start() before the pending tick fired
+    used to leave two live polling chains — the restarted chain polls
+    phase-shifted from the orphaned one, doubling the sample rate and
+    skewing the EWMA."""
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0, alpha=1.0)
+    svc.start()                      # chain would tick at 1.0, 2.0, ...
+    sim.schedule(0.5, svc.stop)      # mid-period: tick at 1.0 still queued
+    sim.schedule(0.5, svc.start)     # restart: fresh chain at 1.5, 2.5, ...
+    sim.run(until=10.25)
+    svc.stop()
+    # one chain at 1 Hz from t=0.5: ticks at 1.5 .. 9.5 = 9 samples;
+    # the pre-fix orphan chain adds ticks at 1.0 .. 10.0 (~19 total)
+    assert svc.samples == 9
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_stats_stop_cancels_pending_tick_immediately():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0)
+    svc.start()
+    svc.stop()
+    sim.run()
+    assert svc.samples == 0
+    assert sim.now == 0.0  # the cancelled tick never advanced the clock

@@ -1,6 +1,5 @@
 """Unit tests for the per-switch TCAM expansion and hop-by-hop walk."""
 
-import pytest
 
 from repro.sdn.programming import FlowProgrammer, Match, Rule
 from repro.sdn.switch_tables import SwitchTableView

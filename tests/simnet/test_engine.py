@@ -39,6 +39,40 @@ def test_schedule_in_past_rejected():
         sim.schedule_at(1.0, lambda: None)
 
 
+def test_max_events_allows_exactly_the_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i), seen.append, i)
+    sim.run(max_events=5)  # exactly at the limit: no raise
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_max_events_stops_after_the_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(6):
+        sim.schedule(float(i), seen.append, i)
+    with pytest.raises(RuntimeError, match="max_events=5"):
+        sim.run(max_events=5)
+    # the limit bounds execution: the 6th event must not have run
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_max_events_bounds_runaway_self_scheduling():
+    sim = Simulator()
+    count = [0]
+
+    def rearm():
+        count[0] += 1
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=10)
+    assert count[0] == 10
+
+
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     seen = []

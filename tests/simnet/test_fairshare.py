@@ -51,7 +51,18 @@ def test_path_available_bandwidth():
     load = np.array([10.0, 60.0, 5.0])
     cap = np.array([100.0, 100.0, 100.0])
     assert path_available_bandwidth(load, cap, [0, 1]) == pytest.approx(40.0)
-    assert path_available_bandwidth(load, cap, []) == float("inf")
+
+
+def test_path_available_bandwidth_rejects_empty_path():
+    load = np.array([10.0])
+    cap = np.array([100.0])
+    with pytest.raises(ValueError):
+        path_available_bandwidth(load, cap, [])
+
+
+def test_empty_link_list_rejected_with_flow_index():
+    with pytest.raises(ValueError, match="flow 1"):
+        maxmin_rates([np.array([0]), np.array([], dtype=np.intp)], np.array([10.0]))
 
 
 @st.composite

@@ -1,6 +1,5 @@
 """Tests for the 3-tier datacenter topology and Pythia on it."""
 
-import pytest
 
 from repro.experiments.common import run_experiment
 from repro.simnet.paths import k_shortest_paths
