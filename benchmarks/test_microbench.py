@@ -9,8 +9,10 @@ regressions in the substrate show up directly in the benchmark table.
 import numpy as np
 
 from repro.sdn.ecmp import ecmp_index
+from repro.simnet.engine import Simulator
 from repro.simnet.fairshare import maxmin_rates
-from repro.simnet.flows import TCP, FiveTuple
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
 from repro.simnet.paths import k_shortest_paths
 from repro.simnet.topology import fat_tree, two_rack
 
@@ -25,6 +27,26 @@ def _flow_set(nflows: int, nlinks: int, seed: int = 0):
     return paths, caps
 
 
+def _fat_tree_flow_set(nflows: int, seed: int = 0):
+    """Real fat-tree k-path routes (not synthetic link draws)."""
+    topo = fat_tree(4)
+    hosts = [h.name for h in topo.hosts()]
+    rng = np.random.default_rng(seed)
+    memo: dict[tuple[str, str], list[list[int]]] = {}
+    paths = []
+    for _ in range(nflows):
+        a, b = rng.choice(len(hosts), size=2, replace=False)
+        key = (hosts[a], hosts[b])
+        if key not in memo:
+            memo[key] = [
+                topo.path_links(p) for p in k_shortest_paths(topo, *key, 4)
+            ]
+        choice = memo[key][int(rng.integers(0, len(memo[key])))]
+        paths.append(np.asarray(choice, dtype=np.intp))
+    caps = np.array([l.capacity for l in topo.links])
+    return paths, caps
+
+
 def test_maxmin_100_flows(benchmark):
     paths, caps = _flow_set(100, 48)
     rates = benchmark(maxmin_rates, paths, caps)
@@ -35,6 +57,51 @@ def test_maxmin_1000_flows(benchmark):
     paths, caps = _flow_set(1000, 48)
     rates = benchmark(maxmin_rates, paths, caps)
     assert rates.min() > 0
+
+
+def test_maxmin_1000_flows_fat_tree(benchmark):
+    """1000 flows on genuine fat-tree routes: the allocation problem the
+    engine's hot path solves at scale."""
+    paths, caps = _fat_tree_flow_set(1000)
+    rates = benchmark(maxmin_rates, paths, caps)
+    assert rates.min() > 0
+
+
+def test_network_arrival_departure_storm(benchmark):
+    """End-to-end Network storm: admissions, coalesced solves, byte
+    integration, completion waves — the whole engine hot path."""
+
+    def storm():
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo)
+        hosts = [h.name for h in topo.hosts()]
+        rng = np.random.default_rng(5)
+        memo: dict[tuple[str, str], list[list[int]]] = {}
+        flows = []
+        for i in range(300):
+            a, b = rng.choice(len(hosts), size=2, replace=False)
+            src, dst = hosts[a], hosts[b]
+            key = (src, dst)
+            if key not in memo:
+                memo[key] = [
+                    topo.path_links(p) for p in k_shortest_paths(topo, src, dst, 4)
+                ]
+            lids = memo[key][int(rng.integers(0, len(memo[key])))]
+            f = Flow(
+                src=src,
+                dst=dst,
+                size=float(rng.uniform(1e6, 5e7)),
+                five_tuple=FiveTuple(f"ip{src}", f"ip{dst}", 50060, 30000 + i, TCP),
+            )
+            sim.schedule((i % 20) * 0.25, net.start_flow, f, lids)
+            flows.append(f)
+        sim.run(max_events=200_000)
+        assert all(f.end_time is not None for f in flows)
+        return sim.events_processed
+
+    events = benchmark.pedantic(storm, rounds=3, iterations=1, warmup_rounds=1)
+    assert events > 0
 
 
 def test_yen_two_rack(benchmark):

@@ -1,0 +1,153 @@
+"""Hot-path regression gates for the incremental fair-share engine.
+
+The 1000-flow fat-tree arrival/departure storm is the workload the
+engine rework targets (see BENCH_network.json for the before/after
+numbers).  Wall time is tracked by pytest-benchmark; correctness of the
+*algorithmic* improvements is gated with machine-independent counts so
+a regression fails the suite even on noisy CI hardware:
+
+* recompute coalescing — one max-min solve per mutation timestamp, not
+  one per flow event;
+* the O(1) live-event counter — the storm's event total stays at the
+  coalesced level;
+* the topology-version k-path memo — repeated route lookups hit.
+"""
+
+import numpy as np
+
+from repro import obs
+from repro.sdn.topology_service import TopologyService
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.paths import k_shortest_paths
+from repro.simnet.topology import fat_tree
+
+NFLOWS = 1000
+WAVES = 50
+
+
+def _build(registry=None):
+    """1000 flows in 50 waves over a k=4 fat tree, seeded."""
+    with obs.use(registry=registry):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo)
+    hosts = [h.name for h in topo.hosts()]
+    rng = np.random.default_rng(7)
+    memo: dict[tuple[str, str], list[list[int]]] = {}
+    flows = []
+    for i in range(NFLOWS):
+        a, b = rng.choice(len(hosts), size=2, replace=False)
+        src, dst = hosts[a], hosts[b]
+        key = (src, dst)
+        if key not in memo:
+            memo[key] = [
+                topo.path_links(p) for p in k_shortest_paths(topo, src, dst, 4)
+            ]
+        lids = memo[key][int(rng.integers(0, len(memo[key])))]
+        f = Flow(
+            src=src,
+            dst=dst,
+            size=float(rng.uniform(1e6, 2e8)),
+            five_tuple=FiveTuple(f"ip{src}", f"ip{dst}", 50060, 30000 + i, TCP),
+        )
+        sim.schedule((i % WAVES) * 0.25, net.start_flow, f, lids)
+        flows.append(f)
+    return sim, net, flows
+
+
+def test_storm_wall_time(benchmark):
+    """Wall time of the full storm (the BENCH_network.json headline)."""
+
+    def storm():
+        sim, net, flows = _build()
+        sim.run(max_events=2_000_000)
+        assert all(f.end_time is not None for f in flows)
+        return sim.events_processed
+
+    benchmark.pedantic(storm, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_storm_coalesces_recomputes():
+    """Machine-independent gate: solves scale with mutation *timestamps*
+    (arrival waves + completion instants), not with flow events."""
+    registry = obs.MetricsRegistry()
+    with obs.use(registry=registry):
+        sim, net, flows = _build()
+        sim.run(max_events=2_000_000)
+    assert all(f.end_time is not None for f in flows)
+    snap = registry.snapshot()
+    solves = snap["network.fair_share_recomputes"]["value"]
+    coalesced = snap["network.recompute_coalesced"]["value"]
+    # 1000 arrivals land on 50 wave timestamps: at least 950 arrival
+    # mutations must have ridden along with an already-pending solve.
+    assert coalesced >= NFLOWS - WAVES
+    # Upper bound: one solve per arrival wave plus one per completion
+    # instant (completions can also coalesce, so this is conservative).
+    assert solves <= WAVES + NFLOWS
+    # The pre-rework engine solved once per arrival *and* once per
+    # completion event: regression means solves ~ 2 * NFLOWS.
+    assert solves + coalesced <= 3 * NFLOWS
+    assert solves < 1.5 * NFLOWS
+
+
+def test_storm_event_budget():
+    """The coalesced engine spends about two events per flow (its
+    arrival and a shared completion tick) plus one settle per
+    timestamp; the old engine burned ~3 per flow."""
+    sim, net, flows = _build()
+    sim.run(max_events=2_000_000)
+    assert all(f.end_time is not None for f in flows)
+    assert sim.events_processed <= int(2.5 * NFLOWS)
+    assert sim.pending == 0  # live-event counter drained exactly
+
+
+def test_byte_conservation_at_scale():
+    sim, net, flows = _build()
+    sim.run(max_events=2_000_000)
+    total = sum(f.size for f in flows)
+    sent = sum(f.bytes_sent for f in flows)
+    assert abs(sent - total) <= 1e-6 * total
+
+
+def test_storm_is_deterministic():
+    sim1, _, flows1 = _build()
+    sim1.run(max_events=2_000_000)
+    sim2, _, flows2 = _build()
+    sim2.run(max_events=2_000_000)
+    assert [f.end_time for f in flows1] == [f.end_time for f in flows2]
+    assert sim1.events_processed == sim2.events_processed
+
+
+def test_kpath_memo_serves_repeat_lookups():
+    """Routing regression gate: the per-version memo absorbs repeated
+    pair lookups, and a topology change invalidates it exactly once."""
+    registry = obs.MetricsRegistry()
+    with obs.use(registry=registry):
+        topo = fat_tree(4)
+        svc = TopologyService(topo, k=4)
+        hosts = [h.name for h in topo.hosts()]
+        rng = np.random.default_rng(3)
+        seen: set[tuple[str, str]] = set()
+        pairs = []
+        for _ in range(50):
+            a, b = rng.choice(len(hosts), size=2, replace=False)
+            if (hosts[a], hosts[b]) not in seen:
+                seen.add((hosts[a], hosts[b]))
+                pairs.append((hosts[a], hosts[b]))
+        for _ in range(10):
+            for s, d in pairs:
+                svc.k_paths_links(s, d)
+        assert svc.cache_misses <= len(pairs)
+        assert svc.cache_hits >= 9 * len(pairs)
+        hits_before = svc.cache_hits
+        topo.set_link_state(0, False)  # version bump drops the memo
+        topo.set_link_state(0, True)
+        for s, d in pairs:
+            svc.k_paths_links(s, d)
+        assert svc.cache_misses <= 2 * len(pairs)
+        assert svc.cache_hits == hits_before
+    snap = registry.snapshot()
+    assert snap["routing.kpath_cache_hits"]["value"] == svc.cache_hits
+    assert snap["routing.kpath_cache_misses"]["value"] >= 1

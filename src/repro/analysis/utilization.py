@@ -50,10 +50,15 @@ class UtilizationRecorder:
     def _tick(self) -> None:
         if not self._running:
             return
-        self.network.sample_counters()
-        links = self.network.topology.links
+        # Settled vectorised read; mirrors Link.utilization per link
+        # (down links keep their raw capacity in the denominator, so a
+        # failed link still carrying rigid traffic reads as loaded).
+        load = self.network.link_load()
+        caps = np.array([l.capacity for l in self.network.topology.links])
+        util = np.zeros_like(load)
+        np.divide(load, caps, out=util, where=caps > 0)
         self.times.append(self.sim.now)
-        self.samples.append(np.array([l.utilization for l in links]))
+        self.samples.append(np.minimum(1.0, util))
         self.sim.schedule(self.period, self._tick)
 
     # ------------------------------------------------------------------

@@ -80,6 +80,9 @@ class HederaScheduler:
         ctrl = self.controller
         assert ctrl is not None
         net = ctrl.network
+        # The loop below reads flow.rate directly; make sure any
+        # same-instant flow event has been folded into the allocation.
+        net.settle()
         # Hedera classifies by *estimated natural demand* (NSDI'10
         # host-limited max-min), not the currently observed — possibly
         # throttled — rate: a large transfer crawling through a

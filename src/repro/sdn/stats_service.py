@@ -54,9 +54,7 @@ class LinkStatsService:
             return
         self._running = True
         self._last_time = self.sim.now
-        self._last_bytes = np.array(
-            [l.bytes_carried for l in self.network.topology.links]
-        )
+        self._last_bytes = self.network.link_bytes()
         self._pending_tick = self.sim.schedule(self.period, self._tick)
 
     def stop(self) -> None:
@@ -74,10 +72,16 @@ class LinkStatsService:
         self._pending_tick = self.sim.schedule(self.period, self._tick)
 
     def sample(self) -> None:
-        """Poll byte counters and fold the measured rates into the EWMA."""
+        """Poll byte counters and fold the measured rates into the EWMA.
+
+        Reads come from the network's settled flat link arrays (one
+        vectorised call each) rather than a Python scan over link
+        objects; ``sample_counters`` is still invoked so the per-link
+        hardware-counter mirrors stay fresh at every poll instant.
+        """
         self.network.sample_counters()
         now = self.sim.now
-        counters = np.array([l.bytes_carried for l in self.network.topology.links])
+        counters = self.network.link_bytes()
         dt = now - self._last_time
         if dt > 0:
             rates = (counters - self._last_bytes) / dt
@@ -88,8 +92,8 @@ class LinkStatsService:
             # portion of the network load that is due to shuffle transfers
             # from background traffic", §IV).  Elastic flows are exactly
             # the tracked application transfers in this model.
-            bg = np.array(
-                [max(0.0, l.total_rate - l.elastic_rate) for l in self.network.topology.links]
+            bg = np.maximum(
+                0.0, self.network.link_load() - self.network.link_elastic_load()
             )
             self._ewma_background = (
                 self.alpha * bg + (1 - self.alpha) * self._ewma_background

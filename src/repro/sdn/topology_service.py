@@ -5,14 +5,20 @@ Mirrors OpenDaylight's topology update service as the paper uses it
 computed at startup and recomputed *only* when a physical topology
 change occurs — keeping routing computation off the data path and
 providing fault tolerance on link/switch failure.
+
+Path results are memoised per topology *version* (see
+:class:`repro.simnet.paths.KPathCache`): link up/down events bump the
+version, so the memo self-invalidates on the next lookup without the
+service having to clear anything inside the event callback.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.simnet.links import Link
-from repro.simnet.paths import k_shortest_paths
+from repro.simnet.paths import KPathCache
 from repro.simnet.topology import Topology
 
 
@@ -22,9 +28,12 @@ class TopologyService:
     def __init__(self, topology: Topology, k: int = 4) -> None:
         self.topology = topology
         self.k = k
-        self._cache: dict[tuple[str, str], list[list[str]]] = {}
+        self._cache = KPathCache(topology, k)
         self._listeners: list[Callable[[Link], None]] = []
         self.recomputations = 0
+        registry = obs.get_registry()
+        self._m_hits = registry.counter("routing.kpath_cache_hits")
+        self._m_misses = registry.counter("routing.kpath_cache_misses")
         topology.observe(self._on_link_event)
 
     def on_change(self, fn: Callable[[Link], None]) -> None:
@@ -32,24 +41,36 @@ class TopologyService:
         self._listeners.append(fn)
 
     def _on_link_event(self, link: Link) -> None:
-        self._cache.clear()
         self.recomputations += 1
         for fn in list(self._listeners):
             fn(link)
 
+    @property
+    def cache_hits(self) -> int:
+        """k-path memo hits since construction."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """k-path memo misses (Yen invocations) since construction."""
+        return self._cache.misses
+
     def k_paths(self, src: str, dst: str) -> list[list[str]]:
-        """k shortest node paths, hop-count metric, cached."""
-        key = (src, dst)
-        if key not in self._cache:
-            self._cache[key] = k_shortest_paths(self.topology, src, dst, self.k)
-        return self._cache[key]
+        """k shortest node paths, hop-count metric, memoised per version."""
+        before = self._cache.misses
+        result = self._cache.paths(src, dst)
+        if self._cache.misses != before:
+            self._m_misses.inc()
+        else:
+            self._m_hits.inc()
+        return result
 
     def k_paths_links(self, src: str, dst: str) -> list[list[int]]:
         """Same paths resolved to link ids (skipping unreachable ones)."""
-        out: list[list[int]] = []
-        for p in self.k_paths(src, dst):
-            try:
-                out.append(self.topology.path_links(p))
-            except ValueError:
-                continue  # parallel link went down since path computation
-        return out
+        before = self._cache.misses
+        result = self._cache.paths_links(src, dst)
+        if self._cache.misses != before:
+            self._m_misses.inc()
+        else:
+            self._m_hits.inc()
+        return result

@@ -32,10 +32,14 @@ class Event:
     fn: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _sim: Optional["Simulator"] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
 
 class Simulator:
@@ -46,6 +50,10 @@ class Simulator:
         self._seq = itertools.count()
         self.now: float = 0.0
         self._events_processed = 0
+        #: live (non-cancelled) queued events, maintained so ``pending``
+        #: — read inside experiment loops and the obs gauge path — is
+        #: O(1) instead of a scan over the heap.
+        self._live = 0
         # Observability is bound at construction: when the active
         # registry is the no-op default and no tracer is installed,
         # the event loop keeps its bare fast path (one None check).
@@ -69,8 +77,9 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args, _sim=self)
         heapq.heappush(self._queue, ev)
+        self._live += 1
         return ev
 
     # ------------------------------------------------------------------
@@ -82,6 +91,7 @@ class Simulator:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
+            self._live -= 1
             self.now = ev.time
             self._events_processed += 1
             if self._instrumented:
@@ -131,6 +141,7 @@ class Simulator:
             if max_events is not None and processed >= max_events:
                 raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
             heapq.heappop(self._queue)
+            self._live -= 1
             self.now = ev.time
             self._events_processed += 1
             if instrumented:
@@ -143,8 +154,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued (O(1))."""
+        return self._live
 
     @property
     def events_processed(self) -> int:

@@ -20,18 +20,31 @@ import numpy as np
 _REL_EPS = 1e-9
 
 
-def maxmin_rates(
-    flow_links: list[np.ndarray],
+def maxmin_rates_pairs(
+    pair_flow: np.ndarray,
+    pair_link: np.ndarray,
+    nflows: int,
     residual: np.ndarray,
     weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Compute (weighted) max-min fair rates.
+    """Core progressive-filling solver over a flat (flow, link) incidence.
+
+    Pair *i* says "flow ``pair_flow[i]`` traverses link ``pair_link[i]``".
+    This entry point exists so a caller that maintains the incidence
+    arrays *persistently* (the :class:`~repro.simnet.network.Network`
+    hot path) can solve without re-concatenating per-flow path arrays on
+    every recompute; :func:`maxmin_rates` is the list-of-paths wrapper.
+
+    Flow ids may be sparse: an id in ``[0, nflows)`` that appears in no
+    pair simply keeps rate 0 (the caller uses this for dead slots in a
+    lazily-compacted arena).
 
     Parameters
     ----------
-    flow_links:
-        For each flow, the integer link indices it traverses.  Every
-        flow must traverse at least one link.
+    pair_flow, pair_link:
+        Equal-length integer arrays of the incidence pairs.
+    nflows:
+        Size of the returned rate vector (flow-slot arena size).
     residual:
         Per-link residual capacity in bytes/second (already net of
         rigid traffic; down links should be passed as 0).
@@ -42,24 +55,9 @@ def maxmin_rates(
         reducer-0 receives five times more data then ... the flows
         terminated at reducer-0 should get five times more network
         capacity (bandwidth) than reducer-1".
-
-    Returns
-    -------
-    np.ndarray
-        Rate per flow.  Flows crossing a zero-residual link get 0.
-
-    Raises
-    ------
-    ValueError
-        If a flow's link list is empty (the documented precondition) —
-        such a flow would otherwise silently freeze at rate 0.
     """
-    nflows = len(flow_links)
-    for f, links in enumerate(flow_links):
-        if len(links) == 0:
-            raise ValueError(f"flow {f} has an empty link list")
     rates = np.zeros(nflows)
-    if nflows == 0:
+    if nflows == 0 or pair_flow.size == 0:
         return rates
     nlinks = residual.shape[0]
     if weights is None:
@@ -68,23 +66,16 @@ def maxmin_rates(
         w = np.asarray(weights, dtype=float)
         if w.shape != (nflows,):
             raise ValueError("weights must have one entry per flow")
-        if (w <= 0).any():
+        if (w[np.unique(pair_flow)] <= 0).any():
             raise ValueError("weights must be positive")
-
-    # Flat incidence: pair i says "flow pair_flow[i] uses link pair_link[i]".
-    pair_flow = np.concatenate(
-        [np.full(len(l), f, dtype=np.intp) for f, l in enumerate(flow_links)]
-    )
-    pair_link = np.concatenate([np.asarray(l, dtype=np.intp) for l in flow_links])
-    if pair_link.size and (pair_link.max() >= nlinks or pair_link.min() < 0):
-        raise IndexError("flow references a link outside the residual array")
     pair_weight = w[pair_flow]
 
     cap = residual.astype(float).copy()
     # Per-link saturation threshold: relative to that link's own
     # residual so a tiny link next to a huge one is not frozen early.
     eps = _REL_EPS * np.maximum(cap, 1.0)
-    active = np.ones(nflows, dtype=bool)
+    active = np.zeros(nflows, dtype=bool)
+    active[pair_flow] = True
     level = 0.0
 
     # Each iteration saturates at least one link carrying an active flow
@@ -106,16 +97,72 @@ def maxmin_rates(
         saturated = np.zeros(nlinks, dtype=bool)
         saturated[loaded] = cap[loaded] <= eps[loaded]
         frozen_pairs = live_pairs & saturated[pair_link]
-        frozen_flows = np.unique(pair_flow[frozen_pairs])
+        # Duplicate flow ids are fine below: fancy assignment writes the
+        # same value for every duplicate, so deduplication (np.unique,
+        # which sorts) would only add cost to the hot loop.
+        frozen_flows = pair_flow[frozen_pairs]
         if frozen_flows.size == 0:
             # Numerical corner: no link crossed the eps threshold.  Force
             # the tightest link to saturate to guarantee progress.
             loaded_idx = np.flatnonzero(loaded)
             tight = loaded_idx[int(np.argmin(cap[loaded_idx] / wsum[loaded_idx]))]
-            frozen_flows = np.unique(pair_flow[live_pairs & (pair_link == tight)])
+            frozen_flows = pair_flow[live_pairs & (pair_link == tight)]
         rates[frozen_flows] = level * w[frozen_flows]
         active[frozen_flows] = False
     return rates
+
+
+def maxmin_rates(
+    flow_links: list[np.ndarray],
+    residual: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute (weighted) max-min fair rates from per-flow path lists.
+
+    Parameters
+    ----------
+    flow_links:
+        For each flow, the integer link indices it traverses.  Every
+        flow must traverse at least one link.
+    residual:
+        Per-link residual capacity in bytes/second (already net of
+        rigid traffic; down links should be passed as 0).
+    weights:
+        Optional positive per-flow weights (see
+        :func:`maxmin_rates_pairs`).
+
+    Returns
+    -------
+    np.ndarray
+        Rate per flow.  Flows crossing a zero-residual link get 0.
+
+    Raises
+    ------
+    ValueError
+        If a flow's link list is empty (the documented precondition) —
+        such a flow would otherwise silently freeze at rate 0.
+    """
+    nflows = len(flow_links)
+    for f, links in enumerate(flow_links):
+        if len(links) == 0:
+            raise ValueError(f"flow {f} has an empty link list")
+    if nflows == 0:
+        return np.zeros(0)
+    nlinks = residual.shape[0]
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (nflows,):
+            raise ValueError("weights must have one entry per flow")
+        if (w <= 0).any():
+            raise ValueError("weights must be positive")
+    # Flat incidence: pair i says "flow pair_flow[i] uses link pair_link[i]".
+    pair_flow = np.concatenate(
+        [np.full(len(l), f, dtype=np.intp) for f, l in enumerate(flow_links)]
+    )
+    pair_link = np.concatenate([np.asarray(l, dtype=np.intp) for l in flow_links])
+    if pair_link.size and (pair_link.max() >= nlinks or pair_link.min() < 0):
+        raise IndexError("flow references a link outside the residual array")
+    return maxmin_rates_pairs(pair_flow, pair_link, nflows, residual, weights=weights)
 
 
 def path_available_bandwidth(load: np.ndarray, capacity: np.ndarray, lids: list[int]) -> float:

@@ -54,11 +54,77 @@ class Flow:
 
     # -- runtime state (owned by Network) --------------------------------
     path: Optional[list[int]] = None          # link ids, set at admission
-    rate: float = 0.0                         # current instantaneous rate
-    remaining: float = 0.0                    # bytes left to send
-    bytes_sent: float = 0.0
     start_time: Optional[float] = None
     end_time: Optional[float] = None
+    # While a flow is an *active elastic* flow, its rate/remaining/
+    # bytes_sent live in the owning Network's flat slot arrays (so byte
+    # integration and the fair-share solve stay fully vectorised); the
+    # properties below read through the binding.  Outside that window
+    # (before admission, after completion, rigid flows, paused flows)
+    # the scalar fields are authoritative.
+    _rate: float = field(default=0.0, repr=False)
+    _remaining: float = field(default=0.0, repr=False)
+    _bytes_sent: float = field(default=0.0, repr=False)
+    _state: Optional[object] = field(default=None, repr=False)   # slot arena
+    _slot: int = field(default=-1, repr=False)
+
+    @property
+    def rate(self) -> float:
+        """Current instantaneous rate (bytes/s).
+
+        Rates are the one piece of runtime state that can be pending a
+        coalesced recompute, so the bound read settles the owning
+        network first — a reader between a same-instant flow event and
+        its settle observes exactly what an always-synchronous engine
+        would have produced.
+        """
+        state = self._state
+        if state is not None:
+            network = state.network
+            if network is not None and network._dirty:
+                network._settle()
+            return float(state.rate[self._slot])
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        state = self._state
+        if state is not None:
+            state.rate[self._slot] = value
+        else:
+            self._rate = value
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to send."""
+        state = self._state
+        if state is not None:
+            return float(state.remaining[self._slot])
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        state = self._state
+        if state is not None:
+            state.remaining[self._slot] = value
+        else:
+            self._remaining = value
+
+    @property
+    def bytes_sent(self) -> float:
+        """Bytes carried so far."""
+        state = self._state
+        if state is not None:
+            return float(state.sent[self._slot])
+        return self._bytes_sent
+
+    @bytes_sent.setter
+    def bytes_sent(self, value: float) -> None:
+        state = self._state
+        if state is not None:
+            state.sent[self._slot] = value
+        else:
+            self._bytes_sent = value
 
     @property
     def elastic(self) -> bool:

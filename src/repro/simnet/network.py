@@ -6,10 +6,33 @@ max-min allocation, integrates the bytes carried since the previous
 change, and schedules a single "next completion" event.  Stale
 completion events are invalidated with a generation counter rather than
 heap surgery.
+
+Three structural choices keep the per-event cost flat as experiments
+scale (see docs/ARCHITECTURE.md "Network engine internals"):
+
+* **Persistent incidence state.**  Elastic flows live in a slot arena
+  (:class:`_SlotArena`): flat ``rate``/``remaining``/``sent``/``weight``
+  vectors plus append-only ``(flow, link)`` incidence pair arrays that
+  are compacted lazily when enough slots have died.  The fair-share
+  solve consumes these arrays directly instead of re-concatenating
+  every flow's path on each recompute, and byte integration is a single
+  vectorised ``remaining -= rates * dt``.
+* **Coalesced recomputation.**  Flow events mark the network *dirty*
+  and schedule one zero-delay settle event; all mutations that share a
+  timestamp are solved once.  The deterministic ``(time, seq)`` event
+  semantics are preserved — the settle fires at the same simulated
+  instant, after the mutations that requested it — and every public
+  rate-reading accessor settles on demand so no caller can observe a
+  stale allocation.
+* **Indexed membership.**  ``flows_on_link`` is served from a
+  maintained link→flow index, and the elastic/rigid collections are
+  insertion-ordered dicts so completion waves no longer pay
+  ``list.remove`` per flow.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Callable, Optional
 
@@ -17,12 +40,191 @@ import numpy as np
 
 from repro import obs
 from repro.simnet.engine import Simulator
-from repro.simnet.fairshare import maxmin_rates
+from repro.simnet.fairshare import maxmin_rates_pairs
 from repro.simnet.flows import Flow
+from repro.simnet.links import Link
 from repro.simnet.topology import Topology
 
 #: Remaining-bytes slack under which a flow counts as finished.
 _DONE_EPS = 1e-3
+
+
+class _SlotArena:
+    """Flat per-flow state and (flow, link) incidence for elastic flows.
+
+    Each admitted elastic flow occupies one *slot*: an index into the
+    ``rate``/``remaining``/``sent``/``weight`` vectors and a contiguous
+    run ``[pair_start, pair_start + pair_count)`` of the incidence pair
+    arrays.  Slots are append-only; departures mark the slot dead and
+    the arena compacts (preserving slot order of the survivors) once
+    dead slots or dead pairs dominate, so arrival/departure storms cost
+    amortised O(path length) each instead of O(flows × links).
+    """
+
+    __slots__ = (
+        "n", "rate", "remaining", "sent", "weight", "alive",
+        "pair_start", "pair_count", "flows",
+        "pn", "pair_flow", "pair_link", "dead", "dead_pairs", "network",
+    )
+
+    def __init__(self) -> None:
+        cap, pcap = 64, 256
+        #: backref so a bound Flow.rate read can settle a pending
+        #: coalesced recompute (set by the owning Network).
+        self.network: Optional["Network"] = None
+        self.n = 0
+        self.rate = np.zeros(cap)
+        self.remaining = np.zeros(cap)
+        self.sent = np.zeros(cap)
+        self.weight = np.ones(cap)
+        self.alive = np.zeros(cap, dtype=bool)
+        self.pair_start = np.zeros(cap, dtype=np.intp)
+        self.pair_count = np.zeros(cap, dtype=np.intp)
+        self.flows: list[Optional[Flow]] = []
+        self.pn = 0
+        self.pair_flow = np.zeros(pcap, dtype=np.intp)
+        self.pair_link = np.zeros(pcap, dtype=np.intp)
+        self.dead = 0
+        self.dead_pairs = 0
+
+    # -- growth --------------------------------------------------------
+    def _grow_slots(self) -> None:
+        cap = len(self.rate) * 2
+        for name in ("rate", "remaining", "sent", "weight", "alive",
+                     "pair_start", "pair_count"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def _grow_pairs(self, need: int) -> None:
+        cap = len(self.pair_flow)
+        while cap < need:
+            cap *= 2
+        for name in ("pair_flow", "pair_link"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=np.intp)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    # -- lifecycle -----------------------------------------------------
+    def add(self, flow: Flow) -> int:
+        """Admit ``flow`` (using its current path) and bind it to a slot."""
+        slot = self.n
+        if slot == len(self.rate):
+            self._grow_slots()
+        lids = flow.path or []
+        npairs = len(lids)
+        if self.pn + npairs > len(self.pair_flow):
+            self._grow_pairs(self.pn + npairs)
+        self.rate[slot] = flow.rate
+        self.remaining[slot] = flow.remaining
+        self.sent[slot] = flow.bytes_sent
+        self.weight[slot] = flow.weight
+        self.alive[slot] = True
+        self.pair_start[slot] = self.pn
+        self.pair_count[slot] = npairs
+        self.pair_flow[self.pn: self.pn + npairs] = slot
+        self.pair_link[self.pn: self.pn + npairs] = lids
+        self.pn += npairs
+        self.flows.append(flow)
+        self.n += 1
+        flow._state = self
+        flow._slot = slot
+        return slot
+
+    def kill(self, flow: Flow) -> None:
+        """Release the flow's slot, writing final values back to it."""
+        slot = flow._slot
+        flow._state = None
+        flow._slot = -1
+        flow._rate = float(self.rate[slot])
+        flow._remaining = float(self.remaining[slot])
+        flow._bytes_sent = float(self.sent[slot])
+        self.rate[slot] = 0.0
+        self.alive[slot] = False
+        self.flows[slot] = None
+        self.dead += 1
+        self.dead_pairs += int(self.pair_count[slot])
+
+    def set_path_inplace(self, flow: Flow, lids: list[int]) -> bool:
+        """Swap the slot's incidence pairs for an equal-length path.
+
+        Returns False when the new path has a different hop count (the
+        caller then re-admits the flow into a fresh slot).
+        """
+        slot = flow._slot
+        cnt = int(self.pair_count[slot])
+        if len(lids) != cnt:
+            return False
+        start = int(self.pair_start[slot])
+        self.pair_link[start: start + cnt] = lids
+        return True
+
+    def maybe_compact(self) -> None:
+        """Reclaim dead slots/pairs once they outnumber the live ones."""
+        if self.dead > max(16, self.n - self.dead) or (
+            self.dead_pairs > max(64, self.pn - self.dead_pairs)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        n, pn = self.n, self.pn
+        keep = np.flatnonzero(self.alive[:n])
+        remap = np.full(n, -1, dtype=np.intp)
+        remap[keep] = np.arange(keep.size, dtype=np.intp)
+        pair_keep = self.alive[self.pair_flow[:pn]]
+        new_pf = remap[self.pair_flow[:pn][pair_keep]]
+        new_pl = self.pair_link[:pn][pair_keep]
+        for name in ("rate", "remaining", "sent", "weight", "alive",
+                     "pair_count"):
+            arr = getattr(self, name)
+            arr[: keep.size] = arr[keep]
+        counts = self.pair_count[: keep.size]
+        self.pair_start[: keep.size] = np.concatenate(
+            ([0], np.cumsum(counts[:-1]))
+        ) if keep.size else 0
+        self.pair_flow[: new_pf.size] = new_pf
+        self.pair_link[: new_pl.size] = new_pl
+        survivors: list[Optional[Flow]] = []
+        for slot in keep.tolist():
+            flow = self.flows[slot]
+            assert flow is not None
+            flow._slot = len(survivors)
+            survivors.append(flow)
+        self.flows = survivors
+        self.n = keep.size
+        self.pn = int(new_pf.size)
+        self.dead = 0
+        self.dead_pairs = 0
+
+    # -- fluid math ----------------------------------------------------
+    def integrate(self, dt: float) -> None:
+        """Vectorised byte credit: ``remaining -= rates * dt``."""
+        n = self.n
+        if n:
+            delta = self.rate[:n] * dt
+            self.sent[:n] += delta
+            self.remaining[:n] -= delta
+
+    def live_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """(pair_flow, pair_link) views restricted to live slots."""
+        pf = self.pair_flow[: self.pn]
+        pl = self.pair_link[: self.pn]
+        if self.dead_pairs:
+            live = self.alive[pf]
+            return pf[live], pl[live]
+        return pf, pl
+
+    def solve(self, residual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Solve max-min over the live incidence; returns the live pairs."""
+        pf, pl = self.live_pairs()
+        n = self.n
+        rates = maxmin_rates_pairs(
+            pf, pl, n, residual, weights=self.weight[:n]
+        )
+        self.rate[:n] = rates
+        return pf, pl
 
 
 class Network:
@@ -31,21 +233,42 @@ class Network:
     def __init__(self, sim: Simulator, topology: Topology) -> None:
         self.sim = sim
         self.topology = topology
-        self.elastic: list[Flow] = []
-        self.rigid: list[Flow] = []
+        self._elastic: dict[Flow, None] = {}
+        self._rigid: dict[Flow, None] = {}
         self.archive: list[Flow] = []        # every flow ever admitted
         self._on_complete: dict[int, Callable[[Flow], None]] = {}
         self._generation = 0
         self._last_integration = sim.now
         self._flow_hooks: list[Callable[[str, Flow], None]] = []
+        self._arena = _SlotArena()
+        self._arena.network = self
+        self._dirty = False
+        self._order = itertools.count()
+        self._flows_by_link: dict[int, set[Flow]] = {}
+        self._nlinks = 0
+        self._rebuild_link_arrays()
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
         self._measure_recompute = registry.enabled
         self._m_arrivals = registry.counter("network.flow_arrivals")
         self._m_departures = registry.counter("network.flow_departures")
         self._m_recomputes = registry.counter("network.fair_share_recomputes")
+        self._m_coalesced = registry.counter("network.recompute_coalesced")
         self._m_recompute_time = registry.histogram("network.fair_share_wall_seconds")
         topology.observe(self._on_link_state_change)
+
+    # ------------------------------------------------------------------
+    # public views (insertion-ordered, matching historical list semantics)
+    # ------------------------------------------------------------------
+    @property
+    def elastic(self) -> list[Flow]:
+        """Active elastic flows in admission order (paused flows excluded)."""
+        return list(self._elastic)
+
+    @property
+    def rigid(self) -> list[Flow]:
+        """Active rigid flows in admission order."""
+        return list(self._rigid)
 
     # ------------------------------------------------------------------
     # observers
@@ -92,12 +315,18 @@ class Network:
             self._on_complete[flow.fid] = on_complete
         self.archive.append(flow)
         if flow.elastic:
-            self.elastic.append(flow)
-            self._recompute()
+            self._admit_elastic(flow)
+            self._flows_changed()
         else:
             self._admit_rigid(flow)
         self._emit("start", flow)
         return flow
+
+    def _admit_elastic(self, flow: Flow) -> None:
+        self._elastic[flow] = None
+        flow._order = next(self._order)  # type: ignore[attr-defined]
+        self._arena.add(flow)
+        self._index_add(flow)
 
     def _admit_rigid(self, flow: Flow) -> None:
         assert flow.rigid_rate is not None
@@ -105,11 +334,14 @@ class Network:
         flow.rate = flow.rigid_rate
         for lid in flow.path or []:
             self.topology.links[lid].rigid_rate += flow.rigid_rate
-        self.rigid.append(flow)
+            self._lrigid[lid] += flow.rigid_rate
+        self._rigid[flow] = None
+        flow._order = next(self._order)  # type: ignore[attr-defined]
+        self._index_add(flow)
         if flow.size is not None:
             duration = flow.size / flow.rigid_rate
             self.sim.schedule(duration, self._complete_rigid, flow)
-        self._recompute()
+        self._flows_changed()
 
     def stop_flow(self, flow: Flow) -> None:
         """Tear down an unbounded rigid flow (e.g. background stream)."""
@@ -125,11 +357,13 @@ class Network:
         self._integrate()
         for lid in flow.path or []:
             self.topology.links[lid].rigid_rate -= flow.rigid_rate  # type: ignore[operator]
+            self._lrigid[lid] -= flow.rigid_rate  # type: ignore[operator]
         flow.end_time = self.sim.now
         flow.rate = 0.0
-        self.rigid.remove(flow)
+        del self._rigid[flow]
+        self._index_remove(flow)
         self._finish(flow)
-        self._recompute()
+        self._flows_changed()
 
     def _finish(self, flow: Flow) -> None:
         cb = self._on_complete.pop(flow.fid, None)
@@ -152,39 +386,87 @@ class Network:
             return
         self._validate_path(flow, new_path, allow_down=False)
         self._integrate()
+        self._index_remove(flow)
         if not flow.elastic:
             for lid in flow.path or []:
                 self.topology.links[lid].rigid_rate -= flow.rigid_rate  # type: ignore[operator]
+                self._lrigid[lid] -= flow.rigid_rate  # type: ignore[operator]
             for lid in new_path:
                 self.topology.links[lid].rigid_rate += flow.rigid_rate  # type: ignore[operator]
+                self._lrigid[lid] += flow.rigid_rate  # type: ignore[operator]
         flow.path = list(new_path)
-        flow._path_np = None  # type: ignore[attr-defined]  # invalidate cache
+        in_elastic = flow in self._elastic
+        if flow.elastic and in_elastic:
+            # Equal hop count (the common case on Clos fabrics) swaps
+            # the incidence pairs in place; otherwise re-slot.
+            if not self._arena.set_path_inplace(flow, flow.path):
+                self._arena.kill(flow)
+                self._arena.add(flow)
+        if not flow.elastic or in_elastic:
+            # paused flows rejoin the index on resume
+            self._index_add(flow)
         self._emit("reroute", flow)
-        if pause > 0 and flow.elastic and flow in self.elastic:
-            self.elastic.remove(flow)
+        if pause > 0 and flow.elastic and in_elastic:
+            del self._elastic[flow]
+            self._index_remove(flow)
+            self._arena.kill(flow)
             flow.rate = 0.0
             self.sim.schedule(pause, self._resume, flow)
-        self._recompute()
+        self._flows_changed()
 
     def _resume(self, flow: Flow) -> None:
-        if flow.end_time is not None or flow in self.elastic:
+        if flow.end_time is not None or flow in self._elastic:
             return
-        self.elastic.append(flow)
-        self._recompute()
+        self._elastic[flow] = None
+        flow._order = next(self._order)  # type: ignore[attr-defined]
+        self._arena.add(flow)
+        self._index_add(flow)
+        self._flows_changed()
 
     def flows_on_link(self, lid: int) -> list[Flow]:
-        """Active flows whose path crosses the given link."""
-        return [f for f in self.elastic + self.rigid if f.path and lid in f.path]
+        """Active flows whose path crosses the given link.
 
-    def _on_link_state_change(self, link) -> None:
+        Served from a maintained link→flow index; ordering matches the
+        historical scan of ``elastic + rigid`` in admission order.
+        """
+        members = self._flows_by_link.get(lid)
+        if not members:
+            return []
+        return sorted(
+            members,
+            key=lambda f: (not f.elastic, f._order),  # type: ignore[attr-defined]
+        )
+
+    def _index_add(self, flow: Flow) -> None:
+        by_link = self._flows_by_link
+        for lid in flow.path or []:
+            bucket = by_link.get(lid)
+            if bucket is None:
+                bucket = by_link[lid] = set()
+            bucket.add(flow)
+
+    def _index_remove(self, flow: Flow) -> None:
+        by_link = self._flows_by_link
+        for lid in flow.path or []:
+            bucket = by_link.get(lid)
+            if bucket is not None:
+                bucket.discard(flow)
+
+    def _on_link_state_change(self, link: Link) -> None:
         # Down links contribute zero residual, so affected elastic flows
         # stall at rate 0 until somebody (the SDN layer) reroutes them.
-        self._recompute()
+        if link.lid >= self._nlinks:
+            self._rebuild_link_arrays()
+        else:
+            self._lup[link.lid] = link.up
+        self._flows_changed()
 
     def _validate_path(self, flow: Flow, path: list[int], allow_down: bool = True) -> None:
         if not path:
             raise ValueError("empty path")
         links = self.topology.links
+        if len(links) != self._nlinks:
+            self._rebuild_link_arrays()
         if links[path[0]].src != flow.src or links[path[-1]].dst != flow.dst:
             raise ValueError(
                 f"path endpoints {links[path[0]].src}->{links[path[-1]].dst} "
@@ -196,63 +478,103 @@ class Network:
         if not allow_down and any(not links[l].up for l in path):
             raise ValueError("path crosses a down link")
 
+    def _rebuild_link_arrays(self) -> None:
+        """(Re)mirror per-link state into flat arrays.
+
+        Called at construction and if the topology ever grows links
+        after the network is built.  The byte/elastic accumulators are
+        owned by the network once it is live (link objects are synced
+        lazily), so a rebuild preserves the existing prefix.
+        """
+        links = self.topology.links
+        old_n = self._nlinks
+        self._lcap = np.array([l.capacity for l in links], dtype=float)
+        self._lup = np.array([l.up for l in links], dtype=bool)
+        self._lrigid = np.array([l.rigid_rate for l in links], dtype=float)
+        lelastic = np.array([l.elastic_rate for l in links], dtype=float)
+        lbytes = np.array([l.bytes_carried for l in links], dtype=float)
+        if old_n:
+            lelastic[:old_n] = self._lelastic
+            lbytes[:old_n] = self._lbytes
+        self._lelastic = lelastic
+        self._lbytes = lbytes
+        self._nlinks = len(links)
+
     # ------------------------------------------------------------------
     # fluid dynamics
     # ------------------------------------------------------------------
+    def _flows_changed(self) -> None:
+        """Invalidate scheduled completions and request one settle.
+
+        Every mutation bumps the generation (stale completion ticks are
+        skipped exactly as before); the expensive solve itself is
+        coalesced — the first mutation at a timestamp schedules a
+        zero-delay settle event and subsequent ones ride along.
+        """
+        self._generation += 1
+        if self._dirty:
+            self._m_coalesced.inc()
+            return
+        self._dirty = True
+        self.sim.schedule(0.0, self._settle_event)
+
+    def _settle_event(self) -> None:
+        if self._dirty:
+            self._settle()
+
+    def settle(self) -> None:
+        """Solve max-min now if a flow event is pending a recompute.
+
+        Idempotent; every public rate-reading accessor calls this, so
+        callers that consume instantaneous rates never observe a
+        pre-settle allocation.
+        """
+        if self._dirty:
+            self._settle()
+
     def _integrate(self) -> None:
         """Credit bytes carried since the last rate change."""
         now = self.sim.now
         dt = now - self._last_integration
         if dt <= 0:
             return
-        for flow in self.elastic:
-            sent = flow.rate * dt
-            flow.bytes_sent += sent
-            flow.remaining -= sent
-        for flow in self.rigid:
+        self._arena.integrate(dt)
+        for flow in self._rigid:
             flow.bytes_sent += flow.rate * dt
             if flow.size is not None:
                 flow.remaining -= flow.rate * dt
-        for link in self.topology.links:
-            link.advance(now)
+        self._lbytes += (self._lelastic + self._lrigid) * dt
         self._last_integration = now
 
-    def _recompute(self) -> None:
+    def _settle(self) -> None:
         """Re-solve max-min rates and schedule the next completion."""
         start = time.perf_counter() if self._measure_recompute else 0.0
         self._integrate()
+        self._dirty = False
         self._m_recomputes.inc()
-        self._generation += 1
-        links = self.topology.links
-        residual = np.array(
-            [l.residual if l.up else 0.0 for l in links], dtype=float
+        if len(self.topology.links) != self._nlinks:
+            self._rebuild_link_arrays()
+        residual = np.maximum(
+            Link.ELASTIC_FLOOR * self._lcap, self._lcap - self._lrigid
         )
-        for link in links:
-            link.elastic_rate = 0.0
-        if self.elastic:
-            # path index arrays are cached per flow: recompute runs on
-            # every flow event, so avoiding the per-flow re-allocation
-            # measurably cuts experiment wall time (see DESIGN.md §5)
-            paths = []
-            for f in self.elastic:
-                cached = getattr(f, "_path_np", None)
-                if cached is None:
-                    cached = np.asarray(f.path, dtype=np.intp)
-                    f._path_np = cached  # type: ignore[attr-defined]
-                paths.append(cached)
-            weights = np.array([f.weight for f in self.elastic])
-            rates = maxmin_rates(paths, residual, weights=weights)
-            next_done = float("inf")
-            for flow, rate in zip(self.elastic, rates):
-                flow.rate = float(rate)
-                for lid in flow.path:  # type: ignore[union-attr]
-                    links[lid].elastic_rate += flow.rate
-                if flow.rate > 0 and flow.remaining > 0:
-                    next_done = min(next_done, flow.remaining / flow.rate)
-            if next_done < float("inf"):
+        residual[~self._lup] = 0.0
+        arena = self._arena
+        n = arena.n
+        if self._elastic:
+            pf, pl = arena.solve(residual)
+            rates = arena.rate[:n]
+            self._lelastic = np.bincount(
+                pl, weights=rates[pf], minlength=self._nlinks
+            )
+            remaining = arena.remaining[:n]
+            live = (rates > 0.0) & (remaining > 0.0)
+            if live.any():
+                next_done = float((remaining[live] / rates[live]).min())
                 self.sim.schedule(next_done, self._completion_tick, self._generation)
+        else:
+            self._lelastic = np.zeros(self._nlinks)
         # flows already at/below zero remaining complete immediately
-        if any(f.remaining <= _DONE_EPS for f in self.elastic):
+        if n and bool(np.any(arena.alive[:n] & (arena.remaining[:n] <= _DONE_EPS))):
             self.sim.schedule(0.0, self._completion_tick, self._generation)
         if self._measure_recompute:
             self._m_recompute_time.observe(time.perf_counter() - start)
@@ -261,19 +583,35 @@ class Network:
         if generation != self._generation:
             return  # superseded by a later recompute
         self._integrate()
-        done = [f for f in self.elastic if f.remaining <= _DONE_EPS]
-        if not done:
+        arena = self._arena
+        n = arena.n
+        done_slots = np.flatnonzero(
+            arena.alive[:n] & (arena.remaining[:n] <= _DONE_EPS)
+        )
+        if not done_slots.size:
             return
-        for flow in done:
-            self.elastic.remove(flow)
-            flow.end_time = self.sim.now
+        done: list[Flow] = []
+        now = self.sim.now
+        for slot in done_slots.tolist():
+            flow = arena.flows[slot]
+            assert flow is not None
+            del self._elastic[flow]
+            self._index_remove(flow)
+            arena.kill(flow)
+            flow.end_time = now
             flow.rate = 0.0
             flow.remaining = 0.0
             if flow.size is not None:
                 flow.bytes_sent = flow.size
+            done.append(flow)
+        arena.maybe_compact()
         # Recompute before callbacks so new flows started from callbacks
-        # see post-departure rates.
-        self._recompute()
+        # see post-departure rates.  Settle synchronously (dirty cannot
+        # already be set here, or the generation guard would have fired)
+        # rather than via a zero-delay event, so no extra event is spent.
+        self._generation += 1
+        self._dirty = True
+        self._settle()
         for flow in done:
             self._finish(flow)
 
@@ -282,14 +620,35 @@ class Network:
     # ------------------------------------------------------------------
     def link_load(self) -> np.ndarray:
         """Instantaneous total rate per link (bytes/s)."""
-        return np.array([l.total_rate for l in self.topology.links])
+        self.settle()
+        return self._lelastic + self._lrigid
+
+    def link_elastic_load(self) -> np.ndarray:
+        """Instantaneous elastic (tracked-transfer) rate per link."""
+        self.settle()
+        return self._lelastic.copy()
 
     def link_capacity(self) -> np.ndarray:
         """Per-link capacity (0 for down links)."""
-        return np.array(
-            [l.capacity if l.up else 0.0 for l in self.topology.links]
-        )
+        if len(self.topology.links) != self._nlinks:
+            self._rebuild_link_arrays()
+        return np.where(self._lup, self._lcap, 0.0)
+
+    def link_bytes(self) -> np.ndarray:
+        """Cumulative bytes carried per link, current to this instant."""
+        self._integrate()
+        return self._lbytes.copy()
 
     def sample_counters(self) -> None:
         """Bring per-flow/link byte counters up to the current instant."""
         self._integrate()
+        now = self.sim.now
+        links = self.topology.links
+        if len(links) != self._nlinks:
+            self._rebuild_link_arrays()
+        for link, carried, erate in zip(
+            links, self._lbytes.tolist(), self._lelastic.tolist()
+        ):
+            link.bytes_carried = carried
+            link.elastic_rate = erate
+            link._last_update = now

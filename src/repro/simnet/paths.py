@@ -102,3 +102,78 @@ def all_pairs_k_shortest(
 ) -> dict[tuple[str, str], list[list[str]]]:
     """Precompute k-shortest paths for the given (src, dst) pairs."""
     return {(s, d): k_shortest_paths(topo, s, d, k) for s, d in pairs}
+
+
+class KPathCache:
+    """Topology-version-keyed memo for :func:`k_shortest_paths`.
+
+    Yen's algorithm dominates allocation-time routing cost, yet its
+    result only depends on the topology's up/down shape — tracked by
+    ``Topology.version``.  The cache therefore never needs explicit
+    invalidation hooks: every lookup compares the stored version with
+    the topology's current one and drops the memo wholesale when it
+    moved.  Hit/miss counts are kept for observability.
+    """
+
+    __slots__ = ("topology", "k", "_version", "_paths", "_links", "hits", "misses")
+
+    def __init__(self, topology: Topology, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.topology = topology
+        self.k = k
+        self._version = topology.version
+        self._paths: dict[tuple[str, str], list[list[str]]] = {}
+        self._links: dict[tuple[str, str], list[list[int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _check_version(self) -> None:
+        current = self.topology.version
+        if current != self._version:
+            self._paths.clear()
+            self._links.clear()
+            self._version = current
+
+    def paths(self, src: str, dst: str) -> list[list[str]]:
+        """k shortest node paths, memoised per topology version."""
+        self._check_version()
+        key = (src, dst)
+        cached = self._paths.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        return self._compute_paths(key)
+
+    def _compute_paths(self, key: tuple[str, str]) -> list[list[str]]:
+        result = k_shortest_paths(self.topology, key[0], key[1], self.k)
+        self._paths[key] = result
+        return result
+
+    def paths_links(self, src: str, dst: str) -> list[list[int]]:
+        """Same paths resolved to link ids, memoised per topology version.
+
+        Safe to memoise alongside the node paths: ``path_links`` picks
+        the first *up* parallel link, and any up/down change bumps the
+        topology version, which clears this memo too.  Each public
+        lookup counts exactly one hit or miss.
+        """
+        self._check_version()
+        key = (src, dst)
+        cached = self._links.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        node_paths = self._paths.get(key)
+        if node_paths is None:
+            node_paths = self._compute_paths(key)
+        out: list[list[int]] = []
+        for p in node_paths:
+            try:
+                out.append(self.topology.path_links(p))
+            except ValueError:
+                continue  # parallel link went down since path computation
+        self._links[key] = out
+        return out

@@ -54,6 +54,10 @@ class Topology:
     nodes: dict[str, Node] = field(default_factory=dict)
     links: list[Link] = field(default_factory=list)
     adjacency: dict[str, list[int]] = field(default_factory=dict)  # node -> outgoing link ids
+    #: monotonically increasing structure version: bumped whenever the
+    #: routing-relevant shape changes (links added, link up/down), so
+    #: path caches can be invalidated by comparison instead of hooks.
+    version: int = 0
     _observers: list[Callable[[Link], None]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -89,6 +93,7 @@ class Topology:
         link = Link(lid=len(self.links), src=src, dst=dst, capacity=capacity)
         self.links.append(link)
         self.adjacency[src].append(link.lid)
+        self.version += 1
         return link
 
     # ------------------------------------------------------------------
@@ -164,6 +169,7 @@ class Topology:
         if link.up == up:
             return
         link.up = up
+        self.version += 1
         for fn in list(self._observers):
             fn(link)
 

@@ -135,3 +135,28 @@ def test_pending_excludes_cancelled():
     drop.cancel()
     assert sim.pending == 1
     assert keep.time == 1.0
+
+
+def test_pending_double_cancel_counts_once():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    drop.cancel()  # idempotent: must not decrement twice
+    assert sim.pending == 1
+
+
+def test_pending_tracks_execution_and_drain():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    assert sim.pending == 5
+    sim.step()
+    assert sim.pending == 4
+    sim.run()
+    assert sim.pending == 0
+    # events scheduled from inside callbacks count too
+    sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: None))
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0

@@ -1,0 +1,245 @@
+"""Reroute-with-pause edge cases and recompute-coalescing semantics.
+
+A mid-flight reroute with ``pause > 0`` takes the flow out of the
+allocation for the pause window and re-admits it afterwards.  The
+window interacts with every other flow event — completions, failures,
+further reroutes — and each interaction has a correct answer these
+tests pin down: no ghost re-admission, no double-counted bytes, no
+stale completion firing mid-pause.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+
+
+def make_net():
+    sim = Simulator()
+    topo = two_rack()
+    return sim, topo, Network(sim, topo)
+
+
+def mk_flow(src, dst, size, sport=40000):
+    return Flow(
+        src=src,
+        dst=dst,
+        size=size,
+        five_tuple=FiveTuple(f"ip-{src}", f"ip-{dst}", sport, 50060, TCP),
+    )
+
+
+def trunk_path(topo, src, dst, trunk="trunk0"):
+    return topo.path_links([src, "tor0", trunk, "tor1", dst])
+
+
+# ----------------------------------------------------------------------
+# pause vs completion
+# ----------------------------------------------------------------------
+
+def test_stale_completion_does_not_fire_during_pause():
+    """A flow about to finish is paused: the pre-pause completion event
+    must be superseded, and the flow finishes only after resuming."""
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)  # 1s at line rate
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    # Pause at t=0.9, 0.5s pause: the original completion was due t=1.0.
+    sim.schedule(0.9, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    sim.run(until=1.3)  # inside the pause window
+    assert f.end_time is None
+    assert f.rate == 0.0
+    assert f.bytes_sent == pytest.approx(0.9 * 125e6)
+    sim.run()
+    # 0.9s sending + 0.5s pause + 0.1s to drain the last 12.5MB
+    assert f.end_time == pytest.approx(1.5)
+    assert f.bytes_sent == pytest.approx(125e6)
+
+
+def test_paused_flow_carries_no_bytes_during_pause():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 250e6)
+    path = trunk_path(topo, "h00", "h10")
+    net.start_flow(f, path)
+    sim.schedule(1.0, net.reroute, f, path, 1.0)  # same path, pure pause
+    sim.run(until=1.7)
+    mid_pause = f.bytes_sent
+    assert mid_pause == pytest.approx(125e6)
+    sim.run()
+    assert f.end_time == pytest.approx(3.0)  # 1s + 1s pause + 1s
+    assert f.bytes_sent == pytest.approx(250e6)
+
+
+def test_resume_after_completion_does_not_readmit():
+    """A stale resume event after the flow already finished is a no-op
+    (the ghost-re-admission guard)."""
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.schedule(0.5, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.1)
+    sim.run()
+    assert f.end_time is not None
+    end = f.end_time
+    # simulate a stale _resume surviving in the heap
+    net._resume(f)
+    sim.run()
+    assert f.end_time == end
+    assert f not in net._elastic
+    assert all(f not in bucket for bucket in net._flows_by_link.values())
+
+
+# ----------------------------------------------------------------------
+# pause vs link failure
+# ----------------------------------------------------------------------
+
+def test_link_fails_during_pause_flow_stalls_then_recovers():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    # move to trunk1 with a pause, but trunk1 dies mid-pause
+    sim.schedule(0.5, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    sim.schedule(0.7, topo.fail_cable, "tor0", "trunk1")
+    sim.run(until=3.0)
+    # resumed onto a dead path: admitted but stalled at rate 0
+    assert f.end_time is None
+    assert f.rate == 0.0
+    assert f in net._elastic
+    assert f.bytes_sent == pytest.approx(0.5 * 125e6)
+    # repair: back onto trunk0
+    net.reroute(f, trunk_path(topo, "h00", "h10", "trunk0"))
+    sim.run()
+    assert f.end_time == pytest.approx(3.5)  # 62.5MB left at line rate
+    assert f.bytes_sent == pytest.approx(125e6)
+
+
+def test_old_path_fails_during_pause_is_harmless():
+    """Failure of the *previous* path mid-pause must not disturb the
+    paused flow (it is no longer on that path)."""
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.schedule(0.5, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    sim.schedule(0.7, topo.fail_cable, "tor0", "trunk0")
+    sim.run()
+    assert f.end_time == pytest.approx(1.5)
+    assert f.bytes_sent == pytest.approx(125e6)
+
+
+# ----------------------------------------------------------------------
+# double reroute before resume
+# ----------------------------------------------------------------------
+
+def test_double_reroute_before_resume_lands_on_second_path():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 250e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.schedule(1.0, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    # second reroute mid-pause flips the decision back to trunk0
+    sim.schedule(1.2, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk0"), 0.5)
+    sim.run(until=1.4)
+    assert f.end_time is None and f.rate == 0.0
+    sim.run()
+    assert f.path == trunk_path(topo, "h00", "h10", "trunk0")
+    # exactly one admission: 1s sending + 0.5s pause (from the first
+    # reroute; the second schedules no extra resume) + 1s to finish
+    assert f.end_time == pytest.approx(2.5)
+    assert f.bytes_sent == pytest.approx(250e6)
+
+
+def test_double_reroute_single_membership():
+    """After the pause drains, the flow appears exactly once in the
+    elastic set and once per link of its final path in the index."""
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 250e6)
+    net.start_flow(f, trunk_path(topo, "h00", "h10"))
+    sim.schedule(1.0, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    sim.schedule(1.2, net.reroute, f, trunk_path(topo, "h00", "h10", "trunk1"), 0.5)
+    sim.run(until=2.0)
+    assert net.elastic.count(f) == 1
+    hits = sum(1 for bucket in net._flows_by_link.values() if f in bucket)
+    assert hits == len(f.path)
+    sim.run()
+    assert f.bytes_sent == pytest.approx(250e6)
+
+
+def test_paused_flow_excluded_from_link_index():
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 250e6)
+    path = trunk_path(topo, "h00", "h10")
+    net.start_flow(f, path)
+    net.reroute(f, path, pause=0.5)
+    for lid in path:
+        assert f not in net.flows_on_link(lid)
+    sim.run(until=1.0)  # resume fired
+    for lid in path:
+        assert f in net.flows_on_link(lid)
+    sim.run()
+
+
+# ----------------------------------------------------------------------
+# coalescing semantics
+# ----------------------------------------------------------------------
+
+def test_same_timestamp_arrivals_solve_once():
+    registry = obs.MetricsRegistry()
+    with obs.use(registry=registry):
+        sim, topo, net = make_net()
+        for i in range(10):
+            f = mk_flow(f"h0{i % 5}", f"h1{(i * 3) % 5}", 1e9, sport=1000 + i)
+            trunk = "trunk0" if i % 2 else "trunk1"
+            sim.schedule(1.0, net.start_flow, f, trunk_path(topo, f.src, f.dst, trunk))
+        sim.run(until=1.0)
+        net.settle()
+    snap = registry.snapshot()
+    # ten mutations at one timestamp -> one solve, nine coalesced
+    assert snap["network.fair_share_recomputes"]["value"] == 1
+    assert snap["network.recompute_coalesced"]["value"] == 9
+
+
+def test_rate_readers_settle_on_demand():
+    """A same-instant reader never observes the pre-settle allocation."""
+    sim, topo, net = make_net()
+    f = mk_flow("h00", "h10", 125e6)
+    path = trunk_path(topo, "h00", "h10")
+    observed = {}
+
+    def probe():
+        net.start_flow(f, path)
+        # same event, before the zero-delay settle has fired
+        observed["load"] = float(net.link_load()[path[0]])
+        observed["rate"] = f.rate
+
+    sim.schedule(1.0, probe)
+    sim.run(until=1.0)
+    assert observed["load"] == pytest.approx(125e6)
+    assert observed["rate"] == pytest.approx(125e6)
+
+
+def test_coalesced_run_matches_sequential_timestamps():
+    """Same flow set, same seeds: batching arrivals at shared timestamps
+    must produce byte-for-byte the same completion times as unique
+    timestamps shifted by less than the fluid model can resolve."""
+    def run(jitter):
+        sim, topo, net = make_net()
+        rng = np.random.default_rng(11)
+        flows = []
+        for i in range(30):
+            src, dst = f"h0{i % 5}", f"h1{(i * 7) % 5}"
+            f = mk_flow(src, dst, float(rng.uniform(1e6, 5e7)), sport=2000 + i)
+            trunk = "trunk0" if i % 3 else "trunk1"
+            t = (i % 5) * 0.5 + (i * jitter)
+            sim.schedule(t, net.start_flow, f, trunk_path(topo, src, dst, trunk))
+            flows.append(f)
+        sim.run()
+        return flows
+
+    batched = run(jitter=0.0)  # six arrivals per timestamp -> coalesced
+    for f in batched:
+        assert f.end_time is not None
+        assert f.bytes_sent == pytest.approx(f.size, rel=1e-9)
+    # determinism: identical repeat run gives bit-identical JCTs
+    repeat = run(jitter=0.0)
+    assert [f.end_time for f in batched] == [f.end_time for f in repeat]
