@@ -204,6 +204,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one job under a seeded fault schedule with invariants on."""
+    from repro.faults import InvariantViolation, random_schedule
+
+    spec = make_workload(args.workload, scale=args.scale)
+    tracer = obs.Tracer()
+
+    def schedule_factory(topo):
+        return random_schedule(
+            topo,
+            seed=args.chaos_seed,
+            flaps=args.flaps,
+            switch_outages=args.switch_outages,
+            controller_outages=args.outages,
+            stats_freezes=args.freezes,
+            prediction_faults=args.prediction_faults,
+            horizon=(args.horizon[0], args.horizon[1]),
+        )
+
+    try:
+        res = run_experiment(
+            spec,
+            scheduler=args.scheduler,
+            ratio=args.ratio,
+            seed=args.seed,
+            tracer=tracer,
+            invariants=not args.no_invariants,
+            chaos=schedule_factory,
+        )
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION during {spec.name} under {args.scheduler}:")
+        print(exc)
+        return 1
+    print(
+        f"{spec.name} under {args.scheduler} survived chaos seed "
+        f"{args.chaos_seed}: JCT = {res.jct:.1f}s"
+    )
+    if res.faults_injected:
+        injected = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(res.faults_injected.items())
+        )
+        print(f"faults injected: {injected}")
+    else:
+        print("faults injected: none (schedule was empty)")
+    if res.invariants:
+        print(
+            f"invariants: {res.invariants['checkpoints']} checkpoints, "
+            f"{res.invariants['checks_run']} checks, "
+            f"{res.invariants['violations']} violations"
+        )
+    if res.policy_stats:
+        print("degradation stats:", res.policy_stats)
+    return 0
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
     p.add_argument("--scale", type=float, default=0.05)
@@ -261,6 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     trc_p.add_argument("--kind", default=None,
                        help="filter by event kind (flow_start, placement, ...)")
 
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection runs with the invariant checker on"
+    )
+    chaos_sub = chaos_p.add_subparsers(dest="chaos_command", required=True)
+    chr_p = chaos_sub.add_parser(
+        "run", help="run one workload under a seeded random fault schedule"
+    )
+    _add_telemetry_args(chr_p)
+    chr_p.add_argument("--chaos-seed", type=int, default=7,
+                       help="seed of the random fault schedule")
+    chr_p.add_argument("--flaps", type=int, default=2,
+                       help="number of inter-switch link flaps")
+    chr_p.add_argument("--switch-outages", type=int, default=0,
+                       help="number of core/trunk switch outages")
+    chr_p.add_argument("--outages", type=int, default=1,
+                       help="number of controller crash/restore cycles")
+    chr_p.add_argument("--freezes", type=int, default=1,
+                       help="number of link-stats staleness windows")
+    chr_p.add_argument("--prediction-faults", type=int, default=0,
+                       help="number of prediction loss/error windows")
+    chr_p.add_argument("--horizon", type=float, nargs=2, default=[5.0, 40.0],
+                       metavar=("LO", "HI"),
+                       help="fault injection window (seconds)")
+    chr_p.add_argument("--no-invariants", action="store_true",
+                       help="skip the runtime invariant checker")
+
     mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
     mix_p.add_argument("--jobs", type=int, default=8)
     mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
@@ -281,6 +362,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mix": _cmd_mix,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

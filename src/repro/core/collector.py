@@ -66,8 +66,16 @@ class PredictionCollector:
         self._wake_scheduled = False
         self.predictions_received = 0
         self.locations_received = 0
+        #: chaos-engine injection point: maps an incoming prediction to
+        #: a (possibly perturbed) replacement, or None to drop it —
+        #: modelling middleware message loss and size mis-estimation.
+        self.fault_filter: Optional[
+            Callable[[PredictionMessage], Optional[PredictionMessage]]
+        ] = None
+        self.predictions_dropped = 0
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
+        self._m_dropped = registry.counter("collector.predictions_dropped")
         self._m_predictions = registry.counter("collector.predictions_received")
         self._m_locations = registry.counter("collector.locations_received")
         self._m_pending = registry.gauge("collector.pending_intents")
@@ -78,6 +86,18 @@ class PredictionCollector:
     # ------------------------------------------------------------------
     def receive_prediction(self, msg: PredictionMessage) -> None:
         """Ingest one per-map shuffle-intent message."""
+        if self.fault_filter is not None:
+            filtered = self.fault_filter(msg)
+            if filtered is None:
+                self.predictions_dropped += 1
+                self._m_dropped.inc()
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        self.sim.now, "collector", "prediction_dropped",
+                        job=msg.job, map_id=msg.map_id,
+                    )
+                return
+            msg = filtered
         self.predictions_received += 1
         for reducer_id, nbytes in enumerate(msg.reducer_bytes):
             intent = _PendingIntent(

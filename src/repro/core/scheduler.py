@@ -91,7 +91,15 @@ class PythiaPolicy:
         return self._fallback.place(flow)
 
     def repair(self, flow: Flow) -> Optional[list[int]]:
-        """Rule-table path after failure, ECMP repair on miss."""
+        """Rule-table path after failure, ECMP repair on miss.
+
+        Repair is a *controller* action (recompute + reprogram), so it
+        degrades to plain data-plane ECMP re-convergence while the
+        controller is down — the Pythia plugin cannot help a flow it
+        cannot reach.
+        """
+        if not self._programmer.online:
+            return self._fallback.repair(flow)
         rule = self._programmer.lookup(flow)
         if rule is not None:
             path = self._resolve(rule, flow)
@@ -153,6 +161,28 @@ class PythiaScheduler:
     def stop(self) -> None:
         """Nothing periodic to halt; the collector is event-driven."""
         pass  # nothing periodic to halt; the collector is event-driven
+
+    def resync(self) -> int:
+        """Reconcile switch tables with current intent after an outage.
+
+        Re-installs every rule the scheduler still wants that is not in
+        the table (installs lost while the controller was down); rules
+        abandoned mid-outage that are no longer intent stay dead.
+        Returns the number of rules re-installed.
+        """
+        assert self.controller is not None
+        programmer = self.controller.programmer
+        installed = {id(r) for r in programmer._rules}
+        missing = [
+            rule
+            for rules in self._rules_by_key.values()
+            for rule in rules
+            if id(rule) not in installed
+            and id(rule) not in programmer._pending_rule_ids
+        ]
+        if missing:
+            programmer.install(missing)
+        return len(missing)
 
     # ------------------------------------------------------------------
     @property
@@ -286,6 +316,8 @@ class PythiaScheduler:
     def _on_link_failure(self, link) -> None:
         """Re-place aggregates routed over the failed link (§IV fault tolerance)."""
         assert self.aggregator is not None and self.allocator is not None
+        if self.controller is not None and not self.controller.online:
+            return  # crashed controllers cannot react; resync runs on restore
         affected = self.aggregator.entries_on_link(link.lid)
         if not affected:
             return

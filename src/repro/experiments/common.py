@@ -10,6 +10,7 @@ queue drains deterministically.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -28,6 +29,8 @@ from repro.instrumentation.middleware import (
     InstrumentationMiddleware,
 )
 from repro.instrumentation.overhead import InstrumentationCostModel
+from repro.faults import ChaosEngine, ChaosSchedule, InvariantChecker
+from repro.faults import runtime as faults_runtime
 from repro.sdn.controller import Controller
 from repro.sdn.hedera import HederaScheduler
 from repro.sdn.policy import EcmpPolicy, FailureRepairService, PathPolicy
@@ -57,6 +60,10 @@ class RunResult:
     #: metrics snapshot (empty unless the run had a real registry).
     metrics: dict = field(default_factory=dict)
     tracer: Optional[obs.Tracer] = None
+    #: invariant-checker snapshot (empty unless checking was enabled).
+    invariants: dict = field(default_factory=dict)
+    #: per-kind chaos injection counts (empty unless chaos ran).
+    faults_injected: dict = field(default_factory=dict)
 
     @property
     def jct(self) -> float:
@@ -77,6 +84,8 @@ def run_experiment(
     fault: Optional[Callable[[Simulator, Topology], None]] = None,
     registry: Optional[obs.MetricsRegistry] = None,
     tracer: Optional[obs.Tracer] = None,
+    invariants: Optional[bool] = None,
+    chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
 ) -> RunResult:
     """Run one job under one scheduler and return its trace.
 
@@ -96,24 +105,48 @@ def run_experiment(
         Optional observability sinks; when given, every subsystem built
         for this run binds its instruments there and the result carries
         ``metrics`` (a snapshot) and ``tracer``.
+    invariants:
+        Run the :mod:`repro.faults.invariants` checker at every network
+        settle point and once after the run.  ``None`` (the default)
+        reads the ``REPRO_INVARIANTS`` environment variable, so CI can
+        turn checking on for an entire suite without touching call
+        sites.  Violations raise :class:`~repro.faults.InvariantViolation`.
+    chaos:
+        Optional schedule factory, e.g.
+        ``lambda topo: random_schedule(topo, seed=7)``.  The resulting
+        :class:`~repro.faults.ChaosSchedule` is injected through the
+        simulator's event queue; injection counts land in
+        ``RunResult.faults_injected``.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
+    stride = 1
+    if invariants is None:
+        env = os.environ.get("REPRO_INVARIANTS", "")
+        invariants = env not in ("", "0")
+        # REPRO_INVARIANTS=N (N > 1) checks every Nth settle — the knob
+        # that keeps suite-wide checking affordable on big runs.
+        if invariants and env.isdigit():
+            stride = max(1, int(env))
+    checker = InvariantChecker(every=stride) if invariants else None
     with obs.use(registry=registry, tracer=tracer):
-        return _run_experiment_inner(
-            spec,
-            scheduler,
-            ratio,
-            seed,
-            topology_factory,
-            cluster_config,
-            pythia_config,
-            netflow_interval,
-            model_instrumentation_cost,
-            fault,
-            registry,
-            tracer,
-        )
+        with faults_runtime.use_checker(checker):
+            return _run_experiment_inner(
+                spec,
+                scheduler,
+                ratio,
+                seed,
+                topology_factory,
+                cluster_config,
+                pythia_config,
+                netflow_interval,
+                model_instrumentation_cost,
+                fault,
+                registry,
+                tracer,
+                checker,
+                chaos,
+            )
 
 
 def _run_experiment_inner(
@@ -129,6 +162,8 @@ def _run_experiment_inner(
     fault: Optional[Callable[[Simulator, Topology], None]],
     registry: Optional[obs.MetricsRegistry],
     tracer: Optional[obs.Tracer],
+    checker: Optional[InvariantChecker] = None,
+    chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
 ) -> RunResult:
     sim = Simulator()
     rng = np.random.default_rng(seed)
@@ -190,6 +225,18 @@ def _run_experiment_inner(
     if fault is not None:
         fault(sim, topology)
 
+    chaos_engine: Optional[ChaosEngine] = None
+    if chaos is not None:
+        schedule = chaos(topology)
+        chaos_engine = ChaosEngine(
+            sim,
+            network,
+            controller=controller,
+            collector=pythia.collector if pythia is not None else None,
+            seed=schedule.seed,
+        )
+        chaos_engine.apply(schedule)
+
     def _on_done(_run: JobRun) -> None:
         controller.stop()
         background.teardown()
@@ -200,8 +247,20 @@ def _run_experiment_inner(
         raise RuntimeError(
             f"job {spec.name!r} did not complete (event queue drained early)"
         )
+    if checker is not None:
+        # Final end-of-run checkpoint regardless of the sampling stride.
+        checker.check()
 
     stats: dict = {"repairs": repair.repairs, "stranded": repair.stranded}
+    if chaos_engine is not None:
+        stats.update(
+            install_retries=controller.programmer.install_retries,
+            install_failures=controller.programmer.install_failures,
+            crashes=controller.crashes,
+            resyncs=controller.resyncs,
+            rules_resynced=controller.rules_resynced,
+            stats_samples_skipped=controller.stats_service.samples_skipped,
+        )
     if pythia is not None:
         stats.update(
             rule_hits=pythia.policy.rule_hits,
@@ -225,6 +284,8 @@ def _run_experiment_inner(
         controller=controller,
         metrics=registry.snapshot() if registry is not None else {},
         tracer=tracer,
+        invariants=checker.snapshot() if checker is not None else {},
+        faults_injected=dict(chaos_engine.injected) if chaos_engine is not None else {},
     )
 
 

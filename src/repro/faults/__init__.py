@@ -1,0 +1,60 @@
+"""Fault injection and runtime invariant checking.
+
+Two halves, designed to be used together:
+
+* :mod:`repro.faults.chaos` — a chaos engine that drives a declarative,
+  seeded schedule of faults (link flaps, switch and controller outages,
+  stats staleness, prediction loss/error) through the simulator.
+* :mod:`repro.faults.invariants` — an always-available invariant
+  checker hooked into the network's settle points, asserting byte
+  conservation, capacity limits, arena/flow-set agreement and
+  switch-table/controller-intent agreement; toggleable process-wide
+  like :mod:`repro.obs` (see :mod:`repro.faults.runtime`).
+
+Quick use::
+
+    from repro.experiments.common import run_experiment
+    from repro.faults import random_schedule
+    from repro.workloads import sort_job
+
+    res = run_experiment(
+        sort_job(input_gb=3.0),
+        chaos=lambda topo: random_schedule(topo, seed=7),
+        invariants=True,
+    )
+
+or, from the shell: ``python -m repro chaos run --seed 7``.
+"""
+
+from repro.faults.chaos import (
+    AccountingCorruption,
+    ChaosEngine,
+    ChaosSchedule,
+    ControllerOutage,
+    FAULT_PRIORITY,
+    LinkFlap,
+    PredictionFault,
+    StatsFreeze,
+    SwitchOutage,
+    random_schedule,
+)
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.runtime import get_checker, set_checker, use_checker
+
+__all__ = [
+    "AccountingCorruption",
+    "ChaosEngine",
+    "ChaosSchedule",
+    "ControllerOutage",
+    "FAULT_PRIORITY",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LinkFlap",
+    "PredictionFault",
+    "StatsFreeze",
+    "SwitchOutage",
+    "get_checker",
+    "random_schedule",
+    "set_checker",
+    "use_checker",
+]

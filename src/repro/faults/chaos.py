@@ -1,0 +1,357 @@
+"""Chaos engine: declarative, seeded fault schedules for the simulator.
+
+The paper's value claim is that predictive scheduling keeps shuffles
+fast *under contention and churn*; this module makes churn a first-class
+input.  A :class:`ChaosSchedule` is a plain list of fault events — link
+flaps with explicit up/down durations, switch (ToR/trunk) outages,
+controller crash/restore cycles, link-stats-service staleness windows,
+prediction loss/error injection — and :class:`ChaosEngine` drives it
+through the :class:`~repro.simnet.engine.Simulator`.
+
+Two properties make chaos runs usable as *tests* rather than demos:
+
+* **Determinism.**  Random schedules come from
+  :func:`random_schedule` with an explicit seed, and every injection is
+  scheduled with an explicit event priority (:data:`FAULT_PRIORITY`) so
+  that a fault firing at the same instant as application events has a
+  *defined* ordering instead of depending on who called ``schedule``
+  first.  Two runs of the same (workload seed, chaos seed) are
+  bit-identical.
+* **Checkability.**  Every injection bumps the ``faults.injected``
+  counter and emits a trace event, and the accounting-corruption
+  nemesis (:meth:`ChaosEngine.corrupt_accounting`) exists purely to
+  prove the invariant checker catches a conservation bug — a checker
+  that never fires is itself untested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import obs
+
+#: Faults fire *before* application events sharing their timestamp —
+#: an explicit, documented ordering instead of scheduling-order luck.
+FAULT_PRIORITY = -10
+
+
+# ----------------------------------------------------------------------
+# declarative fault events
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Fail the ``a``–``b`` cable at ``at`` and restore after ``down``."""
+
+    at: float
+    down: float
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class SwitchOutage:
+    """Fail every cable touching a switch, restoring after ``down``."""
+
+    at: float
+    down: float
+    switch: str
+
+
+@dataclass(frozen=True)
+class ControllerOutage:
+    """Crash the controller at ``at``; restart (with resync) after ``down``."""
+
+    at: float
+    down: float
+
+
+@dataclass(frozen=True)
+class StatsFreeze:
+    """Link-stats-service lag: samples are skipped for ``duration``."""
+
+    at: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class PredictionFault:
+    """Window of prediction loss and/or size error at the collector.
+
+    ``drop_prob`` drops whole per-map messages; ``error_scale`` (sigma
+    of a lognormal factor) perturbs the predicted per-reducer bytes —
+    stale or mis-estimated intent, which the scheduler must survive.
+    """
+
+    at: float
+    duration: float
+    drop_prob: float = 0.0
+    error_scale: float = 0.0
+
+
+@dataclass(frozen=True)
+class AccountingCorruption:
+    """Nemesis: steal ``nbytes`` from a live flow's sent counter.
+
+    Deliberately violates byte conservation — injected only by negative
+    tests to prove the invariant checker actually fires.
+    """
+
+    at: float
+    nbytes: float = 1e6
+
+
+FaultEvent = Union[
+    LinkFlap, SwitchOutage, ControllerOutage, StatsFreeze,
+    PredictionFault, AccountingCorruption,
+]
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded, declarative fault plan: just an ordered list of events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def random_schedule(
+    topology,
+    seed: int,
+    *,
+    flaps: int = 2,
+    switch_outages: int = 0,
+    controller_outages: int = 1,
+    stats_freezes: int = 1,
+    prediction_faults: int = 0,
+    drop_prob: float = 0.2,
+    error_scale: float = 0.3,
+    horizon: tuple[float, float] = (5.0, 40.0),
+    down_range: tuple[float, float] = (0.5, 5.0),
+) -> ChaosSchedule:
+    """Draw a reproducible fault schedule for a topology.
+
+    Link flaps target inter-switch cables (trunks/spines) — the paths
+    where placement matters; switch outages target non-ToR switches so
+    hosts never lose their only uplink (a partitioned host cannot
+    complete by definition and would make every assertion vacuous).
+    """
+    rng = np.random.default_rng(seed)
+    lo, hi = horizon
+    events: list[FaultEvent] = []
+
+    def when() -> float:
+        return float(rng.uniform(lo, hi))
+
+    def down() -> float:
+        return float(rng.uniform(*down_range))
+
+    from repro.simnet.topology import NodeKind
+
+    trunk_cables = sorted(
+        {
+            tuple(sorted((l.src, l.dst)))
+            for l in topology.links
+            if topology.nodes[l.src].kind is NodeKind.SWITCH
+            and topology.nodes[l.dst].kind is NodeKind.SWITCH
+        }
+    )
+    core_switches = sorted(
+        {
+            n.name
+            for n in topology.switches()
+            if not any(
+                topology.nodes[l.dst].kind is NodeKind.HOST
+                for lid in topology.adjacency[n.name]
+                for l in [topology.links[lid]]
+            )
+        }
+    )
+    for _ in range(flaps):
+        if not trunk_cables:
+            break
+        a, b = trunk_cables[int(rng.integers(len(trunk_cables)))]
+        events.append(LinkFlap(at=when(), down=down(), a=a, b=b))
+    for _ in range(switch_outages):
+        if not core_switches:
+            break
+        sw = core_switches[int(rng.integers(len(core_switches)))]
+        events.append(SwitchOutage(at=when(), down=down(), switch=sw))
+    for _ in range(controller_outages):
+        events.append(ControllerOutage(at=when(), down=down()))
+    for _ in range(stats_freezes):
+        events.append(StatsFreeze(at=when(), duration=down()))
+    for _ in range(prediction_faults):
+        events.append(
+            PredictionFault(
+                at=when(), duration=down(),
+                drop_prob=drop_prob, error_scale=error_scale,
+            )
+        )
+    events.sort(key=lambda e: e.at)
+    return ChaosSchedule(events=events, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+class ChaosEngine:
+    """Applies a :class:`ChaosSchedule` to a built experiment stack."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        controller=None,
+        collector=None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.controller = controller
+        self.collector = collector
+        self._rng = np.random.default_rng(seed)
+        #: per-kind injection counts, e.g. {"link_flap": 2}.
+        self.injected: dict[str, int] = {}
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_injected = registry.counter("faults.injected")
+
+    # ------------------------------------------------------------------
+    def apply(self, schedule: ChaosSchedule) -> None:
+        """Schedule every fault in the plan onto the simulator."""
+        for ev in schedule:
+            if isinstance(ev, LinkFlap):
+                self._at(ev.at, self._inject_link_down, ev.a, ev.b)
+                self._at(ev.at + ev.down, self._inject_link_up, ev.a, ev.b)
+            elif isinstance(ev, SwitchOutage):
+                self._at(ev.at, self._inject_switch_down, ev.switch)
+                self._at(ev.at + ev.down, self._inject_switch_up, ev.switch)
+            elif isinstance(ev, ControllerOutage):
+                self._at(ev.at, self._inject_controller_crash)
+                self._at(ev.at + ev.down, self._inject_controller_restore)
+            elif isinstance(ev, StatsFreeze):
+                self._at(ev.at, self._inject_stats_freeze)
+                self._at(ev.at + ev.duration, self._inject_stats_unfreeze)
+            elif isinstance(ev, PredictionFault):
+                self._at(ev.at, self._inject_prediction_fault, ev)
+                self._at(ev.at + ev.duration, self._clear_prediction_fault)
+            elif isinstance(ev, AccountingCorruption):
+                self._at(ev.at, self._inject_corruption, ev.nbytes)
+            else:  # pragma: no cover — the union is closed
+                raise TypeError(f"unknown fault event {ev!r}")
+
+    def _at(self, at: float, fn, *args) -> None:
+        self.sim.schedule_at(max(at, self.sim.now), fn, *args, priority=FAULT_PRIORITY)
+
+    def _record(self, kind: str, **payload) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        self._m_injected.inc()
+        if self._tracer is not None:
+            self._tracer.emit(self.sim.now, "faults", kind, **payload)
+
+    @property
+    def total_injected(self) -> int:
+        """Total fault injections performed so far."""
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # injections
+    # ------------------------------------------------------------------
+    def _inject_link_down(self, a: str, b: str) -> None:
+        self.network.topology.fail_cable(a, b)
+        self._record("link_flap", a=a, b=b, state="down")
+
+    def _inject_link_up(self, a: str, b: str) -> None:
+        self.network.topology.restore_cable(a, b)
+        self._record("link_flap", a=a, b=b, state="up")
+
+    def _switch_neighbours(self, switch: str) -> list[str]:
+        topo = self.network.topology
+        return sorted({topo.links[lid].dst for lid in topo.adjacency[switch]})
+
+    def _inject_switch_down(self, switch: str) -> None:
+        for peer in self._switch_neighbours(switch):
+            self.network.topology.fail_cable(switch, peer)
+        self._record("switch_outage", switch=switch, state="down")
+
+    def _inject_switch_up(self, switch: str) -> None:
+        for peer in self._switch_neighbours(switch):
+            self.network.topology.restore_cable(switch, peer)
+        self._record("switch_outage", switch=switch, state="up")
+
+    def _inject_controller_crash(self) -> None:
+        if self.controller is not None:
+            self.controller.crash()
+            self._record("controller_outage", state="down")
+
+    def _inject_controller_restore(self) -> None:
+        if self.controller is not None:
+            self.controller.restore()
+            self._record("controller_outage", state="up")
+
+    def _inject_stats_freeze(self) -> None:
+        if self.controller is not None:
+            self.controller.stats_service.freeze()
+            self._record("stats_freeze", state="frozen")
+
+    def _inject_stats_unfreeze(self) -> None:
+        if self.controller is not None:
+            self.controller.stats_service.unfreeze()
+            self._record("stats_freeze", state="live")
+
+    def _inject_prediction_fault(self, ev: PredictionFault) -> None:
+        if self.collector is None:
+            return
+        rng = self._rng
+
+        def fault_filter(msg):
+            if ev.drop_prob > 0.0 and rng.random() < ev.drop_prob:
+                return None
+            if ev.error_scale > 0.0:
+                factor = rng.lognormal(mean=0.0, sigma=ev.error_scale)
+                msg = type(msg)(
+                    job=msg.job,
+                    map_id=msg.map_id,
+                    src_server=msg.src_server,
+                    reducer_bytes=msg.reducer_bytes * factor,
+                    created_at=msg.created_at,
+                )
+            return msg
+
+        self.collector.fault_filter = fault_filter
+        self._record(
+            "prediction_fault",
+            drop_prob=ev.drop_prob,
+            error_scale=ev.error_scale,
+            state="on",
+        )
+
+    def _clear_prediction_fault(self) -> None:
+        if self.collector is None:
+            return
+        self.collector.fault_filter = None
+        self._record("prediction_fault", state="off")
+
+    def _inject_corruption(self, nbytes: float) -> None:
+        """Steal bytes from the first live elastic flow (nemesis)."""
+        arena = self.network._arena
+        alive = np.flatnonzero(arena.alive[: arena.n])
+        if not alive.size:
+            return
+        slot = int(alive[0])
+        arena.sent[slot] -= nbytes
+        # mark the network dirty so the next settle point (where the
+        # invariant checker hooks) observes the corrupted accounting
+        self.network._flows_changed()
+        self._record("accounting_corruption", slot=slot, nbytes=nbytes)

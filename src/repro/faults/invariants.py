@@ -1,0 +1,366 @@
+"""Runtime invariant checker for the fluid network and the SDN layer.
+
+The chaos engine (:mod:`repro.faults.chaos`) makes adversarial event
+orderings *reachable*; this module makes them *checkable*.  A
+:class:`InvariantChecker` registers itself on the network's settle
+points (every fair-share recompute) and, at each checkpoint, verifies
+the physical-consistency properties the reproduction's results depend
+on:
+
+* **Byte conservation** — for every flow ever admitted,
+  ``bytes_sent + remaining == size`` within epsilon, no matter how many
+  reroutes, pauses or failures the flow lived through.
+* **Capacity** — per link, the elastic allocation never exceeds the
+  residual capacity (``max(floor x cap, cap - rigid)``; the floor is the
+  documented TCP-vs-CBR goodput floor), and down links carry zero
+  elastic traffic.  The checker recomputes per-link loads independently
+  from the incidence pairs rather than trusting the engine's own
+  ``_lelastic`` mirror — and then also cross-checks that mirror.
+* **No ghost slots** — the slot arena, the elastic flow set and the
+  link→flow index agree exactly: live slots map 1:1 onto active flows,
+  dead slots carry no rate, completed flows hold no arena binding.
+* **Switch-table/controller-intent agreement** — walking a probe flow
+  hop-by-hop through the per-switch TCAM expansion reproduces the
+  end-to-end path of the controller's highest-priority covering rule.
+
+Violations raise :class:`InvariantViolation` carrying every failed
+assertion plus a dump of the trace ring (when a tracer is active), so a
+chaos run that breaks physics dies loudly with its event history.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sdn.controller import Controller
+    from repro.sdn.switch_tables import SwitchTableView
+    from repro.simnet.network import Network
+
+#: Absolute slack (bytes) allowed on conservation checks, matching the
+#: engine's completion epsilon.
+_CONS_ATOL = 1e-3
+#: Relative slack on capacity checks (floating-point headroom only).
+_CAP_RTOL = 1e-6
+
+
+class InvariantViolation(AssertionError):
+    """One or more runtime invariants failed; carries the evidence."""
+
+    def __init__(self, problems: list[str], trace_dump: list[str]) -> None:
+        self.problems = problems
+        self.trace_dump = trace_dump
+        lines = [f"{len(problems)} invariant violation(s):"]
+        lines += [f"  - {p}" for p in problems]
+        if trace_dump:
+            lines.append(f"last {len(trace_dump)} trace events:")
+            lines += [f"    {e}" for e in trace_dump]
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Always-available consistency auditor, hooked into settle points.
+
+    Parameters
+    ----------
+    every:
+        Check every Nth settle (1 = every recompute).  Dense checking is
+        what the chaos suite wants; experiments that only need an
+        end-of-run audit can raise this and call :meth:`check` manually.
+    strict:
+        Raise :class:`InvariantViolation` on the first failed checkpoint
+        (default).  When False, violations accumulate in
+        :attr:`violation_log` instead — the CLI uses this to report all
+        of them at exit.
+    trace_tail:
+        How many trailing trace-ring events to attach to a violation.
+    """
+
+    def __init__(self, every: int = 1, strict: bool = True, trace_tail: int = 40) -> None:
+        self.every = max(1, every)
+        self.strict = strict
+        self.trace_tail = trace_tail
+        self.checks_run = 0
+        self.checkpoints = 0
+        self.violation_log: list[str] = []
+        self._settles = 0
+        self._networks: list["Network"] = []
+        self._controllers: list[tuple["Controller", "SwitchTableView"]] = []
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_checked = registry.counter("invariants.checked")
+        self._m_violated = registry.counter("invariants.violated")
+
+    # ------------------------------------------------------------------
+    # registration (called by the faults runtime / run_experiment)
+    # ------------------------------------------------------------------
+    def watch_network(self, network: "Network") -> None:
+        """Audit this network at every settle point."""
+        self._networks.append(network)
+        network.add_settle_hook(self._on_settle)
+
+    def watch_controller(self, controller: "Controller") -> None:
+        """Audit this controller's rule table against its switch view."""
+        # Imported here, not at module top: the network constructor pulls
+        # in this module via the faults runtime, and the sdn package in
+        # turn imports the network — watch_controller only ever runs once
+        # both are fully initialised.
+        from repro.sdn.switch_tables import SwitchTableView
+
+        view = SwitchTableView(controller.network.topology, controller.programmer)
+        self._controllers.append((controller, view))
+
+    def _on_settle(self, _network: "Network") -> None:
+        self._settles += 1
+        if self._settles % self.every == 0:
+            self.check()
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check(self) -> list[str]:
+        """Run every check once; returns (and records) the violations."""
+        problems: list[str] = []
+        for network in self._networks:
+            problems += self._check_capacity(network)
+            problems += self._check_conservation(network)
+            problems += self._check_arena(network)
+        for controller, view in self._controllers:
+            problems += self._check_tables(controller, view)
+        self.checkpoints += 1
+        self._m_checked.inc()
+        if problems:
+            self._m_violated.inc(len(problems))
+            self.violation_log += problems
+            if self.strict:
+                raise InvariantViolation(problems, self._dump_trace())
+        return problems
+
+    def _dump_trace(self) -> list[str]:
+        if self._tracer is None:
+            return []
+        events = list(self._tracer.events())[-self.trace_tail:]
+        return [
+            f"t={e.time:.6f} {e.subsystem}.{e.kind} {e.payload}" for e in events
+        ]
+
+    # -- capacity ------------------------------------------------------
+    def _check_capacity(self, net: "Network") -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        arena = net._arena
+        n = arena.n
+        nlinks = net._nlinks
+        cap, rigid, up = net._lcap, net._lrigid, net._lup
+        pf, pl = arena.live_pairs()
+        if pf.size:
+            loads = np.bincount(pl, weights=arena.rate[:n][pf], minlength=nlinks)
+        else:
+            loads = np.zeros(nlinks)
+        from repro.simnet.links import Link
+
+        residual = np.maximum(Link.ELASTIC_FLOOR * cap, cap - rigid)
+        residual[~up] = 0.0
+        slack = _CAP_RTOL * np.maximum(cap, 1.0)
+        over = np.flatnonzero(loads > residual + slack)
+        for lid in over.tolist():
+            link = net.topology.links[lid]
+            problems.append(
+                f"capacity: link {lid} ({link.src}->{link.dst}, up={link.up}) "
+                f"elastic load {loads[lid]:.1f} exceeds residual {residual[lid]:.1f}"
+            )
+        # the engine's per-link elastic mirror must match the recompute
+        mirror_err = np.flatnonzero(np.abs(net._lelastic - loads) > slack)
+        for lid in mirror_err.tolist():
+            problems.append(
+                f"capacity: link {lid} engine mirror {net._lelastic[lid]:.1f} "
+                f"!= recomputed elastic load {loads[lid]:.1f}"
+            )
+        # rigid bookkeeping: per-link sums of admitted CBR streams
+        rigid_check = np.zeros(nlinks)
+        for flow in net._rigid:
+            for lid in flow.path or []:
+                rigid_check[lid] += flow.rigid_rate  # type: ignore[operator]
+        rigid_err = np.flatnonzero(np.abs(rigid_check - rigid) > slack)
+        for lid in rigid_err.tolist():
+            problems.append(
+                f"capacity: link {lid} rigid accumulator {rigid[lid]:.1f} "
+                f"!= sum of admitted CBR rates {rigid_check[lid]:.1f}"
+            )
+        return problems
+
+    # -- conservation --------------------------------------------------
+    def _check_conservation(self, net: "Network") -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        for flow in net.archive:
+            size = flow.size
+            if size is None:
+                if flow.bytes_sent < -_CONS_ATOL:
+                    problems.append(
+                        f"conservation: flow {flow.fid} has negative bytes_sent "
+                        f"{flow.bytes_sent:.3f}"
+                    )
+                continue
+            sent, remaining = flow.bytes_sent, flow.remaining
+            tol = _CONS_ATOL + 1e-6 * size
+            if abs(size - sent - remaining) > tol:
+                problems.append(
+                    f"conservation: flow {flow.fid} {flow.src}->{flow.dst} "
+                    f"sent {sent:.3f} + remaining {remaining:.3f} != size {size:.3f} "
+                    f"(error {size - sent - remaining:+.3f})"
+                )
+            if sent < -tol or sent > size + tol:
+                problems.append(
+                    f"conservation: flow {flow.fid} bytes_sent {sent:.3f} "
+                    f"outside [0, {size:.3f}]"
+                )
+        return problems
+
+    # -- slot arena / ghost flows --------------------------------------
+    def _check_arena(self, net: "Network") -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        arena = net._arena
+        n = arena.n
+        alive = arena.alive[:n]
+        live_slots = int(alive.sum())
+        if live_slots != len(net._elastic):
+            problems.append(
+                f"arena: {live_slots} live slots but {len(net._elastic)} "
+                f"active elastic flows"
+            )
+        for slot in np.flatnonzero(alive).tolist():
+            flow = arena.flows[slot]
+            if flow is None:
+                problems.append(f"arena: live slot {slot} has no flow object")
+                continue
+            if flow._state is not arena or flow._slot != slot:
+                problems.append(
+                    f"arena: flow {flow.fid} binding mismatch "
+                    f"(slot {flow._slot} vs {slot})"
+                )
+            if flow not in net._elastic:
+                problems.append(
+                    f"arena: ghost slot {slot} — flow {flow.fid} is not an "
+                    f"active elastic flow"
+                )
+            if flow.end_time is not None:
+                problems.append(
+                    f"arena: completed flow {flow.fid} still occupies slot {slot}"
+                )
+        dead = np.flatnonzero(~alive).tolist()
+        bad_dead = [s for s in dead if arena.rate[s] != 0.0]
+        if bad_dead:
+            problems.append(f"arena: dead slots {bad_dead} carry non-zero rate")
+        for flow in net._elastic:
+            if flow._state is not arena:
+                problems.append(
+                    f"arena: active elastic flow {flow.fid} has no slot binding"
+                )
+        for flow in net.archive:
+            if flow.end_time is not None and flow._state is not None:
+                problems.append(
+                    f"arena: completed flow {flow.fid} retains an arena binding"
+                )
+        for lid, bucket in net._flows_by_link.items():
+            for flow in bucket:
+                if not flow.active:
+                    problems.append(
+                        f"arena: link index {lid} holds inactive flow {flow.fid}"
+                    )
+                elif flow.path is None or lid not in flow.path:
+                    problems.append(
+                        f"arena: link index {lid} holds flow {flow.fid} whose "
+                        f"path does not cross it"
+                    )
+        return problems
+
+    # -- switch tables vs controller intent ----------------------------
+    def _check_tables(
+        self, controller: "Controller", view: "SwitchTableView"
+    ) -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        programmer = controller.programmer
+        if programmer.pending_installs:
+            return problems  # in-flight batches make disagreement transient
+        topo = controller.network.topology
+        rules = programmer._rules
+        tables = view.tables()
+        for rule in rules:
+            match = rule.match
+            if match.src_ip is None or match.dst_ip is None:
+                continue  # prefix (rack-pair) rules have no single probe path
+            try:
+                src = topo.host_by_ip(match.src_ip).name
+                dst = topo.host_by_ip(match.dst_ip).name
+            except KeyError:
+                problems.append(
+                    f"tables: rule matches unknown host "
+                    f"{match.src_ip}->{match.dst_ip}"
+                )
+                continue
+            probe = Flow(
+                src=src,
+                dst=dst,
+                size=None,
+                five_tuple=FiveTuple(
+                    match.src_ip, match.dst_ip,
+                    match.src_port if match.src_port is not None else SHUFFLE_PORT,
+                    match.dst_port if match.dst_port is not None else 40000,
+                    TCP,
+                ),
+                fid=-1,  # probe: must not consume a real flow id
+            )
+            best = self._best_cover(rules, probe)
+            if best is None or best is not rule:
+                continue  # shadowed (or tied) — the winning rule is audited
+            if any(not topo.links[lid].up for lid in rule.path):
+                continue  # data plane cannot deliver along a down link anyway
+            expected = topo.path_nodes(rule.path)
+            walked = view.walk(probe, tables=tables)
+            if walked != expected:
+                problems.append(
+                    f"tables: walking {src}->{dst} through the switch tables "
+                    f"gives {walked}, controller intent is {expected}"
+                )
+        return problems
+
+    @staticmethod
+    def _best_cover(rules, probe: Flow) -> Optional[object]:
+        """Unique best rule covering the probe flow.
+
+        Mirrors ``FlowProgrammer.lookup``'s (priority, specificity)
+        tie-break without mutating hit counters; returns None when two
+        distinct paths tie (ordering there is ambiguous by design).
+        """
+        best = None
+        tied = False
+        for rule in rules:
+            if not rule.match.covers(probe):
+                continue
+            if best is None:
+                best = rule
+                continue
+            key = (rule.priority, rule.match.specificity())
+            best_key = (best.priority, best.match.specificity())
+            if key > best_key:
+                best, tied = rule, False
+            elif key == best_key and rule.path != best.path:
+                tied = True
+        return None if tied else best
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Summary for run results and the CLI report."""
+        return {
+            "checkpoints": self.checkpoints,
+            "checks_run": self.checks_run,
+            "violations": len(self.violation_log),
+        }

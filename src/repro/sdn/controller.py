@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+from repro import obs
+from repro.faults import runtime as faults_runtime
 from repro.simnet.engine import Simulator
 from repro.simnet.network import Network
 from repro.sdn.programming import FlowProgrammer
@@ -56,6 +58,19 @@ class Controller:
         )
         self.apps: list[ControllerApp] = []
         self._started = False
+        #: False while crashed: services halt, rule installs retry/fail,
+        #: and policies degrade to default (ECMP) behaviour.
+        self.online = True
+        self.crashes = 0
+        self.resyncs = 0
+        self.rules_resynced = 0
+        registry = obs.get_registry()
+        self._tracer = obs.get_tracer()
+        self._m_crashes = registry.counter("controller.crashes")
+        self._m_resynced = registry.counter("controller.rules_resynced")
+        checker = faults_runtime.get_checker()
+        if checker is not None:
+            checker.watch_controller(self)
 
     def register(self, app: ControllerApp) -> None:
         """Attach an application (started immediately if running)."""
@@ -80,6 +95,58 @@ class Controller:
         self.stats_service.stop()
         for app in self.apps:
             app.stop()
+
+    # ------------------------------------------------------------------
+    # failure / recovery (driven by the chaos engine)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Controller outage: halt services, take the control channel down.
+
+        The *data plane keeps forwarding*: rules already in the switch
+        tables continue to match (that is the whole point of proactive
+        programming), but stats polling stops and new installs fail into
+        the programmer's retry/backlog path until :meth:`restore`.
+        """
+        if not self.online:
+            return
+        self.online = False
+        self.crashes += 1
+        self._m_crashes.inc()
+        self.stats_service.stop()
+        self.programmer.online = False
+        if self._tracer is not None:
+            self._tracer.emit(self.sim.now, "controller", "crash")
+
+    def restore(self) -> None:
+        """Controller restart: resume services and resync switch state.
+
+        Recovery replays the install backlog and asks every application
+        that supports it to reconcile the switch tables against its
+        current intent (rules whose install was lost mid-outage get
+        reinstalled; superseded ones are dropped).
+        """
+        if self.online:
+            return
+        self.online = True
+        self.programmer.online = True
+        if self._started:
+            self.stats_service.start()
+        self.resyncs += 1
+        # Drop the raw backlog: apps reinstall from *current* intent,
+        # which supersedes whatever was queued when the outage began.
+        abandoned = self.programmer.take_failed()
+        resynced = 0
+        for app in self.apps:
+            resync = getattr(app, "resync", None)
+            if resync is not None:
+                resynced += resync()
+        self.rules_resynced += resynced
+        self._m_resynced.inc(resynced)
+        if self._tracer is not None:
+            self._tracer.emit(
+                self.sim.now, "controller", "restore",
+                abandoned=len(abandoned), resynced=resynced,
+            )
 
     def app(self, name: str) -> Optional[ControllerApp]:
         """Find a registered application by name."""

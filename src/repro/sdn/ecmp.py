@@ -56,10 +56,28 @@ class EcmpSelector:
             self._cache[key] = k_shortest_paths(self.topology, src, dst, self.k)
         return self._cache[key]
 
+    def up_paths(self, src: str, dst: str) -> list[list[str]]:
+        """The cached paths currently realisable over up links only."""
+        out = []
+        for p in self.paths(src, dst):
+            try:
+                self.topology.path_links(p)
+            except ValueError:
+                continue
+            out.append(p)
+        return out
+
     def path_for(self, flow: Flow) -> list[int]:
-        """Pick the ECMP path for a flow; returns link ids."""
-        paths = self.paths(flow.src, flow.dst)
+        """Pick the ECMP path for a flow; returns link ids.
+
+        Hashes over the *live* path set: when a path is down the
+        hardware next-hop group shrinks and the modulus re-hashes over
+        the survivors (RFC 2992 re-convergence), so link churn degrades
+        spreading quality but never strands a placement that has any up
+        path.
+        """
+        paths = self.up_paths(flow.src, flow.dst)
         if not paths:
-            raise ValueError(f"no path {flow.src}->{flow.dst}")
+            raise ValueError(f"no up path {flow.src}->{flow.dst}")
         chosen = paths[ecmp_index(flow.five_tuple, len(paths))]
         return self.topology.path_links(chosen)

@@ -50,22 +50,11 @@ class EcmpPolicy:
         # the same way: the hash now indexes a smaller next-hop group).
         from repro.sdn.ecmp import ecmp_index
 
-        paths = [
-            p
-            for p in self._selector.paths(flow.src, flow.dst)
-            if self._path_up(p)
-        ]
+        paths = self._selector.up_paths(flow.src, flow.dst)
         if not paths:
             return None
         chosen = paths[ecmp_index(flow.five_tuple, len(paths))]
         return self._topology.path_links(chosen)
-
-    def _path_up(self, node_path: list[str]) -> bool:
-        try:
-            self._topology.path_links(node_path)
-            return True
-        except ValueError:
-            return False
 
 
 class FailureRepairService:

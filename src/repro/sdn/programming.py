@@ -83,13 +83,34 @@ class FlowProgrammer:
         sim: Simulator,
         per_rule_latency: float = 0.004,
         control_rtt: float = 0.002,
+        max_install_retries: int = 6,
+        retry_backoff: float = 0.05,
     ) -> None:
         self.sim = sim
         self.per_rule_latency = per_rule_latency
         self.control_rtt = control_rtt
+        #: install attempts retried while the control channel is down;
+        #: each retry doubles the previous delay (bounded exponential
+        #: backoff, the standard OpenFlow barrier-timeout treatment).
+        self.max_install_retries = max_install_retries
+        self.retry_backoff = retry_backoff
+        #: False while the controller is crashed: commits cannot reach
+        #: the switches and go through the retry path instead.
+        self.online = True
         self._rules: list[Rule] = []
         self.rules_installed = 0
         self.install_batches = 0
+        self.install_retries = 0
+        self.install_failures = 0
+        #: batches scheduled but not yet committed or abandoned —
+        #: table/intent comparisons are only meaningful when this is 0.
+        self.pending_installs = 0
+        #: rules whose install was abandoned after the retry budget;
+        #: the controller's resync drains this on recovery.
+        self.failed_rules: list[Rule] = []
+        #: ids of rules in not-yet-committed batches, so a recovery
+        #: resync never double-installs a rule that is still retrying.
+        self._pending_rule_ids: set[int] = set()
         #: high-water mark of concurrent table occupancy — the
         #: forwarding-state metric §IV's aggregation discussion targets
         #: (switch TCAM is the scarce resource, not install throughput).
@@ -100,6 +121,8 @@ class FlowProgrammer:
         self._m_rules = registry.counter("programmer.rules_installed")
         self._m_install_latency = registry.histogram("programmer.install_seconds")
         self._m_table = registry.gauge("programmer.table_size")
+        self._m_retries = registry.counter("programmer.install_retries")
+        self._m_failures = registry.counter("programmer.install_failures")
 
     # ------------------------------------------------------------------
     def add_rule_hook(self, fn: Callable[[str, Rule], None]) -> None:
@@ -117,13 +140,42 @@ class FlowProgrammer:
         rules: list[Rule],
         on_installed: Optional[Callable[[list[Rule]], None]] = None,
     ) -> float:
-        """Install a batch; returns the completion time."""
+        """Install a batch; returns the nominal completion time.
+
+        While the control channel is down (``online`` False) the commit
+        retries with bounded exponential backoff; a batch that exhausts
+        its retry budget lands in :attr:`failed_rules` for the
+        controller's recovery resync instead of being silently lost.
+        """
         latency = self.control_rtt + self.per_rule_latency * len(rules)
         done_at = self.sim.now + latency
         self.install_batches += 1
+        self.pending_installs += 1
+        self._pending_rule_ids.update(id(r) for r in rules)
         self._m_install_latency.observe(latency)
 
-        def _commit() -> None:
+        def _commit(attempt: int) -> None:
+            if not self.online:
+                if attempt < self.max_install_retries:
+                    self.install_retries += 1
+                    self._m_retries.inc()
+                    self.sim.schedule(
+                        self.retry_backoff * (2.0 ** attempt), _commit, attempt + 1
+                    )
+                    return
+                self.pending_installs -= 1
+                self._pending_rule_ids.difference_update(id(r) for r in rules)
+                self.install_failures += len(rules)
+                self._m_failures.inc(len(rules))
+                self.failed_rules.extend(rules)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        self.sim.now, "programmer", "install_failed",
+                        rules=len(rules), attempts=attempt + 1,
+                    )
+                return
+            self.pending_installs -= 1
+            self._pending_rule_ids.difference_update(id(r) for r in rules)
             for rule in rules:
                 rule.installed_at = self.sim.now
                 self._rules.append(rule)
@@ -144,8 +196,13 @@ class FlowProgrammer:
             if on_installed is not None:
                 on_installed(rules)
 
-        self.sim.schedule(latency, _commit)
+        self.sim.schedule(latency, _commit, 0)
         return done_at
+
+    def take_failed(self) -> list[Rule]:
+        """Drain the abandoned-install backlog (recovery resync)."""
+        failed, self.failed_rules = self.failed_rules, []
+        return failed
 
     def remove(self, rule: Rule) -> None:
         """Delete a rule from the table (idempotent)."""

@@ -39,12 +39,18 @@ class LinkStatsService:
         self._last_bytes = np.zeros(nlinks)
         self._last_time = sim.now
         self._running = False
+        #: True while the chaos engine simulates a lagging/stale stats
+        #: pipeline: polls fire but fold nothing in, so consumers keep
+        #: reading an EWMA that ages.
+        self._frozen = False
         #: the in-flight periodic poll event, cancelled on stop() so a
         #: stop()/start() cycle cannot leave two live polling chains.
         self._pending_tick: Optional[Event] = None
         self.samples = 0
+        self.samples_skipped = 0
         registry = obs.get_registry()
         self._m_samples = registry.counter("stats.samples")
+        self._m_skipped = registry.counter("stats.samples_skipped")
         self._m_lag = registry.gauge("stats.ewma_lag_seconds")
 
     # ------------------------------------------------------------------
@@ -71,6 +77,24 @@ class LinkStatsService:
         self.sample()
         self._pending_tick = self.sim.schedule(self.period, self._tick)
 
+    def freeze(self) -> None:
+        """Enter staleness: polls are skipped, the EWMA stops updating.
+
+        Models a lagging link-stats pipeline (slow poller, dropped
+        counter replies) while the controller itself stays up.  The
+        first post-thaw sample averages over the whole frozen window —
+        exactly what a late counter diff would measure.
+        """
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Leave staleness; the next poll folds the gap in."""
+        self._frozen = False
+
+    def staleness(self) -> float:
+        """Seconds since the EWMA last absorbed a sample."""
+        return self.sim.now - self._last_time
+
     def sample(self) -> None:
         """Poll byte counters and fold the measured rates into the EWMA.
 
@@ -79,6 +103,10 @@ class LinkStatsService:
         objects; ``sample_counters`` is still invoked so the per-link
         hardware-counter mirrors stay fresh at every poll instant.
         """
+        if self._frozen:
+            self.samples_skipped += 1
+            self._m_skipped.inc()
+            return
         self.network.sample_counters()
         now = self.sim.now
         counters = self.network.link_bytes()

@@ -37,30 +37,56 @@ class SwitchTableView:
         self.programmer = programmer
 
     # ------------------------------------------------------------------
+    def expand(self, rule) -> list[tuple[str, SwitchEntry]]:
+        """Per-switch (switch, entry) expansion of one end-to-end rule."""
+        out: list[tuple[str, SwitchEntry]] = []
+        prefix_rule = rule.match.dst_ip is None
+        for lid in rule.path:
+            link = self.topology.links[lid]
+            if self.topology.nodes[link.src].kind is not NodeKind.SWITCH:
+                continue
+            # A prefix (rack-pair) rule cannot name the egress host
+            # port — edge delivery stays with the switch's default
+            # L2 forwarding, so no TCAM entry is spent there.
+            if prefix_rule and self.topology.nodes[link.dst].kind is NodeKind.HOST:
+                continue
+            out.append(
+                (
+                    link.src,
+                    SwitchEntry(
+                        match=rule.match,
+                        priority=rule.priority,
+                        out_next_hop=link.dst,
+                    ),
+                )
+            )
+        return out
+
     def tables(self) -> dict[str, list[SwitchEntry]]:
         """Current per-switch entries (deduplicated)."""
         out: dict[str, set[SwitchEntry]] = {
             s.name: set() for s in self.topology.switches()
         }
         for rule in self.programmer._rules:
-            prefix_rule = rule.match.dst_ip is None
-            for lid in rule.path:
-                link = self.topology.links[lid]
-                if self.topology.nodes[link.src].kind is not NodeKind.SWITCH:
-                    continue
-                # A prefix (rack-pair) rule cannot name the egress host
-                # port — edge delivery stays with the switch's default
-                # L2 forwarding, so no TCAM entry is spent there.
-                if prefix_rule and self.topology.nodes[link.dst].kind is NodeKind.HOST:
-                    continue
-                out[link.src].add(
-                    SwitchEntry(
-                        match=rule.match,
-                        priority=rule.priority,
-                        out_next_hop=link.dst,
-                    )
-                )
+            for switch, entry in self.expand(rule):
+                out[switch].add(entry)
         return {k: sorted(v, key=lambda e: (-e.priority, repr(e.match))) for k, v in out.items()}
+
+    def missing_rules(self, intent: list) -> list:
+        """Rules from ``intent`` whose expansion is absent from the tables.
+
+        The controller's recovery resync must leave this empty: every
+        rule the control plane still wants is physically present in the
+        distributed forwarding state.
+        """
+        tables = {k: set(v) for k, v in self.tables().items()}
+        missing = []
+        for rule in intent:
+            for switch, entry in self.expand(rule):
+                if entry not in tables.get(switch, set()):
+                    missing.append(rule)
+                    break
+        return missing
 
     def occupancy(self) -> dict[str, int]:
         """TCAM entries per switch."""
@@ -76,20 +102,28 @@ class SwitchTableView:
         return sum(self.occupancy().values())
 
     # ------------------------------------------------------------------
-    def walk(self, flow: Flow, max_hops: int = 32) -> Optional[list[str]]:
+    def walk(
+        self,
+        flow: Flow,
+        max_hops: int = 32,
+        tables: Optional[dict[str, list[SwitchEntry]]] = None,
+    ) -> Optional[list[str]]:
         """Forward a flow hop-by-hop through the switch tables.
 
         Starts at the flow's source host's ToR and follows the highest-
         priority matching entry at each switch.  Returns the node path
         (host..host) or None on a table miss / loop — i.e. exactly what
-        the data plane would do without controller involvement.
+        the data plane would do without controller involvement.  A
+        caller walking many flows can precompute :meth:`tables` once
+        and pass it in.
         """
         topo = self.topology
         up = [l for l in topo.up_links_from(flow.src)]
         if not up:
             return None
         path = [flow.src, up[0].dst]
-        tables = self.tables()
+        if tables is None:
+            tables = self.tables()
         for _ in range(max_hops):
             here = path[-1]
             if here == flow.dst:

@@ -22,12 +22,18 @@ from repro import obs
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)``; the payload fields are excluded
-    from ordering.  Cancelled events stay in the heap but are skipped
-    when popped (lazy deletion).
+    Events compare by ``(time, priority, seq)``; the payload fields are
+    excluded from ordering.  ``priority`` defaults to 0, so ordinary
+    same-instant events keep firing in scheduling order; callers that
+    need an *explicit* ordering among events sharing a timestamp (fault
+    injection, invariant sweeps) pass a non-zero priority instead of
+    relying on the incidental order their ``schedule`` calls were made
+    in.  Cancelled events stay in the heap but are skipped when popped
+    (lazy deletion).
     """
 
     time: float
+    priority: int
     seq: int
     fn: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
@@ -67,17 +73,27 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``priority`` breaks ties among events sharing a timestamp:
+        lower values fire first (default 0 preserves scheduling order).
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args, _sim=self)
+        ev = Event(
+            time=time, priority=priority, seq=next(self._seq), fn=fn, args=args, _sim=self
+        )
         heapq.heappush(self._queue, ev)
         self._live += 1
         return ev

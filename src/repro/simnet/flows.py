@@ -143,6 +143,22 @@ class Flow:
             return None
         return self.end_time - self.start_time
 
+    def arena_bound(self) -> bool:
+        """True while the flow's runtime state lives in a slot arena."""
+        return self._state is not None
+
+    def conservation_error(self) -> float:
+        """``|size - bytes_sent - remaining|`` in bytes (0 for unbounded).
+
+        Physically meaningful at any instant: the fluid engine credits
+        every byte it debits, so any drift beyond float noise means the
+        accounting was corrupted (the invariant checker asserts this at
+        every settle point).
+        """
+        if self.size is None:
+            return 0.0
+        return abs(self.size - self.bytes_sent - self.remaining)
+
     def is_shuffle(self) -> bool:
         """True if either endpoint is the Hadoop shuffle service port.
 

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro import obs
+from repro.faults import runtime as faults_runtime
 from repro.simnet.engine import Simulator
 from repro.simnet.fairshare import maxmin_rates_pairs
 from repro.simnet.flows import Flow
@@ -255,7 +256,13 @@ class Network:
         self._m_recomputes = registry.counter("network.fair_share_recomputes")
         self._m_coalesced = registry.counter("network.recompute_coalesced")
         self._m_recompute_time = registry.histogram("network.fair_share_wall_seconds")
+        #: callbacks fired after every settle (rate recompute) — the
+        #: natural checkpoint where all fluid state is self-consistent.
+        self._settle_hooks: list[Callable[["Network"], None]] = []
         topology.observe(self._on_link_state_change)
+        checker = faults_runtime.get_checker()
+        if checker is not None:
+            checker.watch_network(self)
 
     # ------------------------------------------------------------------
     # public views (insertion-ordered, matching historical list semantics)
@@ -276,6 +283,15 @@ class Network:
     def add_flow_hook(self, fn: Callable[[str, Flow], None]) -> None:
         """Register ``fn(event, flow)`` for events 'start'/'end'/'reroute'."""
         self._flow_hooks.append(fn)
+
+    def add_settle_hook(self, fn: Callable[["Network"], None]) -> None:
+        """Register ``fn(network)`` to run after every rate recompute.
+
+        Settle points are where the fluid state is fully consistent
+        (bytes integrated, rates solved, completions scheduled) — the
+        invariant checker audits here.  Hooks must not mutate flows.
+        """
+        self._settle_hooks.append(fn)
 
     def _emit(self, event: str, flow: Flow) -> None:
         if event == "start":
@@ -578,6 +594,8 @@ class Network:
             self.sim.schedule(0.0, self._completion_tick, self._generation)
         if self._measure_recompute:
             self._m_recompute_time.observe(time.perf_counter() - start)
+        for hook in self._settle_hooks:
+            hook(self)
 
     def _completion_tick(self, generation: int) -> None:
         if generation != self._generation:

@@ -1,0 +1,19 @@
+"""Shared pytest configuration: seeded hypothesis profiles.
+
+Two profiles:
+
+* ``dev`` (default) — hypothesis explores randomly; the deadline is
+  dropped because simulation-heavy examples have noisy wall-clock times.
+* ``ci`` — fully derandomized (every run draws the same examples), so a
+  property failure in CI reproduces locally with zero flake surface.
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest ...``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,140 @@
+"""Chaos integration tests: jobs complete and invariants hold under faults.
+
+Every run here executes with the invariant checker in strict mode, so a
+passing test certifies both liveness (the job finished) and physical
+consistency (no checkpoint found a violation).
+"""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.faults import (
+    ChaosSchedule,
+    ControllerOutage,
+    LinkFlap,
+    PredictionFault,
+    StatsFreeze,
+    random_schedule,
+)
+from repro.simnet.topology import two_rack
+from repro.workloads import sort_job
+
+
+def _run(schedule_events, scheduler="pythia", seed=1, chaos_seed=0, **kwargs):
+    return run_experiment(
+        sort_job(input_gb=2.0, num_reducers=4),
+        scheduler=scheduler,
+        ratio=kwargs.pop("ratio", 10.0),
+        seed=seed,
+        invariants=True,
+        chaos=lambda _topo: ChaosSchedule(list(schedule_events), seed=chaos_seed),
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("scheduler", ["ecmp", "pythia", "hedera"])
+def test_link_flap_mid_shuffle(scheduler):
+    res = _run(
+        [LinkFlap(at=10.0, down=4.0, a="tor0", b="trunk0")], scheduler=scheduler
+    )
+    assert res.run.completed_at is not None
+    assert res.invariants["violations"] == 0
+    assert res.faults_injected == {"link_flap": 2}  # down + up
+    assert res.policy_stats["stranded"] == 0
+
+
+def test_controller_outage_during_allocation():
+    """Crash before the first predictions land: installs must retry/fail
+    into the backlog, recovery must resync, and the job still finishes."""
+    res = _run([ControllerOutage(at=1.0, down=20.0)])
+    assert res.run.completed_at is not None
+    assert res.invariants["violations"] == 0
+    stats = res.policy_stats
+    assert stats["crashes"] == 1
+    assert stats["resyncs"] == 1
+    # installs were attempted while the control channel was down
+    assert stats["install_retries"] > 0
+    # ...and the abandoned ones were reconciled back on restore
+    assert stats["install_failures"] > 0
+    assert stats["rules_resynced"] > 0
+    assert res.controller is not None and res.controller.programmer.pending_installs == 0
+
+
+def test_switch_tables_match_intent_after_resync():
+    from repro.sdn.switch_tables import SwitchTableView
+
+    res = _run([ControllerOutage(at=1.0, down=20.0)])
+    view = SwitchTableView(res.topology, res.controller.programmer)
+    assert view.missing_rules(res.controller.programmer._rules) == []
+    assert view.total_entries() > 0
+
+
+def test_stats_staleness_window():
+    res = _run([StatsFreeze(at=5.0, duration=10.0)])
+    assert res.run.completed_at is not None
+    assert res.invariants["violations"] == 0
+    assert res.policy_stats["stats_samples_skipped"] > 0
+
+
+def test_prediction_loss_degrades_to_fallback():
+    """Dropping every prediction forces ECMP fallback; the job survives."""
+    res = _run(
+        [PredictionFault(at=0.0, duration=1e6, drop_prob=1.0)], chaos_seed=3
+    )
+    assert res.run.completed_at is not None
+    assert res.invariants["violations"] == 0
+    assert res.collector is not None
+    assert res.collector.predictions_dropped > 0
+    assert res.collector.predictions_received == 0
+    assert res.policy_stats["fallbacks"] > 0
+    assert res.policy_stats["rules_installed"] == 0
+
+
+def test_combined_random_schedule_all_schedulers():
+    for scheduler in ("ecmp", "pythia", "hedera"):
+        res = run_experiment(
+            sort_job(input_gb=1.5, num_reducers=4),
+            scheduler=scheduler,
+            ratio=10.0,
+            seed=1,
+            invariants=True,
+            chaos=lambda topo: random_schedule(topo, seed=11),
+        )
+        assert res.run.completed_at is not None, scheduler
+        assert res.invariants["violations"] == 0, scheduler
+        assert res.faults_injected, scheduler
+
+
+def test_chaos_run_is_deterministic():
+    """Same (workload seed, chaos seed) twice -> bit-identical outcome."""
+    def once():
+        res = run_experiment(
+            sort_job(input_gb=1.5, num_reducers=4),
+            scheduler="pythia",
+            ratio=10.0,
+            seed=1,
+            invariants=True,
+            chaos=lambda topo: random_schedule(topo, seed=7),
+        )
+        return res.jct, res.sim.events_processed, res.faults_injected
+
+    assert once() == once()
+
+
+def test_random_schedule_is_seed_stable():
+    topo = two_rack()
+    assert random_schedule(topo, seed=5).events == random_schedule(topo, seed=5).events
+    assert random_schedule(topo, seed=5).events != random_schedule(topo, seed=6).events
+
+
+def test_random_schedule_targets_inter_switch_cables():
+    topo = two_rack()
+    sched = random_schedule(topo, seed=2, flaps=6)
+    from repro.faults import LinkFlap as LF
+    from repro.simnet.topology import NodeKind
+
+    flaps = [e for e in sched if isinstance(e, LF)]
+    assert flaps
+    for flap in flaps:
+        assert topo.nodes[flap.a].kind is NodeKind.SWITCH
+        assert topo.nodes[flap.b].kind is NodeKind.SWITCH

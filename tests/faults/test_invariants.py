@@ -1,0 +1,169 @@
+"""Unit tests of the invariant checker and the faults runtime context."""
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.faults import (
+    AccountingCorruption,
+    ChaosSchedule,
+    InvariantChecker,
+    InvariantViolation,
+    get_checker,
+    set_checker,
+    use_checker,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import TCP, FiveTuple, Flow
+from repro.simnet.network import Network
+from repro.simnet.topology import two_rack
+from repro.workloads import sort_job
+
+
+def _flow(src, dst, size, port=33000):
+    return Flow(
+        src=src, dst=dst, size=size,
+        five_tuple=FiveTuple(f"ip{src}", f"ip{dst}", 50060, port, TCP),
+    )
+
+
+def _path(topo, src, dst, trunk="trunk0"):
+    src_tor = f"tor{topo.nodes[src].rack}"
+    dst_tor = f"tor{topo.nodes[dst].rack}"
+    return topo.path_links([src, src_tor, trunk, dst_tor, dst])
+
+
+# ----------------------------------------------------------------------
+# runtime context
+# ----------------------------------------------------------------------
+
+def test_use_checker_restores_previous():
+    assert get_checker() is None
+    outer = InvariantChecker()
+    set_checker(outer)
+    try:
+        inner = InvariantChecker()
+        with use_checker(inner) as active:
+            assert active is inner
+            assert get_checker() is inner
+        assert get_checker() is outer
+    finally:
+        set_checker(None)
+    assert get_checker() is None
+
+
+def test_network_self_registers_with_active_checker():
+    checker = InvariantChecker()
+    with use_checker(checker):
+        sim = Simulator()
+        net = Network(sim, two_rack())
+    assert checker._networks == [net]
+
+
+# ----------------------------------------------------------------------
+# positive path: clean runs check clean
+# ----------------------------------------------------------------------
+
+def test_clean_network_run_checks_clean():
+    checker = InvariantChecker()
+    with use_checker(checker):
+        sim = Simulator()
+        topo = two_rack()
+        net = Network(sim, topo)
+        flows = [_flow("h00", "h10", 1e7, 33000), _flow("h01", "h11", 2e7, 33001)]
+        for f in flows:
+            sim.schedule(0.5, net.start_flow, f, _path(topo, f.src, f.dst))
+        sim.run()
+    assert all(f.end_time is not None for f in flows)
+    assert checker.checkpoints > 0
+    assert checker.violation_log == []
+
+
+def test_checker_sampling_stride():
+    dense = InvariantChecker(every=1)
+    sparse = InvariantChecker(every=10)
+
+    def run(checker):
+        with use_checker(checker):
+            sim = Simulator()
+            topo = two_rack()
+            net = Network(sim, topo)
+            for port in range(8):
+                f = _flow("h00", "h10", 5e6, 33000 + port)
+                sim.schedule(0.1 * port, net.start_flow, f, _path(topo, f.src, f.dst))
+            sim.run()
+
+    run(dense)
+    run(sparse)
+    assert dense.checkpoints > sparse.checkpoints
+    assert dense.violation_log == sparse.violation_log == []
+
+
+# ----------------------------------------------------------------------
+# negative path: a deliberately injected bug must be caught
+# ----------------------------------------------------------------------
+
+def test_checker_catches_injected_conservation_bug():
+    with pytest.raises(InvariantViolation) as exc_info:
+        run_experiment(
+            sort_job(input_gb=2.0, num_reducers=4),
+            scheduler="pythia",
+            ratio=10.0,
+            seed=1,
+            invariants=True,
+            chaos=lambda topo: ChaosSchedule(
+                [AccountingCorruption(at=20.0, nbytes=5e6)], seed=0
+            ),
+        )
+    violation = exc_info.value
+    assert any("conservation" in p for p in violation.problems)
+    assert "5000000" in str(violation)
+
+
+def test_non_strict_checker_accumulates_instead_of_raising():
+    checker = InvariantChecker(strict=False)
+    with use_checker(checker):
+        sim = Simulator()
+        topo = two_rack()
+        net = Network(sim, topo)
+        f = _flow("h00", "h10", 1e8)
+        sim.schedule(0.0, net.start_flow, f, _path(topo, f.src, f.dst))
+
+        def corrupt():
+            net._arena.sent[f._slot] -= 1e6
+            net._flows_changed()
+
+        sim.schedule(0.05, corrupt)
+        sim.run()
+    assert checker.violation_log
+    assert any("conservation" in p for p in checker.violation_log)
+    snap = checker.snapshot()
+    assert snap["violations"] == len(checker.violation_log)
+
+
+def test_checker_catches_manual_rate_corruption():
+    """A dead arena slot carrying rate is physically impossible."""
+    checker = InvariantChecker(strict=False)
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    f = _flow("h00", "h10", 1e6)
+    net.start_flow(f, _path(topo, f.src, f.dst))
+    sim.run()
+    assert f.end_time is not None
+    slot_count = net._arena.n
+    assert slot_count >= 1
+    net._arena.rate[0] = 123.0  # dead slot (flow completed) gains rate
+    checker.watch_network(net)
+    problems = checker.check()
+    assert any("dead slots" in p for p in problems)
+
+
+def test_violation_message_carries_problems():
+    err = InvariantViolation(
+        ["capacity: link 3 over", "conservation: flow 7 leaks"],
+        ["t=1.000000 network.flow_start {}"],
+    )
+    text = str(err)
+    assert "2 invariant violation(s)" in text
+    assert "link 3" in text and "flow 7" in text
+    assert "flow_start" in text

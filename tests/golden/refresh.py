@@ -1,0 +1,86 @@
+"""Golden-trace matrix: definition, digest computation, refresh script.
+
+The differential regression suite (``tests/integration/test_golden_traces.py``)
+runs a small workload x scheduler x seed matrix and compares each run's
+digest — job completion time and total simulator events — against the
+committed ``tests/golden/digests.json``.  Any engine change that shifts
+either number for any cell shows up as a diff with the exact cell named.
+
+Refreshing after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/golden/refresh.py
+
+then inspect ``git diff tests/golden/digests.json`` and commit it
+together with the change that explains it.  Never refresh to silence a
+diff you cannot explain — that is the regression the suite exists to
+catch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DIGESTS = HERE / "digests.json"
+
+SCHEDULERS = ("ecmp", "pythia", "hedera")
+SEEDS = (1, 2, 3)
+WORKLOADS = ("sort", "nutch")
+
+
+def make_spec(workload: str):
+    """Small, fast instances of the two paper workloads."""
+    from repro.workloads import nutch_indexing_job, sort_job
+
+    if workload == "sort":
+        return sort_job(input_gb=1.5, num_reducers=4)
+    if workload == "nutch":
+        return nutch_indexing_job(pages=1e5, num_reducers=4)
+    raise ValueError(workload)
+
+
+def cell_key(workload: str, scheduler: str, seed: int) -> str:
+    return f"{workload}/{scheduler}/seed{seed}"
+
+
+def run_cell(workload: str, scheduler: str, seed: int) -> dict:
+    """One matrix cell -> its digest."""
+    from repro.experiments.common import run_experiment
+
+    res = run_experiment(
+        make_spec(workload), scheduler=scheduler, ratio=10.0, seed=seed
+    )
+    return {
+        "jct_seconds": res.jct,
+        "events_processed": res.sim.events_processed,
+    }
+
+
+def compute_digests() -> dict[str, dict]:
+    """Run the full matrix."""
+    out: dict[str, dict] = {}
+    for workload in WORKLOADS:
+        for scheduler in SCHEDULERS:
+            for seed in SEEDS:
+                out[cell_key(workload, scheduler, seed)] = run_cell(
+                    workload, scheduler, seed
+                )
+    return out
+
+
+def load_digests() -> dict[str, dict]:
+    return json.loads(DIGESTS.read_text())
+
+
+def main() -> int:
+    sys.path.insert(0, str(HERE.parents[1] / "src"))
+    digests = compute_digests()
+    DIGESTS.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {DIGESTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,20 +3,23 @@
 import pytest
 
 from repro.experiments.common import run_experiment
+from repro.faults import FAULT_PRIORITY
 from repro.workloads import sort_job
 
 
 def trunk_fault(at, a="tor0", b="trunk0"):
+    # Explicit priority: a fault sharing its timestamp with application
+    # events fires first by construction, not by schedule-call order.
     def fault(sim, topo):
-        sim.schedule(at, topo.fail_cable, a, b)
+        sim.schedule(at, topo.fail_cable, a, b, priority=FAULT_PRIORITY)
 
     return fault
 
 
 def flap(at, up_at, a="tor0", b="trunk0"):
     def fault(sim, topo):
-        sim.schedule(at, topo.fail_cable, a, b)
-        sim.schedule(up_at, topo.restore_cable, a, b)
+        sim.schedule(at, topo.fail_cable, a, b, priority=FAULT_PRIORITY)
+        sim.schedule(up_at, topo.restore_cable, a, b, priority=FAULT_PRIORITY)
 
     return fault
 
@@ -80,3 +83,25 @@ def test_failure_under_background_load():
         fault=trunk_fault(at=20.0, b="trunk1"),
     )
     assert res.run.completed_at is not None
+
+
+@pytest.mark.parametrize("scheduler", ["ecmp", "pythia"])
+def test_failure_runs_are_deterministic(scheduler):
+    """Two identical fault runs agree bit-for-bit.
+
+    The fault fires at a timestamp shared with in-flight application
+    events; the engine's (time, priority, seq) ordering plus the
+    helpers' explicit FAULT_PRIORITY pins the interleaving, so JCT and
+    total event count must replay exactly.
+    """
+    def once():
+        res = run_experiment(
+            sort_job(input_gb=3.0, num_reducers=6),
+            scheduler=scheduler,
+            ratio=10,
+            seed=1,
+            fault=flap(at=10.0, up_at=20.0),
+        )
+        return res.jct, res.sim.events_processed
+
+    assert once() == once()

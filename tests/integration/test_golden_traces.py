@@ -1,0 +1,55 @@
+"""Differential golden-trace regression suite.
+
+Each cell of a small workload x scheduler x seed matrix is re-run and
+its digest (JCT, total simulator events) compared against the committed
+``tests/golden/digests.json``.  JCT must match to relative 1e-9 (the
+engine is deterministic; the tolerance only absorbs cross-platform
+libm noise) and the event count must match exactly.
+
+After an intentional engine change, refresh with::
+
+    PYTHONPATH=src python tests/golden/refresh.py
+
+and commit the diff alongside the change that explains it.
+"""
+
+import pytest
+
+from tests.golden.refresh import (
+    SCHEDULERS,
+    SEEDS,
+    WORKLOADS,
+    cell_key,
+    load_digests,
+    run_cell,
+)
+
+_MATRIX = [
+    (w, s, seed) for w in WORKLOADS for s in SCHEDULERS for seed in SEEDS
+]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_digests()
+
+
+def test_digests_cover_the_whole_matrix():
+    golden = load_digests()
+    assert sorted(golden) == sorted(cell_key(*cell) for cell in _MATRIX)
+
+
+@pytest.mark.parametrize(
+    "workload,scheduler,seed", _MATRIX, ids=[cell_key(*c) for c in _MATRIX]
+)
+def test_golden_trace(golden, workload, scheduler, seed):
+    key = cell_key(workload, scheduler, seed)
+    expected = golden[key]
+    actual = run_cell(workload, scheduler, seed)
+    assert actual["events_processed"] == expected["events_processed"], (
+        f"{key}: event count drifted — if intentional, refresh with "
+        f"`PYTHONPATH=src python tests/golden/refresh.py`"
+    )
+    assert actual["jct_seconds"] == pytest.approx(
+        expected["jct_seconds"], rel=1e-9
+    ), f"{key}: JCT drifted"

@@ -1,0 +1,123 @@
+"""Hypothesis properties of the max-min fair-share solver.
+
+Progressive filling has a crisp optimality characterisation (the KKT
+conditions of weighted max-min fairness): the allocation is feasible,
+and every flow is *bottlenecked* — it crosses some saturated link on
+which its normalised rate (rate/weight) is maximal.  These tests check
+exactly that over random incidence structures, plus the structural
+property that the solver cannot care about flow numbering.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.fairshare import maxmin_rates
+
+#: feasibility slack: relative to each link's residual, plus float dust.
+_REL = 1e-6
+_ABS = 1e-3
+
+
+@st.composite
+def _instances(draw):
+    """A random (residual, paths, weights) fair-share instance."""
+    nlinks = draw(st.integers(1, 8))
+    residual = np.array(
+        [
+            draw(st.one_of(st.just(0.0), st.floats(1e3, 1e9, allow_nan=False)))
+            for _ in range(nlinks)
+        ]
+    )
+    nflows = draw(st.integers(1, 12))
+    paths = [
+        draw(
+            st.lists(
+                st.integers(0, nlinks - 1), min_size=1, max_size=nlinks, unique=True
+            )
+        )
+        for _ in range(nflows)
+    ]
+    weights = None
+    if draw(st.booleans()):
+        weights = np.array(
+            [draw(st.floats(0.1, 10.0, allow_nan=False)) for _ in range(nflows)]
+        )
+    return residual, paths, weights
+
+
+def _solve(instance):
+    residual, paths, weights = instance
+    rates = maxmin_rates([np.asarray(p) for p in paths], residual, weights=weights)
+    loads = np.zeros(residual.shape[0])
+    for f, path in enumerate(paths):
+        loads[path] += rates[f]
+    return rates, loads
+
+
+@settings(max_examples=80, deadline=None)
+@given(_instances())
+def test_property_feasible_and_nonnegative(instance):
+    """No link ever carries more than its residual capacity."""
+    residual, paths, _weights = instance
+    rates, loads = _solve(instance)
+    assert (rates >= 0.0).all()
+    assert (loads <= residual * (1 + _REL) + _ABS).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(_instances())
+def test_property_down_links_strand_their_flows(instance):
+    """A flow crossing a zero-residual link gets exactly rate 0."""
+    residual, paths, _weights = instance
+    rates, _loads = _solve(instance)
+    for f, path in enumerate(paths):
+        if any(residual[lid] == 0.0 for lid in path):
+            assert rates[f] == 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(_instances())
+def test_property_every_positive_flow_is_bottlenecked(instance):
+    """KKT: each served flow saturates a link where its level is maximal.
+
+    ``level`` is the weight-normalised rate.  A flow could only be
+    denied a higher rate by a link that is (a) on its path, (b) full,
+    and (c) not serving any other flow at a higher level — otherwise
+    progressive filling would have kept ramping it.
+    """
+    residual, paths, weights = instance
+    rates, loads = _solve(instance)
+    w = weights if weights is not None else np.ones(len(paths))
+    levels = rates / w
+    for f, path in enumerate(paths):
+        if rates[f] <= 0.0:
+            continue
+        bottlenecked = False
+        for lid in path:
+            saturated = loads[lid] >= residual[lid] * (1 - _REL) - _ABS
+            if not saturated:
+                continue
+            peers = [g for g, p in enumerate(paths) if lid in p]
+            peak = max(levels[g] for g in peers)
+            if levels[f] >= peak * (1 - _REL) - _ABS:
+                bottlenecked = True
+                break
+        assert bottlenecked, (
+            f"flow {f} (rate {rates[f]:.3f}) has no saturated bottleneck "
+            f"on path {path}"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_instances(), st.randoms(use_true_random=False))
+def test_property_flow_permutation_invariance(instance, rnd):
+    """Renumbering the flows permutes the rates and changes nothing else."""
+    residual, paths, weights = instance
+    rates, _ = _solve(instance)
+    perm = list(range(len(paths)))
+    rnd.shuffle(perm)
+    p_paths = [paths[i] for i in perm]
+    p_weights = weights[perm] if weights is not None else None
+    p_rates, _ = _solve((residual, p_paths, p_weights))
+    np.testing.assert_allclose(p_rates, rates[perm], rtol=1e-6, atol=_ABS)
