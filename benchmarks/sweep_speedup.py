@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Measure the sweep runner: parallel fan-out + cache vs the serial loop.
+
+Runs the Figure-3 grid (DEFAULT_RATIOS x {ecmp, pythia} x seeds 1-3 =
+24 cells) three ways — serial without a cache, parallel with a cold
+cache, and again with the warm cache — verifies the three agree
+bit-for-bit, and writes the numbers to ``BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/sweep_speedup.py [--pages 1e6] [--workers 4]
+
+Parallel speedup is core-bound (each cell is one CPU-bound simulation),
+so expect ~min(workers, cores)x on a cold cache; the warm-cache rerun
+costs only digest computation and JSON loads regardless of core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+OUT = HERE.parent / "BENCH_sweep.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pages", type=float, default=1e6,
+                        help="Nutch corpus size (paper scale: 5e6)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=OUT)
+    args = parser.parse_args()
+
+    from repro.experiments.sweeps import DEFAULT_RATIOS
+    from repro.runner import run_cells, sweep_grid
+    from repro.workloads import nutch_indexing_job
+
+    seeds = (1, 2, 3)
+    cells = sweep_grid(
+        lambda: nutch_indexing_job(pages=args.pages),
+        ("ecmp", "pythia"), DEFAULT_RATIOS, seeds,
+    )
+    print(f"figure-3 grid: {len(cells)} cells "
+          f"({len(DEFAULT_RATIOS)} ratios x 2 schedulers x {len(seeds)} seeds), "
+          f"{os.cpu_count()} core(s) available")
+
+    t0 = time.perf_counter()
+    serial = run_cells(cells, workers=1)
+    serial_s = time.perf_counter() - t0
+    print(f"serial, no cache:        {serial_s:7.2f}s")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        t0 = time.perf_counter()
+        cold = run_cells(cells, workers=args.workers, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+        print(f"{args.workers} workers, cold cache:   {cold_s:7.2f}s "
+              f"({cold.executed} executed)")
+
+        t0 = time.perf_counter()
+        warm = run_cells(cells, workers=args.workers, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+        print(f"{args.workers} workers, warm cache:   {warm_s:7.2f}s "
+              f"({warm.cache_hits} hits, {warm.executed} executed)")
+
+    def digests(report):
+        return [(s.jct, s.events_processed) for s in report.summaries]
+
+    assert digests(cold) == digests(serial), "parallel diverged from serial"
+    assert digests(warm) == digests(serial), "cache served different results"
+    assert warm.executed == 0, "warm sweep must be all cache hits"
+    print("bit-identical across serial / parallel / cached: yes")
+
+    payload = {
+        "description": (
+            "Sweep-runner numbers for the Figure-3 grid (DEFAULT_RATIOS x "
+            "{ecmp, pythia} x seeds 1-3 = 24 cells). Cold-cache parallel "
+            "speedup is core-bound (every cell is one CPU-bound simulation): "
+            "expect ~min(workers, cores)x; the warm-cache rerun executes "
+            "zero cells on any machine. Absolute times are machine-relative; "
+            "the hit/executed counts and the bit-identical check are not."
+        ),
+        "source": "benchmarks/sweep_speedup.py",
+        "grid": {
+            "workload": f"nutch_indexing_job(pages={args.pages:g})",
+            "ratios": ["none", "1:5", "1:10", "1:20"],
+            "schedulers": ["ecmp", "pythia"],
+            "seeds": list(seeds),
+            "cells": len(cells),
+        },
+        "hardware": {"cpu_cores": os.cpu_count(), "workers": args.workers},
+        "serial_no_cache_seconds": round(serial_s, 3),
+        "parallel_cold_cache_seconds": round(cold_s, 3),
+        "parallel_warm_cache_seconds": round(warm_s, 3),
+        "speedup_parallel_cold_vs_serial": round(serial_s / cold_s, 2),
+        "speedup_warm_cache_vs_serial": round(serial_s / warm_s, 1),
+        "warm_cache": {"hits": warm.cache_hits, "executed": warm.executed},
+        "bit_identical_serial_parallel_cached": True,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

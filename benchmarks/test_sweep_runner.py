@@ -1,0 +1,32 @@
+"""Benchmark S1: the sweep runner's machine-independent gates.
+
+Wall-clock parallel speedup is core-bound and machine-relative (see
+``benchmarks/sweep_speedup.py`` / ``BENCH_sweep.json`` for measured
+numbers); what must hold everywhere is the *work accounting*: a warm
+rerun of any grid executes zero cells and serves >= 90 % of them from
+cache, while producing bit-identical digests.
+"""
+
+from benchmarks.conftest import run_once
+from repro.runner import run_cells, sweep_grid
+from repro.workloads import sort_job
+
+
+def _digests(report):
+    return [(s.jct, s.events_processed) for s in report.summaries]
+
+
+def test_sweep_cache_accounting(benchmark, tmp_path):
+    cells = sweep_grid(
+        lambda: sort_job(input_gb=1.5, num_reducers=4),
+        ("ecmp", "pythia"), (None, 10.0), (1, 2),
+    )
+    cold = run_cells(cells, workers=2, cache_dir=tmp_path)
+    assert cold.executed == len(cells)
+
+    warm = run_once(
+        benchmark, lambda: run_cells(cells, workers=2, cache_dir=tmp_path)
+    )
+    assert warm.executed == 0, "warm sweep must not invoke run_experiment"
+    assert warm.hit_rate >= 0.9
+    assert _digests(warm) == _digests(cold)

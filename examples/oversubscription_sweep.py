@@ -6,27 +6,43 @@ workloads' tables.  Expect the paper's contrast: Pythia holds Nutch
 nearly flat while ECMP degrades (Fig. 3); sort degrades under both but
 far less under Pythia (Fig. 4).
 
+The grids run on the shared ``repro.runner`` sweep machinery (the same
+``DEFAULT_RATIOS`` every figure uses — no private ratio/seed loop), so
+``--workers N`` fans the cells over a process pool and ``--cache-dir``
+makes repeat invocations free via the content-addressed result cache.
+
 Scaled down by default so it finishes in about a minute; pass
 ``--paper-scale`` for the full 5M-page Nutch and a 60 GB sort.
 
-    python examples/oversubscription_sweep.py [--paper-scale]
+    python examples/oversubscription_sweep.py [--paper-scale] \
+        [--workers N] [--cache-dir DIR]
 """
 
-import sys
+import argparse
 
 from repro.experiments.fig3_nutch import render_fig3, run_fig3
 from repro.experiments.fig4_sort import render_fig4, run_fig4
 
 
 def main() -> None:
-    paper_scale = "--paper-scale" in sys.argv
-    pages = 5e6 if paper_scale else 1e6
-    sort_gb = 60.0 if paper_scale else 12.0
-    seeds = (1, 2, 3) if paper_scale else (1,)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 5M-page Nutch / 60 GB sort, seeds 1-3")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for the sweep grid")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache root")
+    args = parser.parse_args()
 
-    print(render_fig3(run_fig3(pages=pages, seeds=seeds)))
+    pages = 5e6 if args.paper_scale else 1e6
+    sort_gb = 60.0 if args.paper_scale else 12.0
+    seeds = (1, 2, 3) if args.paper_scale else (1,)
+
+    print(render_fig3(run_fig3(pages=pages, seeds=seeds,
+                               workers=args.workers, cache_dir=args.cache_dir)))
     print()
-    print(render_fig4(run_fig4(input_gb=sort_gb, seeds=seeds)))
+    print(render_fig4(run_fig4(input_gb=sort_gb, seeds=seeds,
+                               workers=args.workers, cache_dir=args.cache_dir)))
     print(
         "\npaper shape: speedup grows with the ratio, peaking at 1:20 "
         "(46% Nutch / 43% sort on the authors' testbed); Pythia-Nutch "

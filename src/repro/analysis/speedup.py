@@ -25,7 +25,10 @@ class SweepRow:
     """One over-subscription point of a Figure 3/4 sweep.
 
     ``t_*`` are seed-averaged; ``std_*`` carry the across-seed sample
-    standard deviation (0 for single-seed sweeps).
+    standard deviation (0 for single-seed sweeps).  ``*_samples`` hold
+    the raw per-seed JCTs behind those aggregates (seed order), so
+    downstream reports can plot distributions and flag outlier seeds
+    instead of seeing only the collapsed mean.
     """
 
     ratio: Optional[float]
@@ -33,6 +36,8 @@ class SweepRow:
     t_pythia: float
     std_ecmp: float = 0.0
     std_pythia: float = 0.0
+    ecmp_samples: tuple[float, ...] = ()
+    pythia_samples: tuple[float, ...] = ()
 
     @property
     def speedup(self) -> float:

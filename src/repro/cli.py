@@ -6,6 +6,7 @@ Usage (installed as ``python -m repro``):
     python -m repro run --workload sort --scale 0.05 --scheduler pythia --ratio 10
     python -m repro compare --workload nutch --ratio 20
     python -m repro figure fig3 --scale 0.2 --seeds 1
+    python -m repro sweep --workload sort --workers 4 --cache-dir .sweep-cache
     python -m repro metrics --workload sort --ratio 10
     python -m repro trace --workload sort --subsystem allocator
 """
@@ -153,6 +154,56 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(ab.render_ablation("A3b — install latency", ab.ablate_install_latency(seed=args.seeds[0])))
     else:  # pragma: no cover — argparse restricts choices
         raise ValueError(name)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (ratio x scheduler x seed) grid on the parallel runner."""
+    from repro.analysis.speedup import speedup
+    from repro.runner import run_cells, sweep_grid
+
+    cells = sweep_grid(
+        lambda: make_workload(args.workload, scale=args.scale),
+        schedulers=args.schedulers,
+        ratios=args.ratios,
+        seeds=args.seeds,
+    )
+    report = run_cells(cells, workers=args.workers, cache_dir=args.cache_dir)
+
+    per_ratio = len(args.schedulers) * len(args.seeds)
+    means: dict[tuple[int, str], list[float]] = {}
+    for idx, (cell, summary) in enumerate(zip(cells, report.summaries)):
+        means.setdefault((idx // per_ratio, cell.scheduler), []).append(summary.jct)
+    rows = []
+    for i, ratio in enumerate(args.ratios):
+        label = "none" if ratio is None else f"1:{ratio:g}"
+        jcts = [
+            sum(means[(i, s)]) / len(means[(i, s)]) for s in args.schedulers
+        ]
+        rows.append((label, *jcts, 100.0 * speedup(jcts[0], jcts[-1])))
+    headers = (
+        ["oversub"]
+        + [f"{s} (s)" for s in args.schedulers]
+        + [f"{args.schedulers[-1]} vs {args.schedulers[0]} (%)"]
+    )
+    print(format_table(headers, rows))
+    print(
+        f"cells: {len(cells)} total, {report.cache_hits} from cache, "
+        f"{report.executed} executed ({report.invalidations} invalidated) "
+        f"in {report.elapsed_seconds:.1f}s with {args.workers} worker(s)"
+    )
+    if args.cache_dir is not None:
+        print(
+            f"cache: {args.cache_dir} (hit rate {100.0 * report.hit_rate:.0f}%, "
+            f"manifest {report.manifest_path})"
+        )
+    if args.min_cache_hit_rate is not None and report.hit_rate < args.min_cache_hit_rate:
+        print(
+            f"error: cache hit rate {report.hit_rate:.2f} below required "
+            f"{args.min_cache_hit_rate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -342,6 +393,29 @@ def build_parser() -> argparse.ArgumentParser:
     chr_p.add_argument("--no-invariants", action="store_true",
                        help="skip the runtime invariant checker")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a ratio x scheduler x seed grid on the parallel runner "
+             "with the content-addressed result cache",
+    )
+    sweep_p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
+    sweep_p.add_argument("--scale", type=float, default=0.05)
+    sweep_p.add_argument("--ratios", type=_parse_ratio, nargs="+",
+                         default=[None, 5.0, 10.0, 20.0],
+                         help="over-subscription points (e.g. none 5 10 20)")
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    sweep_p.add_argument("--schedulers", nargs="+", default=["ecmp", "pythia"],
+                         choices=SCHEDULERS)
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="process-pool width (1 = in-process serial)")
+    sweep_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="content-addressed result cache root "
+                              "(repeat sweeps are served from it)")
+    sweep_p.add_argument("--min-cache-hit-rate", type=float, default=None,
+                         metavar="FRAC",
+                         help="exit non-zero if the cache served less than "
+                              "this fraction of cells (CI guard)")
+
     mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
     mix_p.add_argument("--jobs", type=int, default=8)
     mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
@@ -359,6 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "mix": _cmd_mix,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,

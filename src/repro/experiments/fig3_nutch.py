@@ -21,10 +21,21 @@ def run_fig3(
     pages: float = 5e6,
     ratios: Sequence[Optional[float]] = DEFAULT_RATIOS,
     seeds: Sequence[int] = (1, 2, 3),
+    workers: int = 1,
+    cache_dir=None,
 ) -> list[SweepRow]:
-    """Nutch indexing sweep (§V-A configured 5M pages / 8 GB)."""
+    """Nutch indexing sweep (§V-A configured 5M pages / 8 GB).
+
+    ``workers``/``cache_dir`` reach :func:`repro.runner.run_cells`:
+    the grid fans out over a process pool and repeat invocations are
+    served from the content-addressed result cache.
+    """
     return oversubscription_sweep(
-        lambda: nutch_indexing_job(pages=pages), ratios=ratios, seeds=seeds
+        lambda: nutch_indexing_job(pages=pages),
+        ratios=ratios,
+        seeds=seeds,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
 

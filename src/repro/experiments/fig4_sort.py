@@ -22,16 +22,23 @@ def run_fig4(
     input_gb: float = 24.0,
     ratios: Sequence[Optional[float]] = DEFAULT_RATIOS,
     seeds: Sequence[int] = (1, 2, 3),
+    workers: int = 1,
+    cache_dir=None,
 ) -> list[SweepRow]:
     """Sort sweep.
 
     The paper ran 240 GB; the default here is a 24 GB scale model (the
     simulator preserves the contention structure — shuffle volume per
     trunk residual — which is what sets the curve's shape).  Pass
-    ``input_gb=240`` for paper scale.
+    ``input_gb=240`` for paper scale.  ``workers``/``cache_dir`` reach
+    :func:`repro.runner.run_cells` (process-pool fan-out + result cache).
     """
     return oversubscription_sweep(
-        lambda: sort_job(input_gb=input_gb), ratios=ratios, seeds=seeds
+        lambda: sort_job(input_gb=input_gb),
+        ratios=ratios,
+        seeds=seeds,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
 

@@ -1,14 +1,22 @@
-"""Shared over-subscription sweep machinery for Figures 3 and 4."""
+"""Shared over-subscription sweep machinery for Figures 3 and 4.
+
+The sweep is a (ratio x scheduler x seed) grid of independent runs, so
+it executes on :mod:`repro.runner`: pass ``workers=N`` to fan the cells
+over a process pool and ``cache_dir=...`` to memoise per-cell results in
+the content-addressed cache (repeat sweeps then cost nothing).  Rows
+keep the raw per-seed samples alongside the mean/std aggregates.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.speedup import SweepRow
-from repro.experiments.common import run_experiment
 from repro.hadoop.job import JobSpec
+from repro.runner import run_cells, sweep_grid
 
 #: the ratios the reproduction sweeps; the testbed's nominal ratio is
 #: 1:2.5 (5x 1G host uplinks over 2x 1G trunks), so ratios at or below
@@ -20,27 +28,33 @@ def oversubscription_sweep(
     spec_factory: Callable[[], JobSpec],
     ratios: Sequence[Optional[float]] = DEFAULT_RATIOS,
     seeds: Sequence[int] = (1, 2, 3),
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
     **run_kwargs,
 ) -> list[SweepRow]:
     """Average ECMP vs Pythia completion times per ratio.
 
     "Times are reported in seconds and represent the average of
-    multiple executions" (§V-B) — hence the seed set.
+    multiple executions" (§V-B) — hence the seed set.  ``workers`` and
+    ``cache_dir`` go straight to :func:`repro.runner.run_cells`;
+    remaining kwargs reach ``run_experiment`` for every cell.
     """
+    cells = sweep_grid(spec_factory, ("ecmp", "pythia"), ratios, seeds)
+    report = run_cells(
+        cells, workers=workers, cache_dir=cache_dir, run_kwargs=run_kwargs
+    )
+    # Cells are ratio-major (see sweep_grid), so the ratio index is
+    # positional — keying on it rather than the ratio value keeps
+    # duplicate ratios in the argument list well-defined.
+    per_ratio = 2 * len(seeds)
+    jct = {
+        (cell.scheduler, idx // per_ratio, cell.seed): summary.jct
+        for idx, (cell, summary) in enumerate(zip(cells, report.summaries))
+    }
     rows: list[SweepRow] = []
-    for ratio in ratios:
-        ecmp = [
-            run_experiment(
-                spec_factory(), scheduler="ecmp", ratio=ratio, seed=s, **run_kwargs
-            ).jct
-            for s in seeds
-        ]
-        pythia = [
-            run_experiment(
-                spec_factory(), scheduler="pythia", ratio=ratio, seed=s, **run_kwargs
-            ).jct
-            for s in seeds
-        ]
+    for i, ratio in enumerate(ratios):
+        ecmp = [jct[("ecmp", i, s)] for s in seeds]
+        pythia = [jct[("pythia", i, s)] for s in seeds]
         rows.append(
             SweepRow(
                 ratio=ratio,
@@ -48,6 +62,8 @@ def oversubscription_sweep(
                 t_pythia=float(np.mean(pythia)),
                 std_ecmp=float(np.std(ecmp, ddof=1)) if len(ecmp) > 1 else 0.0,
                 std_pythia=float(np.std(pythia, ddof=1)) if len(pythia) > 1 else 0.0,
+                ecmp_samples=tuple(ecmp),
+                pythia_samples=tuple(pythia),
             )
         )
     return rows

@@ -96,6 +96,15 @@ class JobTracker:
             node: float(rng.uniform(0.0, hb)) if hb > 0 else 0.0
             for node in cluster.nodes
         }
+        # Per-job RNG streams are spawned from the tracker generator's
+        # own SeedSequence rather than re-seeding from a drawn integer:
+        # ``default_rng(rng.integers(2**63))`` gives birthday-collision
+        # odds over many jobs and no stream-independence guarantee,
+        # while spawn keys are provably disjoint.
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+        if seed_seq is None or not isinstance(seed_seq, np.random.SeedSequence):
+            seed_seq = np.random.SeedSequence(int(rng.integers(2**63)))
+        self._seed_seq: np.random.SeedSequence = seed_seq
         self.hdfs: Optional[HdfsNamespace] = None
         if cluster.config.hdfs_enabled:
             self.hdfs = HdfsNamespace(
@@ -140,7 +149,7 @@ class JobTracker:
         state = _JobState(
             spec=spec,
             run=run,
-            rng=np.random.default_rng(self.rng.integers(2**63)),
+            rng=np.random.default_rng(self._seed_seq.spawn(1)[0]),
             on_complete=on_complete,
             map_queue=list(range(spec.num_maps)),
             reducer_launch_queue=list(range(spec.num_reducers)),

@@ -1,0 +1,49 @@
+"""Sweep orchestration: parallel grid execution + content-addressed cache.
+
+The evaluation grids (§V, Figures 3-5) are workload x scheduler x
+over-subscription ratio x seed matrices of independent deterministic
+simulations.  This package fans those cells out over worker processes
+and memoises each cell's result on disk, so figure regeneration and
+``repro sweep`` pay only for cells no prior invocation has produced::
+
+    from repro.runner import run_cells, sweep_grid
+
+    cells = sweep_grid(lambda: sort_job(input_gb=12.0),
+                       schedulers=("ecmp", "pythia"),
+                       ratios=(None, 5, 10, 20), seeds=(1, 2, 3))
+    report = run_cells(cells, workers=4, cache_dir=".sweep-cache")
+
+See docs/ARCHITECTURE.md ("Sweep runner") for the cache-key anatomy,
+worker isolation and resumability guarantees.
+"""
+
+from repro.runner.cache import (
+    ResultCache,
+    UncacheableCell,
+    canonical,
+    code_version,
+    digest,
+)
+from repro.runner.summary import SUMMARY_VERSION, RunSummary
+from repro.runner.sweep import (
+    SweepCell,
+    SweepReport,
+    cell_key,
+    run_cells,
+    sweep_grid,
+)
+
+__all__ = [
+    "ResultCache",
+    "RunSummary",
+    "SUMMARY_VERSION",
+    "SweepCell",
+    "SweepReport",
+    "UncacheableCell",
+    "canonical",
+    "cell_key",
+    "code_version",
+    "digest",
+    "run_cells",
+    "sweep_grid",
+]

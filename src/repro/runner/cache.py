@@ -1,0 +1,161 @@
+"""Content-addressed on-disk cache of sweep cell results.
+
+A cell's cache key is the SHA-256 digest of a canonical-JSON rendering
+of everything that determines its outcome: the JobSpec, scheduler,
+over-subscription ratio, seed, PythiaConfig, topology factory name, any
+extra ``run_experiment`` kwargs, and a code-version digest over the
+``repro`` source tree.  Equal inputs always land on the same file;
+*any* change — a config knob, a workload parameter, an engine edit —
+moves the key, so stale entries can never be served (they are simply
+never addressed again).
+
+Entries live under ``<root>/<digest[:2]>/<digest>.json`` and hold a
+:class:`~repro.runner.summary.RunSummary` dict.  Unreadable or
+format-incompatible entries are dropped and recounted as
+invalidations.  Hit/miss/invalidation totals are mirrored into the
+active obs registry (``runner.cache_*``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.runner.summary import SUMMARY_VERSION, RunSummary
+
+
+class UncacheableCell(TypeError):
+    """A cell parameter cannot be rendered into a canonical cache key."""
+
+
+def canonical(obj: Any) -> Any:
+    """Render ``obj`` as JSON-safe canonical data for key digests.
+
+    Handles the vocabulary experiment kwargs are written in: builtins,
+    numpy scalars/arrays, dataclasses (tagged with their class name so
+    two config types with equal fields cannot collide), mappings,
+    sequences, and module-level callables (tagged ``module:qualname`` —
+    how a topology factory enters the key).  Anything else — lambdas,
+    live objects like a registry or tracer — raises
+    :class:`UncacheableCell`.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__qualname__, **fields}
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if callable(obj) and hasattr(obj, "__qualname__") and "<lambda>" not in obj.__qualname__:
+        return f"{obj.__module__}:{obj.__qualname__}"
+    raise UncacheableCell(
+        f"cannot build a cache key from {type(obj).__name__}: {obj!r}"
+    )
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 over the canonical-JSON rendering of ``payload``."""
+    blob = json.dumps(canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file (part of each cache key).
+
+    Any edit anywhere in the package moves every key, which is the safe
+    default: a cache can survive interpreter restarts and interrupted
+    sweeps but never a code change it cannot account for.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()[:16]
+
+
+class ResultCache:
+    """Digest-keyed store of RunSummary JSON under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        registry = obs.get_registry()
+        self._hit_counter = registry.counter("runner.cache_hits")
+        self._miss_counter = registry.counter("runner.cache_misses")
+        self._invalidation_counter = registry.counter("runner.cache_invalidations")
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunSummary]:
+        """The cached summary for ``key``, or None on a miss.
+
+        An entry that exists but cannot be decoded (truncated write,
+        older summary format) is deleted and counted as an
+        invalidation *and* a miss, so the caller re-executes the cell.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            summary = RunSummary.from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            self._miss_counter.inc()
+            return None
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            path.unlink(missing_ok=True)
+            self.invalidations += 1
+            self._invalidation_counter.inc()
+            self.misses += 1
+            self._miss_counter.inc()
+            return None
+        self.hits += 1
+        self._hit_counter.inc()
+        return summary
+
+    def put(self, key: str, summary: RunSummary) -> Path:
+        """Store ``summary`` under ``key`` (atomic rename; last write wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(summary.to_dict(), sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = [
+    "ResultCache",
+    "UncacheableCell",
+    "canonical",
+    "code_version",
+    "digest",
+    "SUMMARY_VERSION",
+]

@@ -1,0 +1,143 @@
+"""RunSummary: the serialisable cross-process slice of a RunResult.
+
+:class:`~repro.experiments.common.RunResult` carries live simulator
+objects (``Simulator``, ``NetFlowCollector``, ``Topology``) that neither
+pickle cleanly across a worker boundary nor belong in an on-disk cache.
+:class:`RunSummary` extracts the *measurements* — JCT, per-phase spans,
+scheduler/policy statistics, metrics/invariant snapshots, fault counts —
+into plain builtins, so sweep workers can return it over a process pool
+and the result cache can store it as canonical JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+SUMMARY_VERSION = 1
+
+
+def _span(getter) -> Optional[tuple[float, float]]:
+    """Evaluate a (start, end) span property, None when phase never ran."""
+    try:
+        start, end = getter()
+        return (float(start), float(end))
+    except ValueError:  # min()/max() of an empty record set
+        return None
+
+
+@dataclass
+class RunSummary:
+    """Measurements of one experiment cell, safe to pickle and JSON."""
+
+    workload: str
+    scheduler: str
+    ratio: Optional[float]
+    seed: int
+    jct: float
+    events_processed: int
+    num_maps: int
+    num_reducers: int
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+    #: (first map start, last map end); None if the job ran no maps.
+    map_phase: Optional[tuple[float, float]] = None
+    #: (first fetch start, last fetch end); None for all-local shuffles.
+    shuffle_span: Optional[tuple[float, float]] = None
+    #: phase wall-time as a fraction of the JCT (map/shuffle/sort/reduce).
+    phase_fractions: dict[str, float] = field(default_factory=dict)
+    #: fraction of shuffle bytes that crossed the network.
+    remote_fraction: float = 0.0
+    map_locality: dict[str, int] = field(default_factory=dict)
+    speculative_attempts: int = 0
+    policy_stats: dict[str, Any] = field(default_factory=dict)
+    #: metrics snapshot (empty unless the run had a real registry).
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: invariant-checker snapshot (empty unless checking was enabled).
+    invariants: dict[str, Any] = field(default_factory=dict)
+    #: per-kind chaos injection counts (empty unless chaos ran).
+    faults_injected: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result) -> "RunSummary":
+        """Extract the summary from a live RunResult."""
+        from repro.analysis.timeline import phase_fractions
+
+        run = result.run
+        return cls(
+            workload=run.spec.name,
+            scheduler=result.scheduler,
+            ratio=result.ratio,
+            seed=result.seed,
+            jct=run.jct,
+            events_processed=result.sim.events_processed,
+            num_maps=run.spec.num_maps,
+            num_reducers=run.spec.num_reducers,
+            submitted_at=run.submitted_at,
+            completed_at=float(run.completed_at),
+            map_phase=_span(lambda: run.map_phase_span),
+            shuffle_span=_span(lambda: run.shuffle_span),
+            phase_fractions=dict(phase_fractions(run)),
+            remote_fraction=run.remote_fraction(),
+            map_locality=dict(run.map_locality),
+            speculative_attempts=run.speculative_attempts,
+            policy_stats=dict(result.policy_stats),
+            metrics=dict(result.metrics),
+            invariants=dict(result.invariants),
+            faults_injected=dict(result.faults_injected),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see :data:`SUMMARY_VERSION`)."""
+        return {
+            "version": SUMMARY_VERSION,
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "ratio": self.ratio,
+            "seed": self.seed,
+            "jct": self.jct,
+            "events_processed": self.events_processed,
+            "num_maps": self.num_maps,
+            "num_reducers": self.num_reducers,
+            "submitted_at": self.submitted_at,
+            "completed_at": self.completed_at,
+            "map_phase": list(self.map_phase) if self.map_phase else None,
+            "shuffle_span": list(self.shuffle_span) if self.shuffle_span else None,
+            "phase_fractions": self.phase_fractions,
+            "remote_fraction": self.remote_fraction,
+            "map_locality": self.map_locality,
+            "speculative_attempts": self.speculative_attempts,
+            "policy_stats": self.policy_stats,
+            "metrics": self.metrics,
+            "invariants": self.invariants,
+            "faults_injected": self.faults_injected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        version = data.get("version")
+        if version != SUMMARY_VERSION:
+            raise ValueError(f"unsupported summary version {version!r}")
+        return cls(
+            workload=data["workload"],
+            scheduler=data["scheduler"],
+            ratio=data["ratio"],
+            seed=data["seed"],
+            jct=data["jct"],
+            events_processed=data["events_processed"],
+            num_maps=data["num_maps"],
+            num_reducers=data["num_reducers"],
+            submitted_at=data["submitted_at"],
+            completed_at=data["completed_at"],
+            map_phase=tuple(data["map_phase"]) if data["map_phase"] else None,
+            shuffle_span=tuple(data["shuffle_span"]) if data["shuffle_span"] else None,
+            phase_fractions=dict(data["phase_fractions"]),
+            remote_fraction=data["remote_fraction"],
+            map_locality=dict(data["map_locality"]),
+            speculative_attempts=data["speculative_attempts"],
+            policy_stats=dict(data["policy_stats"]),
+            metrics=dict(data["metrics"]),
+            invariants=dict(data["invariants"]),
+            faults_injected=dict(data["faults_injected"]),
+        )

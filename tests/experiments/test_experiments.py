@@ -48,6 +48,37 @@ def test_sweep_rows_structure():
     assert loaded.speedup > 0.1, "pythia must win at 1:10"
 
 
+def test_sweep_rows_carry_raw_samples():
+    seeds = (1, 2)
+    rows = oversubscription_sweep(
+        lambda: sort_job(input_gb=3.0, num_reducers=10),
+        ratios=(10,),
+        seeds=seeds,
+    )
+    row = rows[0]
+    assert len(row.ecmp_samples) == len(seeds)
+    assert len(row.pythia_samples) == len(seeds)
+    # the aggregates are derived from (not computed instead of) the samples
+    assert row.t_ecmp == pytest.approx(sum(row.ecmp_samples) / len(seeds))
+    assert row.t_pythia == pytest.approx(sum(row.pythia_samples) / len(seeds))
+    assert len(set(row.ecmp_samples)) > 1, "different seeds, different JCTs"
+
+
+def test_sweep_through_runner_cache(tmp_path):
+    kwargs = dict(
+        ratios=(10,),
+        seeds=(1,),
+        cache_dir=tmp_path,
+    )
+    cold = oversubscription_sweep(
+        lambda: sort_job(input_gb=3.0, num_reducers=10), **kwargs
+    )
+    warm = oversubscription_sweep(
+        lambda: sort_job(input_gb=3.0, num_reducers=10), **kwargs
+    )
+    assert warm == cold, "cache-served rows must be identical to executed ones"
+
+
 def test_overhead_row():
     row = run_overhead(lambda: sort_job(input_gb=3.0, num_reducers=10), ratio=10, seed=1)
     assert 0 < row.map_inflation < 0.06, "map phase pays the 2-5% CPU band"

@@ -1,0 +1,50 @@
+"""Parallel-vs-serial determinism, cross-checked against the goldens.
+
+A sweep's cells must be pure functions of their parameters: the same
+grid run with ``workers=1`` and ``workers=4`` has to produce
+bit-identical JCT/event digests, and both have to agree with the
+committed ``tests/golden/digests.json`` for the cells the golden matrix
+covers.  Any divergence means a worker leaked state (RNG, obs context,
+simulator global) into a neighbouring cell.
+"""
+
+import pytest
+
+from repro.runner import run_cells, sweep_grid
+from tests.golden.refresh import cell_key as golden_key
+from tests.golden.refresh import load_digests, make_spec
+
+SCHEDULERS = ("ecmp", "pythia", "hedera")
+SEEDS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    # ratio 10.0 + make_spec matches the golden matrix's cell definition
+    return sweep_grid(lambda: make_spec("sort"), SCHEDULERS, (10.0,), SEEDS)
+
+
+def digests(report):
+    return [(s.jct, s.events_processed) for s in report.summaries]
+
+
+def test_parallel_matches_serial_bit_for_bit(cells):
+    serial = run_cells(cells, workers=1)
+    parallel = run_cells(cells, workers=4)
+    assert digests(parallel) == digests(serial)
+
+
+def test_parallel_matches_golden_digests(cells):
+    golden = load_digests()
+    report = run_cells(cells, workers=4)
+    for cell, summary in zip(cells, report.summaries):
+        expected = golden[golden_key("sort", cell.scheduler, cell.seed)]
+        assert summary.events_processed == expected["events_processed"], cell.label
+        assert summary.jct == pytest.approx(expected["jct_seconds"], rel=1e-9), cell.label
+
+
+def test_cache_round_trip_preserves_digests(cells, tmp_path):
+    cold = run_cells(cells, workers=4, cache_dir=tmp_path)
+    warm = run_cells(cells, workers=4, cache_dir=tmp_path)
+    assert warm.executed == 0, "second sweep must be served entirely from cache"
+    assert digests(warm) == digests(cold)

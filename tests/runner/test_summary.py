@@ -1,0 +1,47 @@
+"""RunSummary extraction and serialisation round-trips."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.common import run_experiment
+from repro.runner import RunSummary
+from repro.workloads import toy_sort_job
+
+
+@pytest.fixture(scope="module")
+def summary() -> RunSummary:
+    result = run_experiment(toy_sort_job(), scheduler="pythia", ratio=10.0, seed=1)
+    return RunSummary.from_result(result)
+
+
+def test_from_result_measurements(summary):
+    assert summary.workload == "toy-sort"
+    assert summary.scheduler == "pythia"
+    assert summary.ratio == 10.0
+    assert summary.seed == 1
+    assert summary.jct > 0
+    assert summary.events_processed > 0
+    assert summary.num_maps >= 1 and summary.num_reducers >= 1
+    start, end = summary.map_phase
+    assert 0 <= start < end
+    assert summary.policy_stats["rules_installed"] > 0
+    assert 0 < sum(summary.phase_fractions.values()) <= 4.0
+
+
+def test_dict_round_trip(summary):
+    data = summary.to_dict()
+    json.dumps(data)  # must be JSON-clean, not merely dict-shaped
+    rebuilt = RunSummary.from_dict(json.loads(json.dumps(data)))
+    assert rebuilt == summary
+
+
+def test_pickle_round_trip(summary):
+    # the process-pool path moves summaries between workers and parent
+    assert pickle.loads(pickle.dumps(summary)) == summary
+
+
+def test_version_gate():
+    with pytest.raises(ValueError, match="version"):
+        RunSummary.from_dict({"version": 999})

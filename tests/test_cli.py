@@ -67,6 +67,30 @@ def test_run_with_export(tmp_path, capsys):
     assert "measurements written" in capsys.readouterr().out
 
 
+def test_sweep_command_cold_then_cached(tmp_path, capsys):
+    argv = ["sweep", "--workload", "sort", "--scale", "0.01",
+            "--ratios", "none", "10", "--seeds", "1",
+            "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "ecmp (s)" in out and "pythia (s)" in out
+    assert "8 executed" not in out  # 2 ratios x 2 schedulers x 1 seed = 4
+    assert "4 executed" in out
+    # the rerun is served from cache and passes the CI hit-rate guard
+    assert main(argv + ["--min-cache-hit-rate", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "4 from cache" in out and "0 executed" in out
+    assert "hit rate 100%" in out
+
+
+def test_sweep_hit_rate_guard_fails_cold(tmp_path, capsys):
+    rc = main(["sweep", "--workload", "sort", "--scale", "0.01",
+               "--ratios", "10", "--seeds", "1",
+               "--cache-dir", str(tmp_path), "--min-cache-hit-rate", "0.9"])
+    assert rc == 1
+    assert "below required" in capsys.readouterr().err
+
+
 def test_mix_command(capsys):
     rc = main(["mix", "--jobs", "2", "--ratio", "none", "--seed", "3",
                "--schedulers", "ecmp"])
