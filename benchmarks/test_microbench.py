@@ -6,14 +6,21 @@ solver, Yen's k-shortest paths, and the ECMP hash — so performance
 regressions in the substrate show up directly in the benchmark table.
 """
 
+import itertools
+
 import numpy as np
 
+from repro.core.aggregation import AggregateEntry
+from repro.core.allocator import make_allocator
+from repro.core.routing import RoutingGraph
 from repro.sdn.ecmp import ecmp_index
+from repro.sdn.stats_service import LinkStatsService
+from repro.sdn.topology_service import TopologyService
 from repro.simnet.engine import Simulator
 from repro.simnet.fairshare import maxmin_rates
 from repro.simnet.flows import TCP, FiveTuple, Flow
 from repro.simnet.network import Network
-from repro.simnet.paths import k_shortest_paths
+from repro.simnet.paths import ClosIndex, KPathCache, compute_k_paths, k_shortest_paths
 from repro.simnet.topology import fat_tree, two_rack
 
 
@@ -121,3 +128,65 @@ def test_ecmp_hash(benchmark):
     ft = FiveTuple("10.0.0", "10.1.4", 50060, 48231, TCP)
     idx = benchmark(ecmp_index, ft, 4)
     assert 0 <= idx < 4
+
+
+def test_structured_pair_fat_tree(benchmark):
+    """Same lookup as test_yen_fat_tree, but through the warm ClosIndex
+    enumerator — the per-pair cost the structured path replaces."""
+    topo = fat_tree(4)
+    hosts = [h.name for h in topo.hosts()]
+    index = ClosIndex(topo)
+    compute_k_paths(topo, hosts[0], hosts[-1], 4, index=index)  # warm ascents
+    paths = benchmark(compute_k_paths, topo, hosts[0], hosts[-1], 4, index=index)
+    assert paths == k_shortest_paths(topo, hosts[0], hosts[-1], 4)
+
+
+def test_structured_all_pairs_fat_tree8(benchmark):
+    """Cold all-pairs k-path construction on the 128-host fabric — the
+    BENCH_control_plane.json headline (Yen extrapolates to ~18 s)."""
+    topo = fat_tree(8)
+    pairs = list(itertools.permutations([h.name for h in topo.hosts()], 2))
+
+    def all_pairs():
+        cache = KPathCache(topo, 4)
+        for s, d in pairs:
+            cache.paths_links_incidence(s, d)
+        assert cache.yen_solves == 0
+        return cache.size()
+
+    n = benchmark.pedantic(all_pairs, rounds=3, iterations=1, warmup_rounds=0)
+    assert n == len(pairs)
+
+
+def test_allocator_round_fat_tree(benchmark):
+    """One warm allocation round over 48 entries: the vectorized
+    incidence-matrix scoring path."""
+    sim = Simulator()
+    topo = fat_tree(4)
+    net = Network(sim, topo)
+    stats = LinkStatsService(sim, net, period=0.5, alpha=1.0)
+    alloc = make_allocator(
+        "first_fit",
+        sim,
+        RoutingGraph(TopologyService(topo, k=4)),
+        stats,
+        net,
+        demand_horizon=10.0,
+    )
+    hosts = [h.name for h in topo.hosts()]
+    rng = np.random.default_rng(9)
+    pair_list = [
+        tuple(hosts[i] for i in rng.choice(len(hosts), size=2, replace=False))
+        for _ in range(48)
+    ]
+
+    def one_round():
+        entries = []
+        for i, (s, d) in enumerate(pair_list):
+            e = AggregateEntry(key=(s, d, i))
+            e.add(s, d, map_id=0, reducer_id=i, nbytes=1e6)
+            entries.append(e)
+        return alloc.allocate(entries)
+
+    placed = benchmark(one_round)
+    assert len(placed) == len(pair_list)

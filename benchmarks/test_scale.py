@@ -2,7 +2,7 @@
 
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
-from repro.experiments.scale import run_scale_study
+from repro.experiments.scale import LARGE_FABRICS, run_scale_study
 
 
 def test_scale_study(benchmark, seeds):
@@ -27,3 +27,39 @@ def test_scale_study(benchmark, seeds):
     # run must stay rule-driven (no fallback storm at scale)
     for p in points:
         assert p.fallbacks <= 0.05 * max(1, p.predictions * 2)
+
+
+def test_scale_study_large_fabrics(benchmark, seeds):
+    """The 128/256-host points the structured control plane unlocks.
+
+    Lighter per-host load than the testbed sweep: shuffle flow count
+    grows as maps x reducers, so the small-fabric load level would put
+    O(10^5) flows on the 256-host fabric and benchmark the fluid engine
+    rather than the control plane.
+    """
+    points = run_once(
+        benchmark,
+        lambda: run_scale_study(
+            gb_per_host=0.05,
+            seed=seeds[0],
+            fabrics=LARGE_FABRICS,
+            reducers_per_host=0.5,
+        ),
+    )
+    print()
+    print("Large-fabric scaling — light per-host load, Pythia, unloaded network")
+    print(
+        format_table(
+            ["fabric", "hosts", "JCT (s)", "predictions", "rule installs",
+             "peak rules", "fallbacks"],
+            [
+                (p.label, p.hosts, p.jct, p.predictions, p.rules_installed,
+                 p.peak_rules, p.fallbacks)
+                for p in points
+            ],
+        )
+    )
+    assert [p.hosts for p in points] == [128, 256]
+    for p in points:
+        assert p.fallbacks == 0, "rule-driven even at data-center scale"
+        assert p.rules_installed > 0

@@ -224,6 +224,16 @@ def _telemetry_run(args: argparse.Namespace, tracer: Optional[obs.Tracer] = None
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     registry, res = _telemetry_run(args)
+    metrics = registry.snapshot()
+    hits = metrics.get("routing.kpath_cache_hits", {}).get("value", 0)
+    misses = metrics.get("routing.kpath_cache_misses", {}).get("value", 0)
+    if hits + misses:
+        # derived rate next to the raw counters: the one-glance health
+        # number for the routing memo (1.0 = fully warm control plane)
+        metrics["routing.kpath_cache_hit_rate"] = {
+            "type": "derived",
+            "value": hits / (hits + misses),
+        }
     snapshot = {
         "run": {
             "workload": res.run.spec.name,
@@ -232,7 +242,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             "seed": res.seed,
             "jct_seconds": res.jct,
         },
-        "metrics": registry.snapshot(),
+        "metrics": metrics,
     }
     print(json.dumps(snapshot, indent=2 if args.indent else None))
     return 0

@@ -78,7 +78,16 @@ class _BaseAllocator:
         """Assign each entry a path; largest predicted volume first."""
         capacity = self.network.link_capacity()
         background = self.stats.background_load_array()
-        queued = self._outstanding_bytes() + self._planned
+        # Per-link scoring arrays carry one extra sentinel slot at index
+        # ``nlinks`` — incidence-matrix rows are padded with that id, so
+        # the pad contributes +inf to a min-residual reduction and 0 to
+        # a max-queued reduction (queued bytes are never negative).
+        nlinks = len(capacity)
+        resid = np.empty(nlinks + 1)
+        np.subtract(capacity, background, out=resid[:nlinks])
+        resid[nlinks] = np.inf
+        queued = np.zeros(nlinks + 1)
+        queued[:nlinks] = self._outstanding_bytes() + self._planned
         out: list[tuple[AggregateEntry, list[int]]] = []
         if self.ordering == "criticality":
             ordered = sorted(entries, key=lambda e: -e.predicted_bytes)
@@ -86,20 +95,17 @@ class _BaseAllocator:
             ordered = list(entries)
         for entry in ordered:
             src, dst = self._representative_pair(entry)
-            raw_paths = self.routing.candidate_paths(src, dst)
+            raw_paths, inc = self.routing.candidate_incidence(src, dst)
             if not raw_paths:
                 continue
-            paths = [np.asarray(p, dtype=np.intp) for p in raw_paths]
-            residuals = [
-                max(float(np.min(capacity[p] - background[p])), _RATE_FLOOR)
-                for p in paths
-            ]
-            queued_bytes = [float(np.max(queued[p])) for p in paths]
+            residuals = np.maximum(resid[inc].min(axis=1), _RATE_FLOOR)
+            queued_bytes = queued[inc].max(axis=1)
             delta = self._unplanned_bytes(entry)
-            idx = self._choose(paths, residuals, queued_bytes, delta)
+            idx = self._choose(raw_paths, residuals, queued_bytes, delta)
             chosen = raw_paths[idx]
-            self._plan(paths[idx], delta)
-            queued[paths[idx]] += delta
+            chosen_arr = np.asarray(chosen, dtype=np.intp)
+            self._plan(chosen_arr, delta)
+            queued[chosen_arr] += delta
             entry.path = list(chosen)
             entry.allocated_at = self.sim.now
             self.allocations += 1
@@ -154,17 +160,21 @@ class _BaseAllocator:
     # subclass hook ----------------------------------------------------
     def _choose(
         self,
-        paths: list[np.ndarray],
-        residuals: list[float],
-        queued_bytes: list[float],
+        paths: list[list[int]],
+        residuals: np.ndarray,
+        queued_bytes: np.ndarray,
         delta: float,
     ) -> int:
         raise NotImplementedError
 
     @staticmethod
-    def _eta(residuals: list[float], queued_bytes: list[float], delta: float) -> list[float]:
+    def _eta(
+        residuals: np.ndarray, queued_bytes: np.ndarray, delta: float
+    ) -> np.ndarray:
         """Expected completion of the new bytes behind each path's queue."""
-        return [(q + delta) / r for q, r in zip(queued_bytes, residuals)]
+        return (np.asarray(queued_bytes, dtype=float) + delta) / np.asarray(
+            residuals, dtype=float
+        )
 
 
 class FirstFitAllocator(_BaseAllocator):
@@ -184,14 +194,16 @@ class BestFitAllocator(_BaseAllocator):
     name = "best_fit"
 
     def _choose(self, paths, residuals, queued_bytes, delta) -> int:
+        residuals = np.asarray(residuals, dtype=float)
+        queued_bytes = np.asarray(queued_bytes, dtype=float)
         demand_rate = delta / self.demand_horizon
-        fitting = [
-            (r, i)
-            for i, (r, q) in enumerate(zip(residuals, queued_bytes))
-            if r >= demand_rate and q / r <= self.demand_horizon
-        ]
-        if fitting:
-            return min(fitting)[1]
+        fitting = (residuals >= demand_rate) & (
+            queued_bytes / residuals <= self.demand_horizon
+        )
+        if fitting.any():
+            # argmin takes the first occurrence — the same (residual,
+            # index) tie-break as the old min-over-tuples scan.
+            return int(np.argmin(np.where(fitting, residuals, np.inf)))
         etas = self._eta(residuals, queued_bytes, delta)
         return int(np.argmin(etas))
 
@@ -210,7 +222,12 @@ class WaterFillingAllocator(_BaseAllocator):
         # tie-break spreads equal-ETA entries round-robin rather than
         # always taking the first path.
         etas = self._eta(residuals, queued_bytes, delta)
-        keys = [(round(e, 6), round(q, 6)) for e, q in zip(etas, queued_bytes)]
+        # Python round() on the float64 values, exactly as the scalar
+        # code did — np.round can differ at half-way points.
+        keys = [
+            (round(float(e), 6), round(float(q), 6))
+            for e, q in zip(etas, queued_bytes)
+        ]
         best = min(keys)
         tied = [i for i, k in enumerate(keys) if k == best]
         choice = tied[self._rotation % len(tied)]

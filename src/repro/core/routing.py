@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+import numpy as np
+
+from repro import obs
 from repro.sdn.topology_service import TopologyService
 from repro.simnet.links import Link
 from repro.simnet.topology import NodeKind, Topology
@@ -24,6 +27,16 @@ class RoutingGraph:
         self.service = topology_service
         self.topology: Topology = topology_service.topology
         self._failure_listeners: list[Callable[[Link], None]] = []
+        # (src, dst, backbone) -> matching path, valid for one topology
+        # version: rack-aggregate fan-out asks the same question for
+        # every member pair on every allocation round.
+        self._backbone_memo: dict[
+            tuple[str, str, tuple[str, ...]], Optional[list[int]]
+        ] = {}
+        self._backbone_version = -1
+        self._m_backbone_hits = obs.get_registry().counter(
+            "routing.backbone_memo_hits"
+        )
         topology_service.on_change(self._on_change)
 
     def on_failure(self, fn: Callable[[Link], None]) -> None:
@@ -40,6 +53,12 @@ class RoutingGraph:
         """k-shortest link-id paths between two servers, up links only."""
         return self.service.k_paths_links(src, dst)
 
+    def candidate_incidence(
+        self, src: str, dst: str
+    ) -> tuple[list[list[int]], np.ndarray]:
+        """Candidate link-id paths plus their padded incidence matrix."""
+        return self.service.k_paths_incidence(src, dst)
+
     def switch_backbone(self, lids: list[int]) -> tuple[str, ...]:
         """The switch-only node subsequence of a path (the trunk choice)."""
         nodes = self.topology.path_nodes(lids)
@@ -50,11 +69,29 @@ class RoutingGraph:
     def path_matching_backbone(
         self, src: str, dst: str, backbone: tuple[str, ...]
     ) -> Optional[list[int]]:
-        """A (src, dst) path routed over the same switches, if one exists."""
-        for path in self.candidate_paths(src, dst):
-            if self.switch_backbone(path) == backbone:
-                return path
-        return None
+        """A (src, dst) path routed over the same switches, if one exists.
+
+        Memoised per (pair, backbone, topology-version): callers fan a
+        single trunk choice out to every member pair of a rack
+        aggregate, so the same lookup repeats on every round.
+        """
+        version = self.topology.version
+        if version != self._backbone_version:
+            self._backbone_memo.clear()
+            self._backbone_version = version
+        key = (src, dst, backbone)
+        try:
+            result = self._backbone_memo[key]
+        except KeyError:
+            result = None
+            for path in self.candidate_paths(src, dst):
+                if self.switch_backbone(path) == backbone:
+                    result = path
+                    break
+            self._backbone_memo[key] = result
+        else:
+            self._m_backbone_hits.inc()
+        return result
 
     @property
     def recomputations(self) -> int:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.experiments.common import run_experiment
-from repro.simnet.topology import Topology, leaf_spine, three_tier, two_rack
+from repro.simnet.topology import Topology, fat_tree, leaf_spine, three_tier, two_rack
 from repro.workloads.sort import sort_job
 
 
@@ -37,17 +37,31 @@ FABRICS: list[tuple[str, Callable[[], Topology]]] = [
     ("3-tier 2x2x6 (24 hosts)", lambda: three_tier(pods=2, racks_per_pod=2, hosts_per_rack=6, cores=2)),
 ]
 
+#: the data-center-scale points the structured control plane unlocks.
+#: Run these with a lighter per-host load (see `run_scale_study`
+#: defaults) — shuffle flow count grows as maps × reducers, so the
+#: testbed load level would swamp the study with O(10^5) flows.
+LARGE_FABRICS: list[tuple[str, Callable[[], Topology]]] = [
+    ("fat-tree k=8 (128 hosts)", lambda: fat_tree(8)),
+    ("leaf-spine 16x8 (256 hosts)", lambda: leaf_spine(leaves=16, spines=8, hosts_per_leaf=16)),
+]
+
 
 def run_scale_study(
     gb_per_host: float = 0.6,
     seed: int = 1,
     ratio: Optional[float] = None,
+    fabrics: Optional[list[tuple[str, Callable[[], Topology]]]] = None,
+    reducers_per_host: float = 2.0,
 ) -> list[ScalePoint]:
     """Constant per-host load across growing fabrics."""
     points: list[ScalePoint] = []
-    for label, factory in FABRICS:
+    for label, factory in fabrics if fabrics is not None else FABRICS:
         hosts = len(factory().worker_hosts())
-        spec = sort_job(input_gb=gb_per_host * hosts, num_reducers=2 * hosts)
+        spec = sort_job(
+            input_gb=gb_per_host * hosts,
+            num_reducers=max(1, round(reducers_per_host * hosts)),
+        )
         res = run_experiment(
             spec,
             scheduler="pythia",

@@ -14,7 +14,7 @@ import zlib
 
 from repro.simnet.flows import FiveTuple, Flow
 from repro.simnet.topology import Topology
-from repro.simnet.paths import k_shortest_paths
+from repro.simnet.paths import KPathCache
 
 
 def ecmp_index(five_tuple: FiveTuple, n_paths: int) -> int:
@@ -36,9 +36,11 @@ def ecmp_index(five_tuple: FiveTuple, n_paths: int) -> int:
 class EcmpSelector:
     """Load-unaware path selection over the k shortest paths.
 
-    Paths are cached per (src, dst) pair and invalidated on topology
-    change, mirroring how a routing graph would be maintained in the
-    controller.
+    Paths come from a :class:`KPathCache` memo keyed on the topology
+    version, so they self-invalidate on link churn and structured Clos
+    fabrics are served by the O(#paths) up/down enumerator instead of
+    repeated Yen searches — mirroring how a routing graph would be
+    maintained in the controller.
     """
 
     name = "ecmp"
@@ -46,15 +48,11 @@ class EcmpSelector:
     def __init__(self, topology: Topology, k: int = 4) -> None:
         self.topology = topology
         self.k = k
-        self._cache: dict[tuple[str, str], list[list[str]]] = {}
-        topology.observe(lambda _link: self._cache.clear())
+        self._cache = KPathCache(topology, k)
 
     def paths(self, src: str, dst: str) -> list[list[str]]:
         """Cached k-shortest node paths for a host pair."""
-        key = (src, dst)
-        if key not in self._cache:
-            self._cache[key] = k_shortest_paths(self.topology, src, dst, self.k)
-        return self._cache[key]
+        return self._cache.paths(src, dst)
 
     def up_paths(self, src: str, dst: str) -> list[list[str]]:
         """The cached paths currently realisable over up links only."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro import obs
 from repro.simnet.links import Link
 from repro.simnet.paths import KPathCache
@@ -34,6 +36,9 @@ class TopologyService:
         registry = obs.get_registry()
         self._m_hits = registry.counter("routing.kpath_cache_hits")
         self._m_misses = registry.counter("routing.kpath_cache_misses")
+        self._m_size = registry.gauge("routing.kpath_cache_size")
+        self._m_structured = registry.counter("routing.kpath_structured_solves")
+        self._m_yen = registry.counter("routing.kpath_yen_solves")
         topology.observe(self._on_link_event)
 
     def on_change(self, fn: Callable[[Link], None]) -> None:
@@ -52,25 +57,61 @@ class TopologyService:
 
     @property
     def cache_misses(self) -> int:
-        """k-path memo misses (Yen invocations) since construction."""
+        """k-path memo misses (cold path constructions) since construction."""
         return self._cache.misses
+
+    @property
+    def structured_solves(self) -> int:
+        """Cold constructions served by the Clos up/down enumerator."""
+        return self._cache.structured_solves
+
+    @property
+    def yen_solves(self) -> int:
+        """Cold constructions that fell back to generic Yen search."""
+        return self._cache.yen_solves
+
+    def _count(self, misses: int, structured: int, yen: int) -> None:
+        """Fold one cache lookup into the observability instruments."""
+        if self._cache.misses != misses:
+            self._m_misses.inc()
+            self._m_size.set(float(self._cache.size()))
+            if self._cache.structured_solves != structured:
+                self._m_structured.inc()
+            elif self._cache.yen_solves != yen:
+                self._m_yen.inc()
+        else:
+            self._m_hits.inc()
+
+    def _before(self) -> tuple[int, int, int]:
+        return (
+            self._cache.misses,
+            self._cache.structured_solves,
+            self._cache.yen_solves,
+        )
 
     def k_paths(self, src: str, dst: str) -> list[list[str]]:
         """k shortest node paths, hop-count metric, memoised per version."""
-        before = self._cache.misses
+        before = self._before()
         result = self._cache.paths(src, dst)
-        if self._cache.misses != before:
-            self._m_misses.inc()
-        else:
-            self._m_hits.inc()
+        self._count(*before)
         return result
 
     def k_paths_links(self, src: str, dst: str) -> list[list[int]]:
         """Same paths resolved to link ids (skipping unreachable ones)."""
-        before = self._cache.misses
+        before = self._before()
         result = self._cache.paths_links(src, dst)
-        if self._cache.misses != before:
-            self._m_misses.inc()
-        else:
-            self._m_hits.inc()
+        self._count(*before)
+        return result
+
+    def k_paths_incidence(self, src: str, dst: str) -> tuple[list[list[int]], np.ndarray]:
+        """Link-id paths plus the padded path→link incidence matrix.
+
+        The matrix rows are the candidate paths, padded with the
+        virtual link id ``len(topology.links)`` — the allocator's
+        vectorized scoring gathers per-link arrays (extended by one
+        sentinel slot) through it and reduces along axis 1.
+        """
+        before = self._before()
+        result = self._cache.paths_links_incidence(src, dst)
+        self._count(*before)
         return result

@@ -3,15 +3,34 @@
 The paper's flow-allocation module "computes the k-shortest paths among
 all server pairs ... using successive calls to the Dijkstra
 shortest-path algorithm" with hop count as the metric (§IV).  We
-implement Dijkstra with deterministic tie-breaking plus Yen's
-k-shortest simple paths on top, from scratch — no networkx — so that
-the routing behaviour is fully pinned down.
+implement this from scratch — no networkx — so that the routing
+behaviour is fully pinned down, in three layers:
+
+* :func:`shortest_path` — hop-count search (BFS layers are Dijkstra's
+  dist array under a unit metric) with a deterministic lexicographic
+  tie-break, used as Yen's spur oracle;
+* :func:`k_shortest_paths` — Yen's algorithm, the generic solver that
+  works on any graph;
+* :class:`ClosIndex` — the structured fast path: on the declared Clos
+  fabrics (two-rack, leaf-spine, three-tier, fat-tree) every
+  host-to-host path is an up-segment to a common ancestor tier times a
+  down-segment back, so the k shortest paths can be *enumerated* in
+  O(#paths) instead of searched for.  The index only answers when the
+  enumeration is provably identical to Yen's output (path for path,
+  including order); every other case — irregular graphs, degraded
+  fabrics, k exceeding the LCA-tier path count — falls back to Yen.
+
+:class:`KPathCache` memoises either solver's results per topology
+version and additionally materialises the padded path→link incidence
+matrix the flow allocator's vectorized scoring consumes.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Optional
+
+import numpy as np
 
 from repro.simnet.topology import Topology
 
@@ -24,36 +43,55 @@ def shortest_path(
     banned_nodes: Optional[set[str]] = None,
     banned_links: Optional[set[int]] = None,
 ) -> Optional[list[str]]:
-    """Hop-count Dijkstra returning a node path, or None if unreachable.
+    """Hop-count shortest path as a node list, or None if unreachable.
 
     Ties are broken by the lexicographic node sequence so that the same
     topology always yields the same path regardless of dict ordering.
+    Two passes: a backward BFS from ``dst`` labels every node with its
+    exact hop distance (the parent-pointer form of Dijkstra under the
+    unit metric — no path tuples on a heap, no membership scans over
+    partial paths), then a forward greedy walk picks, at each hop, the
+    lexicographically smallest neighbour that still lies on a shortest
+    path — which yields exactly the lexicographically minimal shortest
+    node sequence.
     """
-    banned_nodes = banned_nodes or set()
-    banned_links = banned_links or set()
+    banned_nodes = banned_nodes or ()
+    banned_links = banned_links or ()
     if src in banned_nodes or dst in banned_nodes:
         return None
-    # heap entries: (hops, path-as-tuple) — the tuple doubles as the
-    # deterministic tie-breaker.
-    heap: list[tuple[int, tuple[str, ...]]] = [(0, (src,))]
-    best: dict[str, int] = {src: 0}
-    while heap:
-        hops, path = heapq.heappop(heap)
-        node = path[-1]
-        if node == dst:
-            return list(path)
-        if hops > best.get(node, float("inf")):
-            continue
+    if src == dst:
+        return [src]
+    dist: dict[str, int] = {dst: 0}
+    frontier = [dst]
+    depth = 0
+    while frontier and src not in dist:
+        depth += 1
+        nxt: list[str] = []
+        for node in frontier:
+            for link in topo.up_links_to(node):
+                prev = link.src
+                if prev in dist or link.lid in banned_links or prev in banned_nodes:
+                    continue
+                dist[prev] = depth
+                nxt.append(prev)
+        frontier = nxt
+    remaining = dist.get(src)
+    if remaining is None:
+        return None
+    path = [src]
+    node = src
+    while node != dst:
+        remaining -= 1
+        best: Optional[str] = None
         for link in topo.up_links_from(node):
             if link.lid in banned_links or link.dst in banned_nodes:
                 continue
-            if link.dst in path:  # keep paths simple
-                continue
-            nh = hops + 1
-            if nh < best.get(link.dst, float("inf")):
-                best[link.dst] = nh
-                heapq.heappush(heap, (nh, path + (link.dst,)))
-    return None
+            if dist.get(link.dst) == remaining and (best is None or link.dst < best):
+                best = link.dst
+        assert best is not None  # dist certifies a continuation exists
+        path.append(best)
+        node = best
+    return path
 
 
 def k_shortest_paths(topo: Topology, src: str, dst: str, k: int) -> list[list[str]]:
@@ -97,25 +135,160 @@ def k_shortest_paths(topo: Topology, src: str, dst: str, k: int) -> list[list[st
     return paths
 
 
+class ClosIndex:
+    """Structured up/down path enumerator for declared Clos fabrics.
+
+    Built per topology version (``fresh()`` tells the caller when to
+    rebuild).  For a host pair the k shortest paths in an intact Clos
+    are the lexicographically first k combinations of (ascent to the
+    lowest common-ancestor tier) × (descent to the destination): every
+    ascent/descent pair of equal apex gives one path of length
+    ``2 * apex_tier``, any path that descends and re-climbs ("valley"
+    routing) or peaks higher is at least two hops longer.  Enumeration
+    is therefore exact — *provided* the LCA tier offers at least k
+    paths (or exactly one forced path through a shared edge switch).
+    When it does not, :meth:`k_paths` returns None and the caller runs
+    Yen, whose generic search also surfaces the longer detours.
+
+    Ascent sets are memoised per node, so all-pairs construction costs
+    O(hosts × paths-per-host) instead of all-pairs Dijkstra sweeps.
+    """
+
+    __slots__ = ("topology", "version", "ok", "_tiers", "_top", "_up", "_ascents")
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.version = topology.version
+        self.ok = topology.structured_ok
+        if not self.ok:
+            return
+        assert topology.structure is not None
+        self._tiers = {name: node.tier for name, node in topology.nodes.items()}
+        self._top = topology.structure.top_tier
+        # distinct up-tier neighbours per node, lexicographically sorted
+        # so enumeration order is independent of link insertion order.
+        self._up: dict[str, list[str]] = {}
+        for name in topology.nodes:
+            here = self._tiers[name]
+            nbrs = {
+                link.dst
+                for link in topology.up_links_from(name)
+                if self._tiers[link.dst] == here + 1
+            }
+            self._up[name] = sorted(nbrs)
+        self._ascents: dict[str, list[dict[str, list[tuple[str, ...]]]]] = {}
+
+    def fresh(self) -> bool:
+        """Whether the index still matches the topology it was built from."""
+        return self.ok and self.topology.version == self.version
+
+    def _ascents_from(self, node: str) -> list[dict[str, list[tuple[str, ...]]]]:
+        """Strictly-ascending paths from ``node``, per tier, per apex."""
+        cached = self._ascents.get(node)
+        if cached is None:
+            levels: list[dict[str, list[tuple[str, ...]]]] = [{node: [(node,)]}]
+            for _ in range(self._top):
+                nxt: dict[str, list[tuple[str, ...]]] = {}
+                for apex, paths in levels[-1].items():
+                    for nbr in self._up[apex]:
+                        bucket = nxt.setdefault(nbr, [])
+                        for p in paths:
+                            bucket.append(p + (nbr,))
+                levels.append(nxt)
+            self._ascents[node] = cached = levels
+        return cached
+
+    def k_paths(self, src: str, dst: str, k: int) -> Optional[list[list[str]]]:
+        """The exact k-shortest node paths, or None if Yen must decide."""
+        if not self.ok:
+            return None
+        tiers = self._tiers
+        if src == dst or tiers.get(src) != 0 or tiers.get(dst) != 0:
+            return None
+        up = self._ascents_from(src)
+        down = self._ascents_from(dst)
+        for tier in range(1, self._top + 1):
+            joins: list[tuple[str, ...]] = []
+            for apex in up[tier].keys() & down[tier].keys():
+                for pa in up[tier][apex]:
+                    pa_nodes = set(pa[:-1])
+                    for pb in down[tier][apex]:
+                        if pa_nodes.isdisjoint(pb[:-1]):
+                            joins.append(pa + tuple(reversed(pb[:-1])))
+            if not joins:
+                continue
+            if len(joins) >= k:
+                joins.sort()
+                return [list(p) for p in joins[:k]]
+            if tier == 1:
+                # Both hosts hang off the same edge switch; since hosts
+                # are single-homed this is the only simple path at all.
+                joins.sort()
+                return [list(p) for p in joins]
+            # Fewer than k equal-length paths through the LCA tier: the
+            # remaining entries are longer detours only Yen enumerates.
+            return None
+        return None
+
+
+def compute_k_paths(
+    topo: Topology,
+    src: str,
+    dst: str,
+    k: int,
+    index: Optional[ClosIndex] = None,
+) -> list[list[str]]:
+    """k shortest paths via structured enumeration, Yen otherwise.
+
+    Pass a cached :class:`ClosIndex` to amortise its construction over
+    many pairs; a stale or absent index is rebuilt on the fly.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if index is None or not index.fresh():
+        index = ClosIndex(topo)
+    if index.ok:
+        result = index.k_paths(src, dst, k)
+        if result is not None:
+            return result
+    return k_shortest_paths(topo, src, dst, k)
+
+
 def all_pairs_k_shortest(
     topo: Topology, pairs: list[tuple[str, str]], k: int
 ) -> dict[tuple[str, str], list[list[str]]]:
     """Precompute k-shortest paths for the given (src, dst) pairs."""
-    return {(s, d): k_shortest_paths(topo, s, d, k) for s, d in pairs}
+    index = ClosIndex(topo)
+    return {(s, d): compute_k_paths(topo, s, d, k, index=index) for s, d in pairs}
 
 
 class KPathCache:
-    """Topology-version-keyed memo for :func:`k_shortest_paths`.
+    """Topology-version-keyed memo for k-shortest-path routing.
 
-    Yen's algorithm dominates allocation-time routing cost, yet its
+    Path construction dominates allocation-time routing cost, yet its
     result only depends on the topology's up/down shape — tracked by
     ``Topology.version``.  The cache therefore never needs explicit
     invalidation hooks: every lookup compares the stored version with
     the topology's current one and drops the memo wholesale when it
-    moved.  Hit/miss counts are kept for observability.
+    moved.  Hit/miss counts are kept for observability, and
+    ``structured_solves``/``yen_solves`` record which solver served
+    each cold computation (the structured enumerator only answers when
+    its output provably equals Yen's — see :class:`ClosIndex`).
     """
 
-    __slots__ = ("topology", "k", "_version", "_paths", "_links", "hits", "misses")
+    __slots__ = (
+        "topology",
+        "k",
+        "_version",
+        "_paths",
+        "_links",
+        "_inc",
+        "_clos",
+        "hits",
+        "misses",
+        "structured_solves",
+        "yen_solves",
+    )
 
     def __init__(self, topology: Topology, k: int) -> None:
         if k < 1:
@@ -125,15 +298,25 @@ class KPathCache:
         self._version = topology.version
         self._paths: dict[tuple[str, str], list[list[str]]] = {}
         self._links: dict[tuple[str, str], list[list[int]]] = {}
+        self._inc: dict[tuple[str, str], tuple[list[list[int]], np.ndarray]] = {}
+        self._clos: Optional[ClosIndex] = None
         self.hits = 0
         self.misses = 0
+        self.structured_solves = 0
+        self.yen_solves = 0
 
     def _check_version(self) -> None:
         current = self.topology.version
         if current != self._version:
             self._paths.clear()
             self._links.clear()
+            self._inc.clear()
             self._version = current
+
+    def size(self) -> int:
+        """Number of memoised (src, dst) path sets at the current version."""
+        self._check_version()
+        return len(self._paths)
 
     def paths(self, src: str, dst: str) -> list[list[str]]:
         """k shortest node paths, memoised per topology version."""
@@ -147,7 +330,17 @@ class KPathCache:
         return self._compute_paths(key)
 
     def _compute_paths(self, key: tuple[str, str]) -> list[list[str]]:
-        result = k_shortest_paths(self.topology, key[0], key[1], self.k)
+        clos = self._clos
+        if clos is None or not clos.fresh():
+            clos = self._clos = ClosIndex(self.topology)
+        result: Optional[list[list[str]]] = None
+        if clos.ok:
+            result = clos.k_paths(key[0], key[1], self.k)
+        if result is not None:
+            self.structured_solves += 1
+        else:
+            self.yen_solves += 1
+            result = k_shortest_paths(self.topology, key[0], key[1], self.k)
         self._paths[key] = result
         return result
 
@@ -166,6 +359,9 @@ class KPathCache:
             self.hits += 1
             return cached
         self.misses += 1
+        return self._compute_links(key)
+
+    def _compute_links(self, key: tuple[str, str]) -> list[list[int]]:
         node_paths = self._paths.get(key)
         if node_paths is None:
             node_paths = self._compute_paths(key)
@@ -177,3 +373,37 @@ class KPathCache:
                 continue  # parallel link went down since path computation
         self._links[key] = out
         return out
+
+    def paths_links_incidence(
+        self, src: str, dst: str
+    ) -> tuple[list[list[int]], np.ndarray]:
+        """Link-id paths plus their padded path→link incidence matrix.
+
+        The matrix has one row per candidate path and one column per
+        hop up to the longest candidate; short rows are padded with the
+        virtual link id ``len(topology.links)``.  Callers gather from
+        per-link arrays extended by one sentinel slot (+inf residual /
+        zero queue) and reduce along axis 1 — scoring every candidate
+        path of an entry in a single vector operation.
+        """
+        self._check_version()
+        key = (src, dst)
+        cached = self._inc.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        links = self._links.get(key)
+        if links is None:
+            links = self._compute_links(key)
+        pad = len(self.topology.links)
+        if links:
+            width = max(len(p) for p in links)
+            matrix = np.full((len(links), width), pad, dtype=np.intp)
+            for i, p in enumerate(links):
+                matrix[i, : len(p)] = p
+        else:
+            matrix = np.empty((0, 0), dtype=np.intp)
+        result = (links, matrix)
+        self._inc[key] = result
+        return result

@@ -38,6 +38,32 @@ class Node:
     #: traffic-generator hosts source background cross-traffic and are
     #: not eligible as Hadoop slaves.
     generator: bool = False
+    #: Clos tier (0 = host, 1 = edge/ToR/leaf, 2 = agg/spine/trunk, ...)
+    #: set by the structured builders; None on hand-built nodes.
+    tier: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClosStructure:
+    """Marker that a topology is a proper multi-rooted Clos hierarchy.
+
+    Declared by the reference builders (:func:`two_rack`,
+    :func:`leaf_spine`, :func:`three_tier`, :func:`fat_tree`) once the
+    fabric is fully wired.  "Proper" means the builder guarantees the
+    tree property the up/down path enumerator's shortcuts rely on: the
+    host sets reachable downward from two distinct switches of the same
+    tier are disjoint or identical, so any simple host-to-host path
+    must climb at least to the pair's lowest common-ancestor tier.
+
+    ``declare_clos`` machine-checks the local conditions (tier labels
+    everywhere, links only between adjacent tiers, single-homed hosts);
+    the subtree property is the builder's promise.  Structured routing
+    additionally requires the link set untouched (``n_links``) and
+    every link up — see :meth:`Topology.structured_ok`.
+    """
+
+    top_tier: int
+    n_links: int
 
 
 @dataclass
@@ -54,11 +80,15 @@ class Topology:
     nodes: dict[str, Node] = field(default_factory=dict)
     links: list[Link] = field(default_factory=list)
     adjacency: dict[str, list[int]] = field(default_factory=dict)  # node -> outgoing link ids
+    in_adjacency: dict[str, list[int]] = field(default_factory=dict)  # node -> incoming link ids
     #: monotonically increasing structure version: bumped whenever the
     #: routing-relevant shape changes (links added, link up/down), so
     #: path caches can be invalidated by comparison instead of hooks.
     version: int = 0
+    #: Clos declaration from the reference builders, None for ad-hoc graphs.
+    structure: Optional[ClosStructure] = None
     _observers: list[Callable[[Link], None]] = field(default_factory=list)
+    _down_links: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -66,20 +96,23 @@ class Topology:
     def add_host(
         self, name: str, ip: str, rack: Optional[int] = None, generator: bool = False
     ) -> Node:
-        """Add a host node with an address."""
+        """Add a host node with an address (hosts sit at Clos tier 0)."""
         return self._add_node(
-            Node(name, NodeKind.HOST, ip=ip, rack=rack, generator=generator)
+            Node(name, NodeKind.HOST, ip=ip, rack=rack, generator=generator, tier=0)
         )
 
-    def add_switch(self, name: str, rack: Optional[int] = None) -> Node:
-        """Add a switch node."""
-        return self._add_node(Node(name, NodeKind.SWITCH, rack=rack))
+    def add_switch(
+        self, name: str, rack: Optional[int] = None, tier: Optional[int] = None
+    ) -> Node:
+        """Add a switch node, optionally with its Clos tier."""
+        return self._add_node(Node(name, NodeKind.SWITCH, rack=rack, tier=tier))
 
     def _add_node(self, node: Node) -> Node:
         if node.name in self.nodes:
             raise ValueError(f"duplicate node {node.name!r}")
         self.nodes[node.name] = node
         self.adjacency[node.name] = []
+        self.in_adjacency[node.name] = []
         return node
 
     def add_cable(self, a: str, b: str, capacity: float) -> tuple[Link, Link]:
@@ -93,8 +126,50 @@ class Topology:
         link = Link(lid=len(self.links), src=src, dst=dst, capacity=capacity)
         self.links.append(link)
         self.adjacency[src].append(link.lid)
+        self.in_adjacency[dst].append(link.lid)
         self.version += 1
         return link
+
+    def declare_clos(self) -> None:
+        """Mark this topology as a proper Clos (see :class:`ClosStructure`).
+
+        Called by the reference builders after wiring.  Validates the
+        locally-checkable regularity conditions and records the link
+        count so that any later :meth:`add_cable` permanently drops the
+        declaration (the graph is no longer the builder's fabric).
+        """
+        tiers = {}
+        for node in self.nodes.values():
+            if node.tier is None:
+                raise ValueError(f"node {node.name!r} has no Clos tier")
+            tiers[node.name] = node.tier
+        for link in self.links:
+            if abs(tiers[link.src] - tiers[link.dst]) != 1:
+                raise ValueError(
+                    f"link {link.src}->{link.dst} is not tier-adjacent"
+                )
+        for node in self.nodes.values():
+            if node.tier == 0:
+                nbrs = {self.links[lid].dst for lid in self.adjacency[node.name]}
+                if len(nbrs) != 1:
+                    raise ValueError(f"host {node.name!r} must be single-homed")
+        self.structure = ClosStructure(
+            top_tier=max(tiers.values()), n_links=len(self.links)
+        )
+
+    @property
+    def structured_ok(self) -> bool:
+        """Whether structured (up/down) routing is currently exact.
+
+        True only while the declared Clos fabric is intact: no links
+        added since declaration and every link up.  Degraded fabrics
+        fall back to generic Yen search until the failure is restored.
+        """
+        return (
+            self.structure is not None
+            and len(self.links) == self.structure.n_links
+            and self._down_links == 0
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -137,6 +212,13 @@ class Topology:
             if link.up:
                 yield link
 
+    def up_links_to(self, node: str) -> Iterable[Link]:
+        """Incoming links that are currently up."""
+        for lid in self.in_adjacency[node]:
+            link = self.links[lid]
+            if link.up:
+                yield link
+
     def path_links(self, node_path: list[str]) -> list[int]:
         """Resolve a node path to concrete link ids (first up parallel link)."""
         lids: list[int] = []
@@ -169,6 +251,7 @@ class Topology:
         if link.up == up:
             return
         link.up = up
+        self._down_links += -1 if up else 1
         self.version += 1
         for fn in list(self._observers):
             fn(link)
@@ -212,14 +295,14 @@ def two_rack(
     topo = Topology()
     trunk_rate = trunk_rate if trunk_rate is not None else link_rate
     for rack in range(2):
-        topo.add_switch(f"tor{rack}", rack=rack)
+        topo.add_switch(f"tor{rack}", rack=rack, tier=1)
         for i in range(hosts_per_rack):
             name = f"h{rack}{i}"
             topo.add_host(name, ip=f"10.{rack}.{i}", rack=rack)
             topo.add_cable(name, f"tor{rack}", link_rate)
     for t in range(trunk_cables):
         mid = f"trunk{t}"
-        topo.add_switch(mid)
+        topo.add_switch(mid, tier=2)
         topo.add_cable("tor0", mid, trunk_rate)
         topo.add_cable(mid, "tor1", trunk_rate)
     if traffic_generators:
@@ -228,6 +311,7 @@ def two_rack(
             name = f"bg{rack}"
             topo.add_host(name, ip=f"10.{rack}.250", rack=rack, generator=True)
             topo.add_cable(name, f"tor{rack}", fat)
+    topo.declare_clos()
     return topo
 
 
@@ -242,15 +326,19 @@ def leaf_spine(
     topo = Topology()
     spine_rate = spine_rate if spine_rate is not None else link_rate
     for s in range(spines):
-        topo.add_switch(f"spine{s}")
+        topo.add_switch(f"spine{s}", tier=2)
+    # compact two-digit names ("h00") stay for small fabrics; larger
+    # ones need a separator or h{1}{10} and h{11}{0} would collide.
+    sep = "_" if leaves > 10 or hosts_per_leaf > 10 else ""
     for leaf in range(leaves):
-        topo.add_switch(f"leaf{leaf}", rack=leaf)
+        topo.add_switch(f"leaf{leaf}", rack=leaf, tier=1)
         for i in range(hosts_per_leaf):
-            name = f"h{leaf}{i}"
+            name = f"h{leaf}{sep}{i}"
             topo.add_host(name, ip=f"10.{leaf}.{i}", rack=leaf)
             topo.add_cable(name, f"leaf{leaf}", link_rate)
         for s in range(spines):
             topo.add_cable(f"leaf{leaf}", f"spine{s}", spine_rate)
+    topo.declare_clos()
     return topo
 
 
@@ -273,23 +361,25 @@ def three_tier(
     topo = Topology()
     agg_rate = agg_rate if agg_rate is not None else link_rate
     core_rate = core_rate if core_rate is not None else agg_rate
+    sep = "_" if pods * racks_per_pod > 10 or hosts_per_rack > 10 else ""
     for c in range(cores):
-        topo.add_switch(f"core{c}")
+        topo.add_switch(f"core{c}", tier=3)
     rack_id = 0
     for pod in range(pods):
         agg = f"agg{pod}"
-        topo.add_switch(agg)
+        topo.add_switch(agg, tier=2)
         for c in range(cores):
             topo.add_cable(agg, f"core{c}", core_rate)
         for r in range(racks_per_pod):
             tor = f"tor{rack_id}"
-            topo.add_switch(tor, rack=rack_id)
+            topo.add_switch(tor, rack=rack_id, tier=1)
             topo.add_cable(tor, agg, agg_rate)
             for h in range(hosts_per_rack):
-                name = f"h{rack_id}{h}"
+                name = f"h{rack_id}{sep}{h}"
                 topo.add_host(name, ip=f"10.{rack_id}.{h}", rack=rack_id)
                 topo.add_cable(name, tor, link_rate)
             rack_id += 1
+    topo.declare_clos()
     return topo
 
 
@@ -302,12 +392,14 @@ def fat_tree(k: int = 4, link_rate: float = GBPS) -> Topology:
     cores = [[f"core{i}{j}" for j in range(half)] for i in range(half)]
     for row in cores:
         for name in row:
-            topo.add_switch(name)
+            topo.add_switch(name, tier=3)
     for pod in range(k):
         aggs = [f"agg{pod}_{a}" for a in range(half)]
         edges = [f"edge{pod}_{e}" for e in range(half)]
-        for name in aggs + edges:
-            topo.add_switch(name, rack=pod)
+        for name in aggs:
+            topo.add_switch(name, rack=pod, tier=2)
+        for name in edges:
+            topo.add_switch(name, rack=pod, tier=1)
         for a, agg in enumerate(aggs):
             for j in range(half):
                 topo.add_cable(agg, cores[a][j], link_rate)
@@ -318,4 +410,5 @@ def fat_tree(k: int = 4, link_rate: float = GBPS) -> Topology:
                 name = f"h{pod}_{e}{h}"
                 topo.add_host(name, ip=f"10.{pod}.{e * half + h}", rack=pod)
                 topo.add_cable(name, edge, link_rate)
+    topo.declare_clos()
     return topo

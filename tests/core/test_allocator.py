@@ -14,13 +14,15 @@ from repro.simnet.network import Network
 from repro.simnet.topology import two_rack
 
 
-def build(kind="first_fit", horizon=10.0):
+def build(kind="first_fit", horizon=10.0, ordering="criticality"):
     sim = Simulator()
     topo = two_rack()
     net = Network(sim, topo)
     stats = LinkStatsService(sim, net, period=0.5, alpha=1.0)
     routing = RoutingGraph(TopologyService(topo, k=4))
-    alloc = make_allocator(kind, sim, routing, stats, net, demand_horizon=horizon)
+    alloc = make_allocator(
+        kind, sim, routing, stats, net, demand_horizon=horizon, ordering=ordering
+    )
     return sim, topo, net, stats, alloc
 
 
@@ -158,3 +160,42 @@ def test_skips_entry_with_no_path():
     topo.fail_cable("tor0", "trunk1")
     out = alloc.allocate([entry("h00", "h10", 1e6)])
     assert out == []
+
+
+def test_arrival_ordering_is_fifo():
+    sim, topo, net, stats, alloc = build(ordering="arrival")
+    small = entry("h00", "h10", 1e6)
+    big = entry("h01", "h11", 500e6)
+    result = alloc.allocate([small, big])
+    assert [e for e, _ in result] == [small, big]
+
+
+def test_criticality_vs_arrival_differ_on_same_input():
+    _, _, _, _, crit = build()
+    _, _, _, _, fifo = build(ordering="arrival")
+    entries = lambda: [entry("h00", "h10", 1e6), entry("h01", "h11", 500e6)]  # noqa: E731
+    crit_order = [e.predicted_bytes for e, _ in crit.allocate(entries())]
+    fifo_order = [e.predicted_bytes for e, _ in fifo.allocate(entries())]
+    assert crit_order == [500e6, 1e6]
+    assert fifo_order == [1e6, 500e6]
+
+
+def test_pathless_entry_does_not_corrupt_planned_state():
+    """The skip branch must leave `_planned` untouched for the dropped
+    entry and must not claim its bytes, so a later round (after repair)
+    can still place them."""
+    sim, topo, net, stats, alloc = build()
+    topo.fail_cable("tor0", "trunk0")
+    topo.fail_cable("tor0", "trunk1")
+    stranded = entry("h00", "h10", 7e6)
+    local = entry("h01", "h02", 3e6)  # same-rack pair keeps its path
+    result = alloc.allocate([stranded, local])
+    assert [e for e, _ in result] == [local]
+    assert alloc.allocations == 1
+    assert alloc.planned_load().sum() == pytest.approx(3e6 * 2)  # 2 links
+    assert not hasattr(stranded, "_planned_bytes"), "skipped entry claimed bytes"
+    # repair: the stranded entry's full volume is still allocatable
+    topo.restore_cable("tor0", "trunk0")
+    [(e, path)] = alloc.allocate([stranded])
+    assert e is stranded
+    assert alloc.planned_load().max() == pytest.approx(7e6)

@@ -110,6 +110,12 @@ def test_cli_metrics_emits_json(capsys):
     out = json.loads(capsys.readouterr().out)
     assert out["run"]["scheduler"] == "pythia"
     assert out["metrics"]["sim.events_processed"]["value"] > 0
+    # derived hit rate surfaced next to the raw counters
+    hits = out["metrics"]["routing.kpath_cache_hits"]["value"]
+    misses = out["metrics"]["routing.kpath_cache_misses"]["value"]
+    rate = out["metrics"]["routing.kpath_cache_hit_rate"]["value"]
+    assert rate == pytest.approx(hits / (hits + misses))
+    assert out["metrics"]["routing.kpath_cache_size"]["value"] > 0
 
 
 def test_cli_trace_emits_jsonl(capsys):

@@ -1,12 +1,27 @@
 """Unit + property tests for Dijkstra / Yen k-shortest paths."""
 
+import itertools
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.simnet.paths import k_shortest_paths, shortest_path
-from repro.simnet.topology import GBPS, Topology, leaf_spine, two_rack
+from repro.simnet.paths import (
+    ClosIndex,
+    KPathCache,
+    compute_k_paths,
+    k_shortest_paths,
+    shortest_path,
+)
+from repro.simnet.topology import (
+    GBPS,
+    Topology,
+    fat_tree,
+    leaf_spine,
+    three_tier,
+    two_rack,
+)
 
 
 def test_shortest_path_two_rack():
@@ -114,3 +129,121 @@ def test_property_yen_paths_simple_distinct_sorted(data):
     # first path must be a true shortest path
     sp = shortest_path(topo, "a", "b")
     assert sp is not None and len(paths[0]) == len(sp)
+
+
+# ---------------------------------------------------------------------------
+# structured Clos enumeration (ClosIndex) vs Yen
+
+
+CLOS_FABRICS = [
+    ("two_rack", lambda: two_rack()),
+    ("leaf_spine", lambda: leaf_spine(leaves=4, spines=2, hosts_per_leaf=2)),
+    ("three_tier", lambda: three_tier()),
+    ("fat_tree4", lambda: fat_tree(4)),
+]
+
+
+def _all_pairs(topo):
+    hosts = [h.name for h in topo.hosts()]
+    return itertools.permutations(hosts, 2)
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in CLOS_FABRICS], ids=[n for n, _ in CLOS_FABRICS]
+)
+def test_structured_enumeration_matches_yen_everywhere(factory):
+    """Acceptance gate: path-for-path (ordered) equality on every host
+    pair of every generated Clos fabric, across k values straddling the
+    per-pair path counts."""
+    topo = factory()
+    assert topo.structured_ok
+    index = ClosIndex(topo)
+    answered = 0
+    for src, dst in _all_pairs(topo):
+        for k in (1, 2, 4, 8):
+            assert compute_k_paths(topo, src, dst, k, index=index) == (
+                k_shortest_paths(topo, src, dst, k)
+            ), (src, dst, k)
+            if index.k_paths(src, dst, k) is not None:
+                answered += 1
+    assert answered > 0, "enumerator never engaged on an intact Clos"
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in CLOS_FABRICS], ids=[n for n, _ in CLOS_FABRICS]
+)
+def test_structured_enumeration_falls_back_after_failure(factory):
+    """A degraded fabric must disable the enumerator (Yen sees the
+    failure; the structural promise no longer holds) and re-enable it
+    on restore."""
+    topo = factory()
+    link = next(l for l in topo.links if not topo.nodes[l.src].kind.name == "HOST")
+    topo.set_link_state(link.lid, up=False)
+    assert not topo.structured_ok
+    index = ClosIndex(topo)
+    assert not index.ok
+    for src, dst in _all_pairs(topo):
+        assert compute_k_paths(topo, src, dst, 4, index=index) == (
+            k_shortest_paths(topo, src, dst, 4)
+        ), (src, dst)
+    topo.set_link_state(link.lid, up=True)
+    assert topo.structured_ok
+    assert not index.fresh()  # stale index must be rebuilt, not reused
+
+
+def test_structured_declines_when_k_exceeds_lca_paths():
+    """leaf-spine with 2 spines has 2 equal-length inter-leaf paths;
+    asking for 4 must fall back to Yen (which surfaces the longer
+    valley detours the enumerator deliberately refuses to rank)."""
+    topo = leaf_spine(leaves=4, spines=2, hosts_per_leaf=2)
+    index = ClosIndex(topo)
+    assert index.k_paths("h00", "h10", 2) is not None
+    assert index.k_paths("h00", "h10", 4) is None
+
+
+def test_structured_same_edge_pair_is_unique_path():
+    topo = fat_tree(4)
+    index = ClosIndex(topo)
+    paths = index.k_paths("h0_00", "h0_01", 4)
+    assert paths == [["h0_00", "edge0_0", "h0_01"]]
+
+
+def test_clos_path_count_formulas():
+    """Per-pair equal-length path counts follow the fabric algebra."""
+    ls = leaf_spine(leaves=3, spines=4, hosts_per_leaf=2)
+    idx = ClosIndex(ls)
+    assert len(idx.k_paths("h00", "h20", 4)) == 4  # one per spine
+    ft = fat_tree(4)
+    idx = ClosIndex(ft)
+    # inter-pod: (k/2)^2 core routes
+    assert len(idx.k_paths("h0_00", "h1_00", 4)) == 4
+    # same pod, different edge: k/2 = 2 aggregation routes; the index
+    # only answers when they cover the request (k <= 2 here)
+    assert len(idx.k_paths("h0_00", "h0_10", 2)) == 2
+    assert idx.k_paths("h0_00", "h0_10", 4) is None
+
+
+def test_kpath_cache_incidence_matrix_shape_and_padding():
+    topo = two_rack()
+    cache = KPathCache(topo, 4)
+    links, matrix = cache.paths_links_incidence("h00", "h10")
+    assert matrix.shape == (len(links), max(len(p) for p in links))
+    pad = len(topo.links)
+    for i, p in enumerate(links):
+        assert list(matrix[i, : len(p)]) == p
+        assert all(matrix[i, len(p):] == pad)
+    # memoised: same object back, counted as a hit
+    hits = cache.hits
+    assert cache.paths_links_incidence("h00", "h10")[1] is matrix
+    assert cache.hits == hits + 1
+
+
+def test_kpath_cache_counts_solver_kinds():
+    topo = two_rack()
+    cache = KPathCache(topo, 2)
+    cache.paths("h00", "h10")  # 2 trunks >= k: structured
+    assert (cache.structured_solves, cache.yen_solves) == (1, 0)
+    cache2 = KPathCache(topo, 4)
+    cache2.paths("h00", "h10")  # only 2 equal-length paths: Yen decides
+    assert (cache2.structured_solves, cache2.yen_solves) == (0, 1)
+    assert cache2.size() == 1
