@@ -7,6 +7,7 @@ Usage (installed as ``python -m repro``):
     python -m repro compare --workload nutch --ratio 20
     python -m repro figure fig3 --scale 0.2 --seeds 1
     python -m repro sweep --workload sort --workers 4 --cache-dir .sweep-cache
+    python -m repro forecast --seeds 1 2 --ratios 5
     python -m repro metrics --workload sort --ratio 10
     python -m repro trace --workload sort --subsystem allocator
 """
@@ -44,8 +45,17 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = make_workload(args.workload, scale=args.scale)
+    pythia_config = None
+    if getattr(args, "forecast_mode", "off") != "off":
+        from repro.core.config import PythiaConfig
+
+        pythia_config = PythiaConfig(forecast_mode=args.forecast_mode)
     res = run_experiment(
-        spec, scheduler=args.scheduler, ratio=args.ratio, seed=args.seed
+        spec,
+        scheduler=args.scheduler,
+        ratio=args.ratio,
+        seed=args.seed,
+        pythia_config=pythia_config,
     )
     print(f"{spec.name} under {args.scheduler}"
           f" (oversubscription {'none' if args.ratio is None else f'1:{args.ratio:g}'}):"
@@ -320,6 +330,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    """Forecast-efficacy sweeps (tentpole evaluation)."""
+    from repro.experiments.forecast_efficacy import (
+        forecast_efficacy_sweep,
+        forecast_lead_time_curve,
+        format_efficacy,
+        format_lead_time,
+    )
+    from repro.workloads import sort_job
+
+    def spec_factory():
+        return sort_job(input_gb=16.0 * args.scale)
+
+    rows = forecast_efficacy_sweep(
+        spec_factory=spec_factory,
+        modes=args.modes,
+        ratios=args.ratios,
+        seeds=args.seeds,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(format_efficacy(rows))
+    if args.lead_times:
+        curve = forecast_lead_time_curve(
+            mode=args.lead_time_mode,
+            horizons=args.lead_times,
+            spec_factory=spec_factory,
+            ratio=args.ratios[0],
+            seeds=args.seeds,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        print()
+        print(format_lead_time(curve))
+    return 0
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
     p.add_argument("--scale", type=float, default=0.05)
@@ -345,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--ratio", type=_parse_ratio, default=None,
                        help="over-subscription 1:N (e.g. 10 or 1:10; none = unloaded)")
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--forecast-mode", default="off",
+                       choices=["off", "ewma", "holt_winters", "ar"],
+                       help="score allocations against forecast link load "
+                            "and reroute elephants proactively (pythia only)")
     run_p.add_argument("--timeline", action="store_true",
                        help="print the job's sequence diagram")
     run_p.add_argument("--export", default=None, metavar="FILE",
@@ -426,6 +477,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero if the cache served less than "
                               "this fraction of cells (CI guard)")
 
+    fc_p = sub.add_parser(
+        "forecast",
+        help="forecast-efficacy sweep: ecmp/hedera/pythia vs pythia+forecast "
+             "on the step-background scenario",
+    )
+    fc_p.add_argument("--scale", type=float, default=0.05,
+                      help="sort input = 16 GB x scale")
+    fc_p.add_argument("--modes", nargs="+",
+                      default=["ewma", "holt_winters", "ar"],
+                      choices=["ewma", "holt_winters", "ar"])
+    fc_p.add_argument("--ratios", type=_parse_ratio, nargs="+", default=[5.0, 10.0])
+    fc_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    fc_p.add_argument("--workers", type=int, default=1)
+    fc_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    fc_p.add_argument("--lead-times", type=float, nargs="+", default=None,
+                      metavar="H",
+                      help="also sweep these forecast horizons (seconds) "
+                           "for the accuracy-vs-lead-time curve")
+    fc_p.add_argument("--lead-time-mode", default="holt_winters",
+                      choices=["ewma", "holt_winters", "ar"],
+                      help="forecaster for the lead-time curve")
+
     mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
     mix_p.add_argument("--jobs", type=int, default=8)
     mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
@@ -444,6 +517,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "forecast": _cmd_forecast,
         "mix": _cmd_mix,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,

@@ -53,11 +53,17 @@ class _BaseAllocator:
         network: Network,
         demand_horizon: float = 10.0,
         ordering: str = "criticality",
+        forecast=None,
     ) -> None:
         self.sim = sim
         self.routing = routing
         self.stats = stats
         self.network = network
+        #: optional :class:`repro.forecast.service.ForecastService`;
+        #: when set, residuals are scored against the predicted
+        #: background at ``now + horizon`` instead of the measured EWMA
+        #: (the service itself falls back to the EWMA when stale).
+        self.forecast = forecast
         #: how long a placed-but-not-yet-started prediction keeps its
         #: claim on a path before the in-flight byte counters take over.
         self.demand_horizon = demand_horizon
@@ -77,7 +83,10 @@ class _BaseAllocator:
     ) -> list[tuple[AggregateEntry, list[int]]]:
         """Assign each entry a path; largest predicted volume first."""
         capacity = self.network.link_capacity()
-        background = self.stats.background_load_array()
+        if self.forecast is not None:
+            background = self.forecast.predict_background()
+        else:
+            background = self.stats.background_load_array()
         # Per-link scoring arrays carry one extra sentinel slot at index
         # ``nlinks`` — incidence-matrix rows are padded with that id, so
         # the pad contributes +inf to a min-residual reduction and 0 to
@@ -98,10 +107,17 @@ class _BaseAllocator:
             raw_paths, inc = self.routing.candidate_incidence(src, dst)
             if not raw_paths:
                 continue
-            residuals = np.maximum(resid[inc].min(axis=1), _RATE_FLOOR)
+            raw_headroom = resid[inc].min(axis=1)
+            residuals = np.maximum(raw_headroom, _RATE_FLOOR)
             queued_bytes = queued[inc].max(axis=1)
             delta = self._unplanned_bytes(entry)
-            idx = self._choose(raw_paths, residuals, queued_bytes, delta)
+            # Unrounded, unfloored forecast headroom — only offered as
+            # a tie-break signal when forecasting is enabled, so the
+            # measured-load pipeline stays bit-identical.
+            headroom = raw_headroom if self.forecast is not None else None
+            idx = self._choose(
+                raw_paths, residuals, queued_bytes, delta, forecast_headroom=headroom
+            )
             chosen = raw_paths[idx]
             chosen_arr = np.asarray(chosen, dtype=np.intp)
             self._plan(chosen_arr, delta)
@@ -164,6 +180,7 @@ class _BaseAllocator:
         residuals: np.ndarray,
         queued_bytes: np.ndarray,
         delta: float,
+        forecast_headroom: np.ndarray | None = None,
     ) -> int:
         raise NotImplementedError
 
@@ -183,7 +200,7 @@ class FirstFitAllocator(_BaseAllocator):
 
     name = "first_fit"
 
-    def _choose(self, paths, residuals, queued_bytes, delta) -> int:
+    def _choose(self, paths, residuals, queued_bytes, delta, forecast_headroom=None) -> int:
         etas = self._eta(residuals, queued_bytes, delta)
         return int(np.argmin(etas))
 
@@ -193,7 +210,7 @@ class BestFitAllocator(_BaseAllocator):
 
     name = "best_fit"
 
-    def _choose(self, paths, residuals, queued_bytes, delta) -> int:
+    def _choose(self, paths, residuals, queued_bytes, delta, forecast_headroom=None) -> int:
         residuals = np.asarray(residuals, dtype=float)
         queued_bytes = np.asarray(queued_bytes, dtype=float)
         demand_rate = delta / self.demand_horizon
@@ -217,7 +234,7 @@ class WaterFillingAllocator(_BaseAllocator):
         super().__init__(*args, **kwargs)
         self._rotation = 0
 
-    def _choose(self, paths, residuals, queued_bytes, delta) -> int:
+    def _choose(self, paths, residuals, queued_bytes, delta, forecast_headroom=None) -> int:
         # Identical objective to first-fit for a single entry, but the
         # tie-break spreads equal-ETA entries round-robin rather than
         # always taking the first path.
@@ -230,6 +247,14 @@ class WaterFillingAllocator(_BaseAllocator):
         ]
         best = min(keys)
         tied = [i for i, k in enumerate(keys) if k == best]
+        if forecast_headroom is not None and len(tied) > 1:
+            # Forecast-informed tie-break: rounding collapsed the ETA
+            # difference, but the unrounded forecast headroom still
+            # discriminates — prefer the path with the most predicted
+            # slack instead of rotating blindly, which under symmetric
+            # Clos fabrics systematically favours early path indices.
+            best_h = max(float(forecast_headroom[i]) for i in tied)
+            tied = [i for i in tied if float(forecast_headroom[i]) == best_h]
         choice = tied[self._rotation % len(tied)]
         self._rotation += 1
         return choice
@@ -250,6 +275,7 @@ def make_allocator(
     network: Network,
     demand_horizon: float,
     ordering: str = "criticality",
+    forecast=None,
 ) -> _BaseAllocator:
     """Factory keyed by :attr:`PythiaConfig.allocation`."""
     try:
@@ -257,5 +283,11 @@ def make_allocator(
     except KeyError:
         raise ValueError(f"unknown allocator {kind!r}") from None
     return cls(
-        sim, routing, stats, network, demand_horizon=demand_horizon, ordering=ordering
+        sim,
+        routing,
+        stats,
+        network,
+        demand_horizon=demand_horizon,
+        ordering=ordering,
+        forecast=forecast,
     )

@@ -120,6 +120,10 @@ class PythiaScheduler:
         self.aggregator: Optional[FlowAggregator] = None
         self.routing: Optional[RoutingGraph] = None
         self.allocator = None
+        #: ForecastService / ProactiveRerouter, wired in start() when
+        #: config.forecast_mode != "off"; None otherwise.
+        self.forecast = None
+        self.rerouter = None
         self._policy: Optional[PythiaPolicy] = None
         self._rules_by_key: dict[tuple, list[Rule]] = {}
         self._backbone_by_key: dict[tuple, tuple[str, ...]] = {}
@@ -141,6 +145,34 @@ class PythiaScheduler:
         self.collector.on_ready = self._on_ready
         self.routing = RoutingGraph(controller.topology_service)
         self.routing.on_failure(self._on_link_failure)
+        if self.config.forecast_mode != "off":
+            # Imported here so the measured-load pipeline never touches
+            # the forecast package (core must not depend on it at rest).
+            from repro.forecast import ForecastService, ProactiveRerouter, make_forecaster
+
+            forecaster = make_forecaster(
+                self.config.forecast_mode,
+                nlinks=len(topology.links),
+                period=self.config.stats_period,
+            )
+            self.forecast = ForecastService(
+                controller.stats_service,
+                forecaster,
+                horizon=self.config.forecast_horizon,
+                stale_after=self.config.forecast_stale_after,
+            )
+            if self.config.forecast_reroute:
+                self.rerouter = ProactiveRerouter(
+                    controller.network,
+                    controller.stats_service,
+                    self.forecast,
+                    controller.topology_service,
+                    threshold=self.config.reroute_threshold,
+                    margin=self.config.reroute_margin,
+                    pause=self.config.reroute_pause,
+                    min_remaining_bytes=self.config.reroute_min_bytes,
+                    cooldown=self.config.reroute_cooldown,
+                )
         self.allocator = make_allocator(
             self.config.allocation,
             controller.sim,
@@ -149,6 +181,7 @@ class PythiaScheduler:
             controller.network,
             demand_horizon=self.config.demand_horizon,
             ordering=self.config.ordering,
+            forecast=self.forecast,
         )
         self._policy = PythiaPolicy(
             controller.programmer,

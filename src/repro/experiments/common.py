@@ -34,7 +34,7 @@ from repro.faults import runtime as faults_runtime
 from repro.sdn.controller import Controller
 from repro.sdn.hedera import HederaScheduler
 from repro.sdn.policy import EcmpPolicy, FailureRepairService, PathPolicy
-from repro.simnet.background import BackgroundTraffic
+from repro.simnet.background import BackgroundRamp, BackgroundTraffic
 from repro.simnet.engine import Simulator
 from repro.simnet.netflow import NetFlowCollector
 from repro.simnet.network import Network
@@ -86,6 +86,7 @@ def run_experiment(
     tracer: Optional[obs.Tracer] = None,
     invariants: Optional[bool] = None,
     chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
+    background_ramp: Optional[BackgroundRamp] = None,
 ) -> RunResult:
     """Run one job under one scheduler and return its trace.
 
@@ -117,6 +118,11 @@ def run_experiment(
         :class:`~repro.faults.ChaosSchedule` is injected through the
         simulator's event queue; injection counts land in
         ``RunResult.faults_injected``.
+    background_ramp:
+        Optional :class:`~repro.simnet.background.BackgroundRamp` — a
+        stepped background surge on one trunk path (the forecastable
+        step scenario ``forecast_efficacy`` evaluates), on top of
+        whatever ``ratio`` already placed.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
@@ -146,6 +152,7 @@ def run_experiment(
                 tracer,
                 checker,
                 chaos,
+                background_ramp,
             )
 
 
@@ -164,6 +171,7 @@ def _run_experiment_inner(
     tracer: Optional[obs.Tracer],
     checker: Optional[InvariantChecker] = None,
     chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
+    background_ramp: Optional[BackgroundRamp] = None,
 ) -> RunResult:
     sim = Simulator()
     rng = np.random.default_rng(seed)
@@ -221,6 +229,8 @@ def _run_experiment_inner(
     netflow = NetFlowCollector(sim, network, interval=netflow_interval)
     background = BackgroundTraffic(network, rng)
     background.populate(ratio)
+    if background_ramp is not None:
+        background.schedule_ramp(sim, background_ramp)
 
     if fault is not None:
         fault(sim, topology)
@@ -269,6 +279,13 @@ def _run_experiment_inner(
             peak_rules=controller.programmer.peak_table_size,
             predictions=pythia.collector.predictions_received,  # type: ignore[union-attr]
         )
+        if pythia.forecast is not None:
+            stats.update(pythia.forecast.snapshot())
+            if pythia.rerouter is not None:
+                stats.update(
+                    forecast_reroutes=pythia.rerouter.reroutes,
+                    forecast_reroutes_skipped_stale=pythia.rerouter.skipped_stale,
+                )
     if hedera is not None:
         stats.update(reroutes=hedera.reroutes)
     return RunResult(

@@ -22,6 +22,15 @@ on:
 * **Switch-table/controller-intent agreement** — walking a probe flow
   hop-by-hop through the per-switch TCAM expansion reproduces the
   end-to-end path of the controller's highest-priority covering rule.
+* **Stats-pipeline sanity** — the link-stats EWMAs stay finite and
+  non-negative, a frozen service folds no samples, and the frozen-gap
+  accounting (pending span, published span, lifetime total) never goes
+  negative.  This is what lets the forecast layer trust
+  ``last_gap_seconds`` as its discount signal.
+* **Background teardown** — once a :class:`BackgroundTraffic` source is
+  torn down, none of the CBR streams it ever started may still be
+  active (double-teardown during chaos link-restore used to leave — or
+  crash on — survivors).
 
 Violations raise :class:`InvariantViolation` carrying every failed
 assertion plus a dump of the trace ring (when a tracer is active), so a
@@ -39,7 +48,9 @@ from repro.simnet.flows import SHUFFLE_PORT, TCP, FiveTuple, Flow
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sdn.controller import Controller
+    from repro.sdn.stats_service import LinkStatsService
     from repro.sdn.switch_tables import SwitchTableView
+    from repro.simnet.background import BackgroundTraffic
     from repro.simnet.network import Network
 
 #: Absolute slack (bytes) allowed on conservation checks, matching the
@@ -91,6 +102,8 @@ class InvariantChecker:
         self._settles = 0
         self._networks: list["Network"] = []
         self._controllers: list[tuple["Controller", "SwitchTableView"]] = []
+        self._stats_services: list["LinkStatsService"] = []
+        self._backgrounds: list["BackgroundTraffic"] = []
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
         self._m_checked = registry.counter("invariants.checked")
@@ -114,6 +127,16 @@ class InvariantChecker:
 
         view = SwitchTableView(controller.network.topology, controller.programmer)
         self._controllers.append((controller, view))
+        self.watch_stats(controller.stats_service)
+
+    def watch_stats(self, stats: "LinkStatsService") -> None:
+        """Audit this link-stats service's EWMA and gap accounting."""
+        if stats not in self._stats_services:
+            self._stats_services.append(stats)
+
+    def watch_background(self, background: "BackgroundTraffic") -> None:
+        """Assert no stream of this source survives its teardown."""
+        self._backgrounds.append(background)
 
     def _on_settle(self, _network: "Network") -> None:
         self._settles += 1
@@ -132,6 +155,10 @@ class InvariantChecker:
             problems += self._check_arena(network)
         for controller, view in self._controllers:
             problems += self._check_tables(controller, view)
+        for stats in self._stats_services:
+            problems += self._check_stats(stats)
+        for background in self._backgrounds:
+            problems += self._check_background(background)
         self.checkpoints += 1
         self._m_checked.inc()
         if problems:
@@ -355,6 +382,50 @@ class InvariantChecker:
             elif key == best_key and rule.path != best.path:
                 tied = True
         return None if tied else best
+
+    # -- stats pipeline --------------------------------------------------
+    def _check_stats(self, stats: "LinkStatsService") -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        for label, arr in (("ewma", stats._ewma), ("ewma_background", stats._ewma_background)):
+            if not np.all(np.isfinite(arr)):
+                problems.append(f"stats: {label} contains non-finite values")
+            elif np.any(arr < -1e-6):
+                problems.append(f"stats: {label} went negative (min {arr.min():.3f})")
+        if stats.frozen and stats.samples != stats.samples_at_freeze:
+            problems.append(
+                f"stats: frozen service folded {stats.samples - stats.samples_at_freeze} "
+                f"sample(s) after freeze()"
+            )
+        if stats._gap_pending < 0 or stats.last_gap_seconds < 0 or stats.frozen_seconds_total < 0:
+            problems.append(
+                f"stats: negative gap accounting (pending {stats._gap_pending:.3f}, "
+                f"last {stats.last_gap_seconds:.3f}, total {stats.frozen_seconds_total:.3f})"
+            )
+        if stats.frozen_seconds_total + 1e-9 < stats.last_gap_seconds:
+            problems.append(
+                f"stats: published gap {stats.last_gap_seconds:.3f} exceeds lifetime "
+                f"frozen total {stats.frozen_seconds_total:.3f}"
+            )
+        return problems
+
+    # -- background teardown ---------------------------------------------
+    def _check_background(self, background: "BackgroundTraffic") -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        if not background.torn_down:
+            return problems
+        survivors = [f.fid for f in background.started_flows if f.active]
+        if survivors:
+            problems.append(
+                f"background: flows {survivors} still active after teardown()"
+            )
+        if background.flows:
+            problems.append(
+                f"background: torn-down source still lists {len(background.flows)} "
+                f"flow(s) as live"
+            )
+        return problems
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -1,0 +1,286 @@
+"""Per-link background-load forecasters.
+
+Pythia predicts *shuffle* demand from application intent; the other
+half of the picture — background occupancy on each link — is only ever
+measured (:class:`~repro.sdn.stats_service.LinkStatsService`'s EWMA).
+This module closes the loop from the measurement side: a
+:class:`LinkLoadForecaster` consumes the stats service's smoothed
+per-link background series, one observation per poll, and predicts the
+per-link occupancy a *horizon* into the future, so the allocator can
+score path residuals against where the network is going rather than
+where it last was ("Predictive networking and optimization for
+flow-based networks"; "Methods for Predicting Behavior of Elephant
+Flows in Data Center Networks").
+
+Every model is vectorised across links — state is a handful of
+``(nlinks,)`` arrays, one ``observe`` per stats poll — and every model
+follows the same discipline after a frozen-stats gap: :meth:`reset`
+drops trend/window state (the series across the gap is not a
+contiguous sample) while keeping the last level, so the first post-thaw
+predictions degrade to level-extrapolation instead of extrapolating a
+trend fitted across missing data.
+
+Models register themselves in :data:`FORECASTERS`;
+:attr:`~repro.core.config.PythiaConfig.forecast_mode` is validated
+against that registry, and new models (learned predictors, e.g. the
+TCN link-bandwidth model of HuaZheng's FYP) plug in via
+:func:`register_forecaster` without touching the allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class LinkLoadForecaster(Protocol):
+    """One-step-fed, h-seconds-out per-link load predictor."""
+
+    name: str
+
+    def observe(self, now: float, values: np.ndarray) -> None:
+        """Feed one poll's smoothed per-link loads (bytes/s)."""
+        ...
+
+    def predict(self, horizon: float) -> np.ndarray:
+        """Per-link load (bytes/s) ``horizon`` seconds past the last
+        observation.  Only meaningful when :meth:`ready` is true."""
+        ...
+
+    def ready(self) -> bool:
+        """True once enough history has been observed to predict."""
+        ...
+
+    def reset(self) -> None:
+        """Discount accumulated trend/window state (frozen-stats gap)."""
+        ...
+
+
+class EwmaExtrapolationForecaster:
+    """Flat extrapolation of an EWMA level — the measured-load baseline.
+
+    Predicting "the future equals the current smoothed level" is
+    exactly what the allocator assumed before forecasting existed, so
+    this model is the control arm of every efficacy comparison: any
+    JCT gain a trend-aware model shows is measured against it.  With
+    ``alpha=1`` it degenerates to last-observation-carried-forward.
+    """
+
+    name = "ewma"
+
+    def __init__(self, nlinks: int, period: float = 1.0, alpha: float = 0.5) -> None:
+        if nlinks < 1:
+            raise ValueError("nlinks must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.period = period
+        self.alpha = alpha
+        self._level = np.zeros(nlinks)
+        self._observations = 0
+
+    def observe(self, now: float, values: np.ndarray) -> None:
+        if self._observations == 0:
+            self._level = np.asarray(values, dtype=float).copy()
+        else:
+            self._level = self.alpha * values + (1.0 - self.alpha) * self._level
+        self._observations += 1
+
+    def predict(self, horizon: float) -> np.ndarray:
+        return self._level.copy()
+
+    def ready(self) -> bool:
+        return self._observations >= 1
+
+    def reset(self) -> None:
+        # A flat level has no trend to discount; keep it.
+        pass
+
+
+class HoltWintersForecaster:
+    """Holt's damped double exponential smoothing (level + trend per link).
+
+    The standard damped-trend recurrence, one step per stats poll::
+
+        level' = alpha * x + (1 - alpha) * (level + phi * trend)
+        trend' = beta * (level' - level) + (1 - beta) * phi * trend
+        predict(h) = level' + (phi + phi^2 + ... + phi^steps) * trend'
+
+    where ``steps = h / period``.  No seasonal term: datacenter
+    background load over a 10-second allocation horizon is
+    trend-dominated, and the stats period gives the step-to-seconds
+    conversion.  The damping factor ``phi`` (Gardner–McKenzie) matters
+    here more than in most settings because the input series is already
+    EWMA-smoothed — an undamped trend extrapolated several steps
+    overshoots every load change badly enough to misplace allocations;
+    ``phi=1`` recovers classic undamped Holt.  Initialisation follows
+    the textbook form (level = x0, trend = x1 - x0 after two samples),
+    so tests can assert closed-form expectations exactly.
+    """
+
+    name = "holt_winters"
+
+    def __init__(
+        self,
+        nlinks: int,
+        period: float = 1.0,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        phi: float = 0.8,
+    ) -> None:
+        if nlinks < 1:
+            raise ValueError("nlinks must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        if not 0.0 < phi <= 1.0:
+            raise ValueError("phi must be in (0, 1]")
+        self.period = period
+        self.alpha = alpha
+        self.beta = beta
+        self.phi = phi
+        self._level = np.zeros(nlinks)
+        self._trend = np.zeros(nlinks)
+        self._observations = 0
+
+    def observe(self, now: float, values: np.ndarray) -> None:
+        x = np.asarray(values, dtype=float)
+        if self._observations == 0:
+            self._level = x.copy()
+        elif self._observations == 1:
+            self._trend = x - self._level
+            self._level = x.copy()
+        else:
+            prev = self._level
+            damped = self.phi * self._trend
+            self._level = self.alpha * x + (1.0 - self.alpha) * (prev + damped)
+            self._trend = self.beta * (self._level - prev) + (1.0 - self.beta) * damped
+        self._observations += 1
+
+    def predict(self, horizon: float) -> np.ndarray:
+        steps = horizon / self.period
+        if self.phi == 1.0:
+            weight = steps
+        else:
+            # sum of phi^i for i = 1..steps, extended to fractional
+            # steps through the continuous geometric partial sum.
+            weight = self.phi * (1.0 - self.phi**steps) / (1.0 - self.phi)
+        return self._level + weight * self._trend
+
+    def ready(self) -> bool:
+        return self._observations >= 2
+
+    def reset(self) -> None:
+        # Keep the level (it is still the best point estimate) but drop
+        # the trend: it was fitted on samples from before the gap.
+        self._trend = np.zeros_like(self._trend)
+        self._observations = min(self._observations, 1)
+
+
+class ARForecaster:
+    """Per-link AR(p) fitted by ridge-regularised least squares.
+
+    Keeps a sliding window of the last ``window`` observations per link
+    and, on demand, fits ``x_t = c + sum_i phi_i * x_(t-i)`` over that
+    window.  Multi-step prediction iterates the one-step model.  The
+    fit is batched across links through the normal equations (one
+    ``(p+1, p+1)`` solve per link, vectorised with ``np.linalg.solve``
+    on a stacked array); a tiny ridge term keeps constant series —
+    singular design matrices — well-posed, and the solution then
+    reproduces the constant exactly.
+    """
+
+    name = "ar"
+
+    def __init__(
+        self,
+        nlinks: int,
+        period: float = 1.0,
+        order: int = 3,
+        window: int = 32,
+        ridge: float = 1e-6,
+    ) -> None:
+        if nlinks < 1:
+            raise ValueError("nlinks must be >= 1")
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if window < 2 * order + 2:
+            raise ValueError("window must be >= 2 * order + 2")
+        self.period = period
+        self.order = order
+        self.window = window
+        self.ridge = ridge
+        self._history = np.zeros((window, nlinks))
+        self._count = 0
+
+    def observe(self, now: float, values: np.ndarray) -> None:
+        self._history = np.roll(self._history, -1, axis=0)
+        self._history[-1] = np.asarray(values, dtype=float)
+        self._count = min(self._count + 1, self.window)
+
+    def ready(self) -> bool:
+        return self._count >= 2 * self.order + 2
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def _fit(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coefficients ``(c, phi)`` and the scale used to condition them."""
+        p = self.order
+        series = self._history[self.window - self._count:]  # (n, nlinks)
+        n, nlinks = series.shape
+        # Normalise each link by its own scale so the ridge term is
+        # dimensionless (byte-rate magnitudes would otherwise swamp it).
+        scale = np.maximum(np.abs(series).max(axis=0), 1.0)
+        s = series / scale
+        rows = n - p
+        # Design tensor: X[k] is link k's (rows, p+1) lagged matrix.
+        x = np.empty((nlinks, rows, p + 1))
+        x[:, :, 0] = 1.0
+        for i in range(1, p + 1):
+            x[:, :, i] = s[p - i: n - i].T
+        y = s[p:].T  # (nlinks, rows)
+        xtx = np.einsum("kri,krj->kij", x, x)
+        xtx += self.ridge * np.eye(p + 1)
+        xty = np.einsum("kri,kr->ki", x, y)
+        # (nlinks, p+1, 1) rhs: batched solve needs an explicit column.
+        coef = np.linalg.solve(xtx, xty[:, :, None])[:, :, 0]
+        return coef[:, 0], coef[:, 1:], scale
+
+    def predict(self, horizon: float) -> np.ndarray:
+        p = self.order
+        steps = max(1, int(round(horizon / self.period)))
+        c, phi, scale = self._fit()
+        # lags[:, 0] is x_(t), lags[:, i] is x_(t-i)
+        lags = (self._history[-p:] / scale)[::-1].T.copy()  # (nlinks, p)
+        for _ in range(steps):
+            nxt = c + np.einsum("ki,ki->k", phi, lags)
+            lags = np.concatenate([nxt[:, None], lags[:, :-1]], axis=1)
+        return lags[:, 0] * scale
+
+
+#: model-name -> factory(nlinks, period, **kwargs) registry.
+FORECASTERS: dict[str, Callable[..., LinkLoadForecaster]] = {}
+
+
+def register_forecaster(name: str, factory: Callable[..., LinkLoadForecaster]) -> None:
+    """Add (or replace) a forecaster factory under ``name``."""
+    FORECASTERS[name] = factory
+
+
+def make_forecaster(name: str, nlinks: int, period: float = 1.0, **kwargs) -> LinkLoadForecaster:
+    """Instantiate a registered forecaster by name."""
+    try:
+        factory = FORECASTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecaster {name!r}; registered: {sorted(FORECASTERS)}"
+        ) from None
+    return factory(nlinks=nlinks, period=period, **kwargs)
+
+
+register_forecaster("ewma", EwmaExtrapolationForecaster)
+register_forecaster("holt_winters", HoltWintersForecaster)
+register_forecaster("ar", ARForecaster)

@@ -1,0 +1,141 @@
+"""Proactive elephant rerouting on forecast link saturation.
+
+Hedera (``repro.sdn.hedera``) reroutes *after* a link is observed
+congested; this rerouter moves elephants *before* the congestion
+arrives.  At every stats poll it asks the
+:class:`~repro.forecast.service.ForecastService` where each link's
+background load will be one horizon out, adds the instantaneous elastic
+load, and when a link is forecast to exceed the utilisation threshold
+it re-places the live shuffle flows crossing that link onto the
+candidate path with the lowest forecast peak utilisation — reusing the
+same reroute-with-pause machinery (and paying the same transport
+disruption cost) as the reactive baseline.
+
+Guard rails keep the loop from thrashing:
+
+* **hysteresis** — a move must improve the flow's worst predicted link
+  utilisation by at least ``margin``, or it stays put;
+* **cooldown** — a flow just rerouted is left alone for
+  ``cooldown`` seconds (each reroute already costs a ``pause``-long
+  transport stall);
+* **stale forecasts** — when the forecast service is degraded (frozen
+  stats, cold start) the rerouter does nothing at all, so behaviour
+  falls back to the purely reactive allocator path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.forecast.service import ForecastService
+from repro.sdn.stats_service import LinkStatsService
+from repro.sdn.topology_service import TopologyService
+from repro.simnet.flows import Flow
+from repro.simnet.network import Network
+
+
+class ProactiveRerouter:
+    """Re-place elephants off links forecast to saturate."""
+
+    def __init__(
+        self,
+        network: Network,
+        stats: LinkStatsService,
+        forecast: ForecastService,
+        topology_service: TopologyService,
+        threshold: float = 0.85,
+        margin: float = 0.05,
+        pause: float = 0.1,
+        min_remaining_bytes: float = 8e6,
+        cooldown: float = 2.0,
+    ) -> None:
+        if not 0.0 < threshold <= 1.5:
+            raise ValueError("threshold must be in (0, 1.5]")
+        self.network = network
+        self.forecast = forecast
+        self.topology_service = topology_service
+        self.threshold = threshold
+        self.margin = margin
+        self.pause = pause
+        self.min_remaining_bytes = min_remaining_bytes
+        self.cooldown = cooldown
+        self.reroutes = 0
+        self.skipped_stale = 0
+        self._last_move: dict[int, float] = {}  # flow.fid -> sim time
+        registry = obs.get_registry()
+        self._m_reroutes = registry.counter("forecast.reroutes")
+        self._m_skipped = registry.counter("forecast.reroute_skipped_stale")
+        self._m_hot = registry.gauge("forecast.hot_links")
+        # Registered after the ForecastService's own hook (the scheduler
+        # wires the service first), so every pass sees a forecaster that
+        # has already absorbed this poll.
+        stats.add_sample_hook(self._on_sample)
+
+    # ------------------------------------------------------------------
+    def _on_sample(self, now: float, dt: float, gap: float) -> None:
+        if self.forecast.degraded():
+            self.skipped_stale += 1
+            self._m_skipped.inc()
+            return
+        net = self.network
+        net.settle()
+        capacity = net.link_capacity()
+        predicted = self.forecast.predict_background() + net.link_elastic_load()
+        util = predicted / np.maximum(capacity, 1.0)
+        hot = np.flatnonzero((util > self.threshold) & (capacity > 0))
+        self._m_hot.set(len(hot))
+        if hot.size == 0:
+            return
+        hot_set = set(int(lid) for lid in hot)
+        movers = [
+            f
+            for f in net.elastic
+            if f.is_shuffle()
+            and f.remaining >= self.min_remaining_bytes
+            and f.path
+            and hot_set.intersection(f.path)
+            and now - self._last_move.get(f.fid, -np.inf) >= self.cooldown
+        ]
+        # Biggest elephants first: they relieve the most forecast load
+        # per (pause-costed) move.
+        movers.sort(key=lambda f: -f.remaining)
+        for flow in movers:
+            moved = self._try_move(flow, predicted, capacity, now)
+            if moved:
+                self.reroutes += 1
+                self._m_reroutes.inc()
+
+    def _try_move(
+        self, flow: Flow, predicted: np.ndarray, capacity: np.ndarray, now: float
+    ) -> bool:
+        paths = self.topology_service.k_paths_links(flow.src, flow.dst)
+        if len(paths) < 2:
+            return False
+        own = flow.rate
+
+        def peak_util(path: list[int]) -> float:
+            # ``predicted`` already counts this flow on its current
+            # path; moving it means subtracting there, adding here.
+            worst = 0.0
+            for lid in path:
+                load = predicted[lid] + own
+                if flow.path and lid in flow.path:
+                    load -= own
+                worst = max(worst, load / max(capacity[lid], 1.0))
+            return worst
+
+        assert flow.path is not None
+        current = peak_util(flow.path)
+        best = min(paths, key=peak_util)
+        if best == flow.path or peak_util(best) > current - self.margin:
+            return False
+        # Account the move in the working prediction so later movers in
+        # this same pass don't all pile onto the same cool path.
+        for lid in flow.path:
+            predicted[lid] -= own
+        for lid in best:
+            predicted[lid] += own
+        self.network.reroute(flow, best, pause=self.pause)
+        self._last_move[flow.fid] = now
+        return True

@@ -1,0 +1,148 @@
+"""ForecastService: ties a forecaster to the link-stats sample stream.
+
+One instance per controller.  It subscribes to the
+:class:`~repro.sdn.stats_service.LinkStatsService` sample hook, feeds
+every folded poll's smoothed background vector to the configured
+:class:`~repro.forecast.models.LinkLoadForecaster`, and answers the
+allocator's and rerouter's one question: *what will each link's
+background load be at ``now + horizon``?*
+
+Two safety properties the chaos suite leans on:
+
+* **Graceful degradation.**  When the stats pipeline is stale — frozen
+  by the chaos engine, or simply not yet warmed up — predictions fall
+  back to the measured EWMA (exactly the pre-forecast behaviour), and
+  the ``forecast.stale_fallbacks`` counter records every such answer.
+  Staleness is judged by :meth:`LinkStatsService.staleness` against
+  ``stale_after`` (default: three poll periods).
+* **Gap discounting.**  The stats service reports the frozen span the
+  first post-thaw sample folded in; the service then ``reset()``s the
+  forecaster so trends fitted across the missing window are discarded
+  rather than extrapolated (the §IV staleness failure mode the chaos
+  engine exposed).
+
+The service also scores itself with the paper's own
+prediction-efficacy methodology (§V-B judges predictions by lead time
+and accuracy): at every poll it files the forecaster's ``horizon``-out
+prediction, and when simulated time catches up it compares that
+prediction against the measured background, maintaining a streaming
+MAE (``forecast.mae_bytes`` gauge, :meth:`mae`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.forecast.models import LinkLoadForecaster
+from repro.sdn.stats_service import LinkStatsService
+
+
+class ForecastService:
+    """Predicted per-link background occupancy with measured fallback."""
+
+    def __init__(
+        self,
+        stats: LinkStatsService,
+        forecaster: LinkLoadForecaster,
+        horizon: float = 5.0,
+        stale_after: Optional[float] = None,
+        max_pending: int = 256,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.stats = stats
+        self.forecaster = forecaster
+        self.horizon = horizon
+        #: forecasts older than this many seconds of stats silence are
+        #: not trusted; answers degrade to the measured EWMA.
+        self.stale_after = stale_after if stale_after is not None else 3.0 * stats.period
+        #: (target_time, predicted_background) awaiting self-evaluation.
+        self._pending: deque[tuple[float, np.ndarray]] = deque(maxlen=max_pending)
+        self.predictions = 0
+        self.stale_fallbacks = 0
+        self.gap_resets = 0
+        self.evaluations = 0
+        self._abs_error_total = 0.0
+        registry = obs.get_registry()
+        self._m_predictions = registry.counter("forecast.predictions")
+        self._m_fallbacks = registry.counter("forecast.stale_fallbacks")
+        self._m_gap_resets = registry.counter("forecast.gap_resets")
+        self._m_mae = registry.gauge("forecast.mae_bytes")
+        registry.gauge("forecast.horizon_seconds").set(horizon)
+        stats.add_sample_hook(self._on_sample)
+
+    # ------------------------------------------------------------------
+    # sample ingestion
+    # ------------------------------------------------------------------
+    def _on_sample(self, now: float, dt: float, gap: float) -> None:
+        background = self.stats.background_load_array()
+        if gap > 0.0:
+            # The sample that just folded averaged over a frozen window;
+            # whatever trend the forecaster held straddles missing data.
+            self.forecaster.reset()
+            self.gap_resets += 1
+            self._m_gap_resets.inc()
+            self._pending.clear()
+        else:
+            self._score_matured(now, background)
+        self.forecaster.observe(now, background)
+        if self.forecaster.ready():
+            self._pending.append(
+                (now + self.horizon, self.forecaster.predict(self.horizon))
+            )
+
+    def _score_matured(self, now: float, measured: np.ndarray) -> None:
+        while self._pending and self._pending[0][0] <= now:
+            _target, predicted = self._pending.popleft()
+            self._abs_error_total += float(np.abs(predicted - measured).mean())
+            self.evaluations += 1
+        if self.evaluations:
+            self._m_mae.set(self._abs_error_total / self.evaluations)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def degraded(self) -> bool:
+        """True when answers are currently measured-EWMA fallbacks."""
+        return (
+            not self.forecaster.ready()
+            or self.stats.staleness() > self.stale_after
+        )
+
+    def predict_background(self, horizon: Optional[float] = None) -> np.ndarray:
+        """Per-link background load (bytes/s) at ``now + horizon``.
+
+        Degrades to the measured EWMA when the forecaster has no usable
+        history or the stats pipeline has gone stale; predictions are
+        clipped at zero (occupancy cannot be negative).
+        """
+        if self.degraded():
+            self.stale_fallbacks += 1
+            self._m_fallbacks.inc()
+            return self.stats.background_load_array()
+        self.predictions += 1
+        self._m_predictions.inc()
+        h = self.horizon if horizon is None else horizon
+        return np.maximum(0.0, self.forecaster.predict(h))
+
+    def mae(self) -> float:
+        """Streaming mean absolute error (bytes/s) of matured forecasts."""
+        if not self.evaluations:
+            return 0.0
+        return self._abs_error_total / self.evaluations
+
+    def snapshot(self) -> dict:
+        """Summary for RunResult.policy_stats and the CLI report."""
+        return {
+            "forecast_mode": getattr(self.forecaster, "name", "?"),
+            "forecast_horizon": self.horizon,
+            "forecast_predictions": self.predictions,
+            "forecast_stale_fallbacks": self.stale_fallbacks,
+            "forecast_gap_resets": self.gap_resets,
+            "forecast_evaluations": self.evaluations,
+            "forecast_mae_bytes": self.mae(),
+        }

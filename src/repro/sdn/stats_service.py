@@ -10,7 +10,7 @@ what hardware counters would.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -43,15 +43,36 @@ class LinkStatsService:
         #: pipeline: polls fire but fold nothing in, so consumers keep
         #: reading an EWMA that ages.
         self._frozen = False
+        #: sim time freeze() was entered, None while thawed.
+        self._frozen_at: Optional[float] = None
+        #: samples folded as of the last freeze(); while frozen, the
+        #: invariant checker asserts this count has not moved.
+        self.samples_at_freeze = 0
+        #: frozen span waiting to be folded by the first thawed sample.
+        self._gap_pending = 0.0
+        #: frozen span the most recent sample averaged across (0 when
+        #: the last sample was an ordinary contiguous poll).  Forecast
+        #: consumers discount their trend state when this is non-zero.
+        self.last_gap_seconds = 0.0
+        #: cumulative seconds spent frozen over the service's lifetime.
+        self.frozen_seconds_total = 0.0
         #: the in-flight periodic poll event, cancelled on stop() so a
         #: stop()/start() cycle cannot leave two live polling chains.
         self._pending_tick: Optional[Event] = None
+        #: called as fn(now, dt, gap) after each successfully folded
+        #: sample — the forecast pipeline's ingestion point.  Hooks run
+        #: in registration order and never fire for skipped/zero-dt
+        #: polls.
+        self._sample_hooks: list[Callable[[float, float, float], None]] = []
         self.samples = 0
         self.samples_skipped = 0
+        self.samples_zero_dt = 0
         registry = obs.get_registry()
         self._m_samples = registry.counter("stats.samples")
         self._m_skipped = registry.counter("stats.samples_skipped")
+        self._m_zero_dt = registry.counter("stats.samples_zero_dt")
         self._m_lag = registry.gauge("stats.ewma_lag_seconds")
+        self._m_gap = registry.gauge("stats.frozen_gap_seconds")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -85,11 +106,43 @@ class LinkStatsService:
         first post-thaw sample averages over the whole frozen window —
         exactly what a late counter diff would measure.
         """
+        if self._frozen:
+            return
         self._frozen = True
+        self._frozen_at = self.sim.now
+        self.samples_at_freeze = self.samples
 
     def unfreeze(self) -> None:
-        """Leave staleness; the next poll folds the gap in."""
+        """Leave staleness; the next poll folds the gap in.
+
+        The frozen span is recorded so that fold can be discounted: the
+        first thawed sample publishes it as :attr:`last_gap_seconds`
+        (and the ``stats.frozen_gap_seconds`` gauge) and passes it to
+        sample hooks, letting the forecaster drop trends fitted across
+        the missing window instead of extrapolating them.
+        """
+        if not self._frozen:
+            return
         self._frozen = False
+        if self._frozen_at is not None:
+            span = self.sim.now - self._frozen_at
+            self._gap_pending += span
+            self.frozen_seconds_total += span
+        self._frozen_at = None
+
+    @property
+    def frozen(self) -> bool:
+        """True while the stats pipeline is chaos-frozen."""
+        return self._frozen
+
+    def add_sample_hook(self, hook: Callable[[float, float, float], None]) -> None:
+        """Subscribe ``hook(now, dt, gap)`` to successfully folded samples.
+
+        ``gap`` is the frozen span (seconds) the sample averaged over,
+        0.0 for an ordinary contiguous poll.  Skipped (frozen) and
+        zero-dt polls do not fire hooks.
+        """
+        self._sample_hooks.append(hook)
 
     def staleness(self) -> float:
         """Seconds since the EWMA last absorbed a sample."""
@@ -111,28 +164,43 @@ class LinkStatsService:
         now = self.sim.now
         counters = self.network.link_bytes()
         dt = now - self._last_time
-        if dt > 0:
-            rates = (counters - self._last_bytes) / dt
-            self._ewma = self.alpha * rates + (1 - self.alpha) * self._ewma
-            # Background component: total load minus the shuffle transfers
-            # the application layer knows about ("it employs the knowledge
-            # of the application-level transfers to differentiate the
-            # portion of the network load that is due to shuffle transfers
-            # from background traffic", §IV).  Elastic flows are exactly
-            # the tracked application transfers in this model.
-            bg = np.maximum(
-                0.0, self.network.link_load() - self.network.link_elastic_load()
-            )
-            self._ewma_background = (
-                self.alpha * bg + (1 - self.alpha) * self._ewma_background
-            )
-            self._last_bytes = counters
-            self._last_time = now
-            self.samples += 1
-            self._m_samples.inc()
-            # How stale the EWMA was when this sample folded in — the
-            # gauge's high-water exposes missed/late polling intervals.
-            self._m_lag.set(dt)
+        if dt <= 0:
+            # Two polls at the same instant (restart + scheduled tick,
+            # manual sample() from a settle hook): a zero-dt rate is
+            # undefined, so fold nothing and — critically — leave
+            # ``_last_bytes``/``_last_time`` untouched so the next real
+            # poll still diffs against the last *folded* counters.
+            self.samples_zero_dt += 1
+            self._m_zero_dt.inc()
+            return
+        rates = (counters - self._last_bytes) / dt
+        self._ewma = self.alpha * rates + (1 - self.alpha) * self._ewma
+        # Background component: total load minus the shuffle transfers
+        # the application layer knows about ("it employs the knowledge
+        # of the application-level transfers to differentiate the
+        # portion of the network load that is due to shuffle transfers
+        # from background traffic", §IV).  Elastic flows are exactly
+        # the tracked application transfers in this model.
+        bg = np.maximum(
+            0.0, self.network.link_load() - self.network.link_elastic_load()
+        )
+        self._ewma_background = (
+            self.alpha * bg + (1 - self.alpha) * self._ewma_background
+        )
+        self._last_bytes = counters
+        self._last_time = now
+        self.samples += 1
+        self._m_samples.inc()
+        # How stale the EWMA was when this sample folded in — the
+        # gauge's high-water exposes missed/late polling intervals.
+        self._m_lag.set(dt)
+        # Publish how much of this fold was a frozen gap (0 normally).
+        gap = self._gap_pending
+        self._gap_pending = 0.0
+        self.last_gap_seconds = gap
+        self._m_gap.set(gap)
+        for hook in self._sample_hooks:
+            hook(now, dt, gap)
 
     # ------------------------------------------------------------------
     def load(self, lid: int) -> float:

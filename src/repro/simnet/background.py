@@ -27,6 +27,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.faults import runtime as faults_runtime
+from repro.simnet.engine import Simulator
 from repro.simnet.flows import UDP, FiveTuple, Flow
 from repro.simnet.network import Network
 from repro.simnet.paths import k_shortest_paths
@@ -111,6 +113,20 @@ class BackgroundTraffic:
     #: of pinning at the line-rate cap early.
     imbalance: float = 0.6
     flows: list[Flow] = field(default_factory=list)
+    #: every stream ever started, teardown-audit trail for the
+    #: invariant checker (flows is pruned; this list never is).
+    started_flows: list[Flow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._torn_down = False
+        checker = faults_runtime.get_checker()
+        if checker is not None and hasattr(checker, "watch_background"):
+            checker.watch_background(self)
+
+    @property
+    def torn_down(self) -> bool:
+        """True once teardown() has run (further starts are refused)."""
+        return self._torn_down
 
     def populate(self, ratio: Optional[float]) -> list[Flow]:
         """Install background streams for over-subscription 1:ratio."""
@@ -173,9 +189,105 @@ class BackgroundTraffic:
                 )
                 self.network.start_flow(flow, topo.path_links(node_path))
                 self.flows.append(flow)
+                self.started_flows.append(flow)
+
+    # ------------------------------------------------------------------
+    # step/ramp scenario (forecast efficacy)
+    # ------------------------------------------------------------------
+    def schedule_ramp(self, sim: Simulator, ramp: "BackgroundRamp") -> None:
+        """Schedule a stepped background surge onto one trunk path.
+
+        Starting at ``ramp.at``, ``ramp.steps`` CBR streams of
+        ``ramp.rate / steps`` each come up evenly spaced across
+        ``ramp.duration`` on trunk path ``ramp.path_index`` (both
+        directions) — the forecastable "link about to saturate"
+        situation: a trend-aware forecaster sees the first steps and
+        predicts the saturation; a measured-load allocator only reacts
+        once the link is already hot.  Steps firing after teardown()
+        are dropped.
+        """
+        if ramp.steps < 1:
+            raise ValueError("ramp needs at least one step")
+        spacing = ramp.duration / ramp.steps
+        per_step = ramp.rate / ramp.steps
+        for i in range(ramp.steps):
+            sim.schedule_at(
+                ramp.at + i * spacing, self._ramp_step, per_step, ramp.path_index
+            )
+
+    def _ramp_step(self, rate: float, path_index: int) -> None:
+        if self._torn_down:
+            return
+        topo = self.network.topology
+        racks = sorted({h.rack for h in topo.hosts() if h.rack is not None})
+        if len(racks) < 2:
+            raise ValueError("background ramp needs at least two racks")
+        for src_rack, dst_rack in ((racks[0], racks[1]), (racks[1], racks[0])):
+
+            def rack_hosts(rack: int) -> list[str]:
+                gens = sorted(h.name for h in topo.generator_hosts() if h.rack == rack)
+                if gens:
+                    return gens
+                return sorted(h.name for h in topo.worker_hosts() if h.rack == rack)
+
+            src_hosts = rack_hosts(src_rack)
+            dst_hosts = rack_hosts(dst_rack)
+            paths = k_shortest_paths(topo, src_hosts[0], dst_hosts[0], self.k_paths)
+            path = paths[min(path_index, len(paths) - 1)]
+            backbone = [n for n in path if topo.nodes[n].kind is NodeKind.SWITCH]
+            src = src_hosts[0]
+            dst = dst_hosts[int(self.rng.integers(len(dst_hosts)))]
+            ft = FiveTuple(
+                topo.nodes[src].ip or src,
+                topo.nodes[dst].ip or dst,
+                int(self.rng.integers(32768, 61000)),
+                5001,
+                UDP,
+            )
+            flow = Flow(
+                src=src,
+                dst=dst,
+                size=None,
+                five_tuple=ft,
+                rigid_rate=rate,
+                tags={"kind": "background", "path_index": path_index, "ramp": True},
+            )
+            self.network.start_flow(flow, topo.path_links([src, *backbone, dst]))
+            self.flows.append(flow)
+            self.started_flows.append(flow)
 
     def teardown(self) -> None:
-        """Stop every background stream (lets the event queue drain)."""
+        """Stop every background stream (lets the event queue drain).
+
+        Idempotent: a second call — e.g. chaos link-restore racing the
+        experiment epilogue — is a no-op, and streams that already
+        completed or were stopped individually are skipped rather than
+        re-stopped (stopping a dead flow raises from the slot arena).
+        """
+        if self._torn_down:
+            return
+        self._torn_down = True
         for flow in self.flows:
-            self.network.stop_flow(flow)
+            if flow.active:
+                self.network.stop_flow(flow)
         self.flows.clear()
+
+
+@dataclass(frozen=True)
+class BackgroundRamp:
+    """A stepped background surge (the forecastable step scenario).
+
+    Frozen dataclass so sweep cells carrying one stay hashable and
+    cacheable through ``repro.runner``'s content-addressed cache.
+    """
+
+    #: sim time the first step comes up.
+    at: float
+    #: window over which all steps come up.
+    duration: float
+    #: total per-direction CBR rate (bytes/s) once fully ramped.
+    rate: float
+    #: number of equal increments.
+    steps: int = 4
+    #: trunk path (by k-shortest index) the surge lands on.
+    path_index: int = 1

@@ -199,3 +199,69 @@ def test_pathless_entry_does_not_corrupt_planned_state():
     [(e, path)] = alloc.allocate([stranded])
     assert e is stranded
     assert alloc.planned_load().max() == pytest.approx(7e6)
+
+
+class _StubForecast:
+    """Minimal ForecastService stand-in: a fixed predicted-load array."""
+
+    def __init__(self, predicted):
+        self.predicted = np.asarray(predicted, dtype=float)
+        self.calls = 0
+
+    def predict_background(self, horizon=None):
+        self.calls += 1
+        return self.predicted.copy()
+
+
+def test_water_filling_forecast_headroom_breaks_ties():
+    sim, topo, net, stats, alloc = build(kind="water_filling")
+    paths = [np.array([0]), np.array([1]), np.array([2])]
+    # equal rounded ETAs, but the forecast says path 1 has the most slack
+    headroom = np.array([50.0, 90.0, 70.0])
+    picks = [
+        alloc._choose(
+            paths, [100.0] * 3, [0.0] * 3, 10.0, forecast_headroom=headroom
+        )
+        for _ in range(4)
+    ]
+    assert picks == [1, 1, 1, 1]  # one winner: rotation never engages
+
+
+def test_water_filling_rotates_among_headroom_ties():
+    sim, topo, net, stats, alloc = build(kind="water_filling")
+    paths = [np.array([0]), np.array([1]), np.array([2])]
+    headroom = np.array([90.0, 40.0, 90.0])  # paths 0 and 2 tie on slack
+    picks = [
+        alloc._choose(
+            paths, [100.0] * 3, [0.0] * 3, 10.0, forecast_headroom=headroom
+        )
+        for _ in range(4)
+    ]
+    assert sorted(set(picks)) == [0, 2]
+    assert 1 not in picks
+
+
+def test_water_filling_without_forecast_is_unchanged():
+    """forecast_headroom=None must reproduce the pre-forecast rotation
+    exactly — the measured-load pipeline stays bit-identical."""
+    sim, topo, net, stats, alloc = build(kind="water_filling")
+    paths = [np.array([0]), np.array([1]), np.array([2])]
+    picks = [
+        alloc._choose(paths, [100.0] * 3, [0.0] * 3, 10.0, forecast_headroom=None)
+        for _ in range(6)
+    ]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_allocator_scores_against_forecast_not_ewma():
+    """The measured EWMA sees both trunks idle, but the forecast says
+    trunk0 is about to saturate: the allocator must avoid it."""
+    sim, topo, net, stats, alloc = build()
+    t0 = [l for l in topo.links if l.src == "tor0" and l.dst == "trunk0"][0]
+    predicted = np.zeros(len(topo.links))
+    predicted[t0.lid] = 120e6  # trunk0 forecast ~96% occupied
+    forecast = _StubForecast(predicted)
+    alloc.forecast = forecast
+    [(e, path)] = alloc.allocate([entry("h00", "h10", 100e6)])
+    assert trunk_of(topo, path) == "trunk1"
+    assert forecast.calls == 1

@@ -1,0 +1,253 @@
+"""Forecaster behaviour on constant / ramp / step / frozen-gap series.
+
+The EWMA and Holt–Winters expectations are exact closed forms of the
+published recurrences, so any drift in the update equations fails
+loudly rather than shifting results quietly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.forecast.models import (
+    ARForecaster,
+    EwmaExtrapolationForecaster,
+    FORECASTERS,
+    HoltWintersForecaster,
+    LinkLoadForecaster,
+    make_forecaster,
+    register_forecaster,
+)
+
+
+def feed(model, series):
+    for t, x in enumerate(series):
+        model.observe(float(t), np.asarray(x, dtype=float))
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_has_builtin_models():
+    assert {"ewma", "holt_winters", "ar"} <= set(FORECASTERS)
+    for name in ("ewma", "holt_winters", "ar"):
+        model = make_forecaster(name, nlinks=3)
+        assert isinstance(model, LinkLoadForecaster)
+        assert model.name == name
+
+
+def test_make_forecaster_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown forecaster"):
+        make_forecaster("oracle", nlinks=2)
+
+
+def test_register_forecaster_plugs_in():
+    class Flat:
+        name = "flat"
+
+        def __init__(self, nlinks, period=1.0):
+            self.nlinks = nlinks
+
+        def observe(self, now, values):
+            pass
+
+        def predict(self, horizon):
+            return np.zeros(self.nlinks)
+
+        def ready(self):
+            return True
+
+        def reset(self):
+            pass
+
+    register_forecaster("flat", Flat)
+    try:
+        assert isinstance(make_forecaster("flat", nlinks=2), Flat)
+    finally:
+        del FORECASTERS["flat"]
+
+
+# ----------------------------------------------------------------------
+# EWMA extrapolation — exact closed forms
+# ----------------------------------------------------------------------
+def test_ewma_constant_series_is_exact():
+    model = EwmaExtrapolationForecaster(nlinks=2, alpha=0.5)
+    feed(model, [[40e6, 10e6]] * 5)
+    assert model.ready()
+    np.testing.assert_allclose(model.predict(5.0), [40e6, 10e6])
+
+
+def test_ewma_ramp_closed_form():
+    # x_t = 10 t; level_t = a x_t + (1-a) level_{t-1}, level_0 = x_0
+    alpha = 0.5
+    model = EwmaExtrapolationForecaster(nlinks=1, alpha=alpha)
+    level = 0.0
+    for t in range(6):
+        x = 10.0 * t
+        level = x if t == 0 else alpha * x + (1 - alpha) * level
+        model.observe(float(t), np.array([x]))
+    # flat extrapolation: the horizon does not move the prediction,
+    # so an EWMA baseline always lags a ramp by a fixed gap.
+    np.testing.assert_allclose(model.predict(1.0), [level])
+    np.testing.assert_allclose(model.predict(100.0), [level])
+    assert model.predict(5.0)[0] < 50.0  # strictly behind the ramp
+
+
+def test_ewma_step_converges_geometrically():
+    alpha = 0.5
+    model = EwmaExtrapolationForecaster(nlinks=1, alpha=alpha)
+    feed(model, [[0.0]] * 3 + [[100.0]] * 4)
+    # after k post-step samples: 100 (1 - (1-a)^k), here k = 4
+    expected = 100.0 * (1 - (1 - alpha) ** 4)
+    np.testing.assert_allclose(model.predict(2.0), [expected])
+
+
+def test_ewma_reset_keeps_level():
+    model = EwmaExtrapolationForecaster(nlinks=1)
+    feed(model, [[50.0], [50.0]])
+    model.reset()
+    assert model.ready()  # a flat level has no trend to discount
+    np.testing.assert_allclose(model.predict(1.0), [50.0])
+
+
+# ----------------------------------------------------------------------
+# Holt–Winters — exact closed forms
+# ----------------------------------------------------------------------
+def test_holt_winters_needs_two_observations():
+    model = HoltWintersForecaster(nlinks=1)
+    assert not model.ready()
+    model.observe(0.0, np.array([10.0]))
+    assert not model.ready()
+    model.observe(1.0, np.array([20.0]))
+    assert model.ready()
+
+
+def test_holt_winters_ramp_is_exact_undamped():
+    # With phi=1 on a perfect ramp the recurrence is exact: level = x_t,
+    # trend = slope, predict(h) = x_t + slope * h / period.
+    model = HoltWintersForecaster(nlinks=1, period=1.0, alpha=0.5, beta=0.3, phi=1.0)
+    feed(model, [[10.0 * t] for t in range(6)])
+    np.testing.assert_allclose(model.predict(3.0), [50.0 + 10.0 * 3], rtol=1e-12)
+
+
+def test_holt_winters_constant_has_zero_trend():
+    model = HoltWintersForecaster(nlinks=2)
+    feed(model, [[70.0, 5.0]] * 4)
+    np.testing.assert_allclose(model._trend, [0.0, 0.0])
+    np.testing.assert_allclose(model.predict(10.0), [70.0, 5.0])
+
+
+def test_holt_winters_damped_recurrence_closed_form():
+    alpha, beta, phi = 0.5, 0.3, 0.8
+    model = HoltWintersForecaster(nlinks=1, alpha=alpha, beta=beta, phi=phi)
+    xs = [0.0, 10.0, 30.0]
+    feed(model, [[x] for x in xs])
+    # init: level=x0 then level=x1, trend=x1-x0; third step by hand
+    level, trend = xs[1], xs[1] - xs[0]
+    damped = phi * trend
+    level2 = alpha * xs[2] + (1 - alpha) * (level + damped)
+    trend2 = beta * (level2 - level) + (1 - beta) * damped
+    np.testing.assert_allclose(model._level, [level2])
+    np.testing.assert_allclose(model._trend, [trend2])
+    # damped h-step weight: phi (1 - phi^steps) / (1 - phi)
+    steps = 4.0
+    weight = phi * (1 - phi**steps) / (1 - phi)
+    np.testing.assert_allclose(model.predict(4.0), [level2 + weight * trend2])
+
+
+def test_holt_winters_step_overshoots_less_when_damped():
+    series = [[0.0]] * 4 + [[100.0]] * 2
+    undamped = HoltWintersForecaster(nlinks=1, phi=1.0)
+    damped = HoltWintersForecaster(nlinks=1, phi=0.8)
+    feed(undamped, series)
+    feed(damped, series)
+    assert damped.predict(5.0)[0] < undamped.predict(5.0)[0]
+
+
+def test_holt_winters_frozen_gap_reset_drops_trend():
+    model = HoltWintersForecaster(nlinks=1, phi=1.0)
+    feed(model, [[10.0 * t] for t in range(5)])
+    assert model._trend[0] == pytest.approx(10.0)
+    model.reset()
+    assert not model.ready()  # needs a fresh second sample to re-trend
+    np.testing.assert_allclose(model._trend, [0.0])
+    # level survives: still the best point estimate across the gap
+    np.testing.assert_allclose(model._level, [40.0])
+    model.observe(10.0, np.array([40.0]))
+    assert model.ready()
+    # post-gap trend is rebuilt from post-gap data only
+    np.testing.assert_allclose(model.predict(5.0), [40.0])
+
+
+# ----------------------------------------------------------------------
+# AR(p)
+# ----------------------------------------------------------------------
+def test_ar_needs_enough_history():
+    model = ARForecaster(nlinks=1, order=3)
+    feed(model, [[1.0]] * 7)
+    assert not model.ready()
+    model.observe(7.0, np.array([1.0]))
+    assert model.ready()  # 2 * order + 2 = 8
+
+
+def test_ar_constant_series_is_reproduced():
+    model = ARForecaster(nlinks=2, order=2)
+    feed(model, [[80e6, 3e6]] * 12)
+    np.testing.assert_allclose(model.predict(1.0), [80e6, 3e6], rtol=1e-4)
+    np.testing.assert_allclose(model.predict(6.0), [80e6, 3e6], rtol=1e-3)
+
+
+def test_ar_recovers_ar2_process():
+    # x_t = 5 + 0.6 x_{t-1} + 0.3 x_{t-2}, deterministic
+    xs = [10.0, 12.0]
+    for _ in range(28):
+        xs.append(5.0 + 0.6 * xs[-1] + 0.3 * xs[-2])
+    model = ARForecaster(nlinks=1, order=2, window=32)
+    feed(model, [[x] for x in xs])
+    truth = 5.0 + 0.6 * xs[-1] + 0.3 * xs[-2]
+    assert model.predict(1.0)[0] == pytest.approx(truth, rel=1e-3)
+
+
+def test_ar_ramp_tracks_slope():
+    model = ARForecaster(nlinks=1, order=2, window=16)
+    feed(model, [[10.0 * t] for t in range(12)])
+    # AR with intercept fits a linear series exactly: x_t = x_{t-1} + 10
+    assert model.predict(1.0)[0] == pytest.approx(120.0, rel=1e-2)
+    assert model.predict(4.0)[0] == pytest.approx(150.0, rel=5e-2)
+
+
+def test_ar_reset_requires_rewarm():
+    model = ARForecaster(nlinks=1, order=2)
+    feed(model, [[5.0]] * 10)
+    assert model.ready()
+    model.reset()
+    assert not model.ready()
+    feed(model, [[5.0]] * (2 * 2 + 2))
+    assert model.ready()
+
+
+def test_ar_multi_link_fits_are_independent():
+    # one constant link, one ramp link — the batched solve must not mix them
+    model = ARForecaster(nlinks=2, order=2, window=16)
+    feed(model, [[50.0, 10.0 * t] for t in range(12)])
+    pred = model.predict(1.0)
+    assert pred[0] == pytest.approx(50.0, rel=1e-3)
+    assert pred[1] == pytest.approx(120.0, rel=1e-2)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "ctor",
+    [
+        lambda: EwmaExtrapolationForecaster(nlinks=0),
+        lambda: EwmaExtrapolationForecaster(nlinks=1, alpha=0.0),
+        lambda: HoltWintersForecaster(nlinks=1, beta=1.5),
+        lambda: HoltWintersForecaster(nlinks=1, phi=0.0),
+        lambda: ARForecaster(nlinks=1, order=0),
+        lambda: ARForecaster(nlinks=1, order=3, window=4),
+    ],
+)
+def test_constructor_validation(ctor):
+    with pytest.raises(ValueError):
+        ctor()

@@ -1,5 +1,6 @@
 """Unit tests for topology and link-stats controller services."""
 
+import numpy as np
 import pytest
 
 from repro.sdn.stats_service import LinkStatsService
@@ -148,3 +149,137 @@ def test_stats_stop_cancels_pending_tick_immediately():
     sim.run()
     assert svc.samples == 0
     assert sim.now == 0.0  # the cancelled tick never advanced the clock
+
+
+def test_stats_zero_dt_double_poll_leaves_counters_untouched():
+    """Regression: two polls at the same instant used to fold a 0-rate
+    sample (or divide by zero); now the second poll is counted and
+    dropped, leaving the diff base at the last *folded* counters."""
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0, alpha=1.0)
+    bg = Flow(
+        src="bg0",
+        dst="bg1",
+        size=None,
+        five_tuple=FiveTuple("10.0.250", "10.1.250", 50000, 5001, UDP),
+        rigid_rate=50e6,
+    )
+    net.start_flow(bg, topo.path_links(["bg0", "tor0", "trunk0", "tor1", "bg1"]))
+    svc.start()
+    sim.run(until=1.5)  # one folded sample at t=1.0
+    assert svc.samples == 1
+    svc.sample()        # manual poll at t=1.5: dt = 0.5, folds normally
+    assert svc.samples == 2
+    last_bytes = svc._last_bytes.copy()
+    last_time = svc._last_time
+    svc.sample()        # same instant again: zero-dt, must fold nothing
+    assert svc.samples == 2
+    assert svc.samples_zero_dt == 1
+    np.testing.assert_allclose(svc._last_bytes, last_bytes)
+    assert svc._last_time == last_time
+    trunk_out = [l for l in topo.links if l.src == "tor0" and l.dst == "trunk0"][0]
+    # the EWMA still reflects the real 50 MB/s rate, not a zero fold
+    assert svc.load(trunk_out.lid) == pytest.approx(50e6, rel=1e-3)
+    svc.stop()
+
+
+def test_stats_freeze_stop_start_unfreeze_cycle():
+    """The chaos engine's worst ordering: freeze mid-poll, bounce the
+    service, thaw later.  The first post-thaw folded sample must carry
+    the full frozen span as its gap, and the next sample must carry 0."""
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0, alpha=1.0)
+    svc.start()
+    sim.run(until=2.5)  # folded samples at 1.0, 2.0
+    assert svc.samples == 2
+    svc.freeze()
+    frozen_at = sim.now
+    sim.run(until=4.5)  # polls at 3.0, 4.0 are skipped
+    assert svc.samples == 2
+    assert svc.samples_skipped == 2
+    svc.stop()
+    svc.start()
+    sim.run(until=5.0)
+    svc.unfreeze()
+    thawed_at = sim.now
+    sim.run(until=5.6)  # restarted chain folds its first sample at 5.5
+    assert svc.samples == 3
+    # that first thawed fold carried the full frozen span as its gap
+    assert svc.last_gap_seconds == pytest.approx(thawed_at - frozen_at)
+    sim.run(until=6.6)  # the next fold is an ordinary contiguous poll
+    assert svc.samples == 4
+    assert svc.last_gap_seconds == pytest.approx(0.0)
+    assert svc.frozen_seconds_total == pytest.approx(thawed_at - frozen_at)
+    svc.stop()
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_stats_freeze_unfreeze_idempotent():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0)
+    svc.unfreeze()  # never frozen: no-op
+    assert svc.frozen_seconds_total == 0.0
+    svc.freeze()
+    svc.freeze()  # double freeze keeps the original timestamp
+    sim.run(until=0.0)
+    svc.unfreeze()
+    svc.unfreeze()
+    assert svc.frozen_seconds_total == pytest.approx(0.0)
+    assert not svc.frozen
+
+
+def test_stats_first_thawed_sample_publishes_gap():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0, alpha=1.0)
+    svc.start()
+    sim.run(until=1.5)
+    sim.schedule_at(2.5, svc.freeze)
+    sim.schedule_at(5.5, svc.unfreeze)
+    sim.run(until=6.5)  # first thawed poll at 6.0
+    assert svc.last_gap_seconds == pytest.approx(3.0)
+    sim.run(until=7.5)  # the following poll is an ordinary one
+    assert svc.last_gap_seconds == pytest.approx(0.0)
+    assert svc.frozen_seconds_total == pytest.approx(3.0)
+
+
+def test_stats_sample_hooks_fire_only_on_folds():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0, alpha=1.0)
+    calls = []
+    svc.add_sample_hook(lambda now, dt, gap: calls.append((now, dt, gap)))
+    svc.start()
+    sim.run(until=2.5)  # folds at 1.0, 2.0
+    assert [c[0] for c in calls] == [1.0, 2.0]
+    assert all(c[2] == 0.0 for c in calls)
+    svc.freeze()
+    sim.run(until=4.5)  # skipped polls: no hook calls
+    assert len(calls) == 2
+    svc.unfreeze()
+    svc.sample()
+    svc.sample()  # zero-dt: no hook call
+    assert len(calls) == 3
+    assert calls[-1][2] == pytest.approx(4.5 - 2.5)  # the frozen span
+
+
+def test_stats_hooks_run_in_registration_order():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0)
+    order = []
+    svc.add_sample_hook(lambda *a: order.append("first"))
+    svc.add_sample_hook(lambda *a: order.append("second"))
+    svc.start()
+    sim.run(until=1.5)
+    assert order == ["first", "second"]

@@ -104,3 +104,92 @@ def test_both_directions_loaded():
     rev = [l for l in topo.links if l.dst == "tor0" and l.src.startswith("trunk")]
     assert sum(l.rigid_rate for l in fwd) > 0
     assert sum(l.rigid_rate for l in rev) > 0
+
+
+def test_teardown_is_idempotent():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    bg.populate(10)
+    bg.teardown()
+    assert bg.torn_down
+    bg.teardown()  # second call must be a no-op, not a double-stop crash
+    assert all(l.rigid_rate == pytest.approx(0.0) for l in topo.links)
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_teardown_skips_individually_stopped_flows():
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    flows = bg.populate(10)
+    net.stop_flow(flows[0])  # chaos or the experiment stopped one early
+    bg.teardown()            # must skip it rather than re-stop it
+    assert all(not f.active for f in bg.started_flows)
+
+
+def test_schedule_ramp_steps_add_load():
+    from repro.simnet.background import BackgroundRamp
+
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    ramp = BackgroundRamp(at=1.0, duration=4.0, rate=40e6, steps=4, path_index=1)
+    bg.schedule_ramp(sim, ramp)
+    trunk1 = [l for l in topo.links if l.src == "tor0" and l.dst == "trunk1"][0]
+    sim.run(until=0.5)
+    assert trunk1.rigid_rate == pytest.approx(0.0)
+    sim.run(until=1.5)  # first step at t=1.0
+    assert trunk1.rigid_rate == pytest.approx(10e6)
+    sim.run(until=4.5)  # steps at 2.0, 3.0, 4.0
+    assert trunk1.rigid_rate == pytest.approx(40e6)
+    assert all(f.tags.get("ramp") for f in bg.started_flows)
+
+
+def test_schedule_ramp_rejects_zero_steps():
+    from repro.simnet.background import BackgroundRamp
+
+    sim = Simulator()
+    net = Network(sim, two_rack())
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        bg.schedule_ramp(sim, BackgroundRamp(at=0.0, duration=1.0, rate=1e6, steps=0))
+
+
+def test_ramp_steps_after_teardown_are_dropped():
+    from repro.simnet.background import BackgroundRamp
+
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    bg = BackgroundTraffic(net, np.random.default_rng(0))
+    bg.schedule_ramp(sim, BackgroundRamp(at=1.0, duration=4.0, rate=40e6, steps=4))
+    sim.run(until=2.5)  # two steps landed
+    bg.teardown()
+    sim.run()           # remaining steps fire into a torn-down source
+    assert all(l.rigid_rate == pytest.approx(0.0) for l in topo.links)
+    assert sim.pending == 0
+
+
+def test_invariant_checker_flags_teardown_survivor():
+    from repro.faults import runtime as faults_runtime
+    from repro.faults.invariants import InvariantChecker
+
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    checker = InvariantChecker(strict=False)
+    with faults_runtime.use_checker(checker):
+        bg = BackgroundTraffic(net, np.random.default_rng(0))  # auto-registers
+    bg.populate(10)
+    # simulate a buggy teardown: flag flipped but streams left running
+    bg._torn_down = True
+    problems = checker.check()
+    assert any("after teardown" in p for p in problems)
+    bg._torn_down = False
+    bg.teardown()
+    assert not checker._check_background(bg)
