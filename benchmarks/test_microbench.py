@@ -111,6 +111,115 @@ def test_network_arrival_departure_storm(benchmark):
     assert events > 0
 
 
+# -- event queue: calendar buckets vs a plain binary heap ----------------
+
+_QUEUE_N = 100_000
+
+
+def _heapq_reference(times):
+    """The pre-calendar engine's core loop: one global binary heap."""
+    import heapq
+
+    heap = []
+    for seq, t in enumerate(times):
+        heapq.heappush(heap, (t, 0, seq))
+    drained = 0
+    while heap:
+        heapq.heappop(heap)
+        drained += 1
+    return drained
+
+
+def _queue_times(n=_QUEUE_N, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 250.0, n).tolist()
+
+
+def test_event_queue_heapq_reference(benchmark):
+    """Baseline: schedule+drain 100k events through a bare binary heap."""
+    times = _queue_times()
+    drained = benchmark.pedantic(
+        _heapq_reference, args=(times,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert drained == _QUEUE_N
+
+
+def test_event_queue_calendar_schedule_drain(benchmark):
+    """Calendar queue: same 100k schedule+drain through the Simulator."""
+    times = _queue_times()
+
+    def run():
+        sim = Simulator()
+        hits = [0]
+
+        def cb():
+            hits[0] += 1
+
+        for t in times:
+            sim.schedule(t, cb)
+        sim.run()
+        return hits[0]
+
+    drained = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert drained == _QUEUE_N
+
+
+def test_event_queue_calendar_cancellation(benchmark):
+    """Schedule 100k, cancel two thirds, drain the rest: tombstone
+    compaction must reclaim the dead majority without a global drain."""
+    times = _queue_times()
+
+    def run():
+        sim = Simulator()
+
+        def cb():
+            pass
+
+        events = [sim.schedule(t, cb) for t in times]
+        for i, ev in enumerate(events):
+            if i % 3:
+                ev.cancel()
+        sim.run()
+        return sim.events_processed, sim.events_tombstoned
+
+    processed, tombstoned = benchmark.pedantic(
+        run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert processed == _QUEUE_N // 3 + (_QUEUE_N % 3 > 0)
+    assert tombstoned > _QUEUE_N // 4  # compaction actually reclaimed
+
+
+def test_component_discovery_fat_tree(benchmark):
+    """incidence_components over 2000 pod-local fat-tree flows — the
+    per-settle labelling cost of the delta engine."""
+    from repro.simnet.fairshare import incidence_components
+
+    topo = fat_tree(8)
+    hosts = [h.name for h in topo.hosts()]
+    per_pod = len(hosts) // 8
+    cache = KPathCache(topo, 4)
+    rng = np.random.default_rng(13)
+    paths = []
+    for i in range(2000):
+        pod = i % 8
+        base = pod * per_pod
+        a, b = rng.choice(per_pod, size=2, replace=False)
+        pp = cache.paths_links(hosts[base + int(a)], hosts[base + int(b)])
+        paths.append(pp[int(rng.integers(0, len(pp)))])
+    pair_flow = np.concatenate(
+        [np.full(len(p), i, dtype=np.intp) for i, p in enumerate(paths)]
+    )
+    pair_link = np.concatenate([np.asarray(p, dtype=np.intp) for p in paths])
+    nlinks = len(topo.links)
+    flow_comp, link_comp, ncomp = benchmark(
+        incidence_components, pair_flow, pair_link, len(paths), nlinks
+    )
+    # pod-local traffic decomposes into at least one component per pod
+    assert ncomp >= 8
+    assert flow_comp.shape == (len(paths),)
+    assert link_comp.shape == (nlinks,)
+
+
 def test_yen_two_rack(benchmark):
     topo = two_rack()
     paths = benchmark(k_shortest_paths, topo, "h00", "h14", 4)

@@ -1,8 +1,10 @@
 """Benchmark: fabric-scaling study (control-plane footprint vs size)."""
 
+import pytest
+
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
-from repro.experiments.scale import LARGE_FABRICS, run_scale_study
+from repro.experiments.scale import LARGE_FABRICS, XL_FABRICS, run_scale_study
 
 
 def test_scale_study(benchmark, seeds):
@@ -63,3 +65,41 @@ def test_scale_study_large_fabrics(benchmark, seeds):
     for p in points:
         assert p.fallbacks == 0, "rule-driven even at data-center scale"
         assert p.rules_installed > 0
+
+
+@pytest.mark.slow
+def test_scale_study_fat_tree16(benchmark, seeds):
+    """1024 hosts — the point the topology-local delta engine unlocks.
+
+    Per-host load is lighter still than the large-fabric sweep: the
+    shuffle is all-to-all (maps x reducers flows), so this point
+    exercises the whole-fabric component path of the delta engine plus
+    the calendar queue's bulk completion schedule, not pod locality.
+    """
+    points = run_once(
+        benchmark,
+        lambda: run_scale_study(
+            gb_per_host=0.01,
+            seed=seeds[0],
+            fabrics=XL_FABRICS,
+            reducers_per_host=0.25,
+        ),
+    )
+    print()
+    print("XL-fabric smoke — fat-tree k=16, Pythia, unloaded network")
+    print(
+        format_table(
+            ["fabric", "hosts", "JCT (s)", "predictions", "rule installs",
+             "peak rules", "fallbacks"],
+            [
+                (p.label, p.hosts, p.jct, p.predictions, p.rules_installed,
+                 p.peak_rules, p.fallbacks)
+                for p in points
+            ],
+        )
+    )
+    assert [p.hosts for p in points] == [1024]
+    for p in points:
+        assert p.fallbacks == 0, "rule-driven even at 1024 hosts"
+        assert p.rules_installed > 0
+        assert p.jct > 0

@@ -127,6 +127,7 @@ def run_experiment(
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
     stride = 1
+    scope = "component"
     if invariants is None:
         env = os.environ.get("REPRO_INVARIANTS", "")
         invariants = env not in ("", "0")
@@ -134,7 +135,11 @@ def run_experiment(
         # that keeps suite-wide checking affordable on big runs.
         if invariants and env.isdigit():
             stride = max(1, int(env))
-    checker = InvariantChecker(every=stride) if invariants else None
+        # REPRO_INVARIANTS=full forces the whole-fabric audit at every
+        # checkpoint (instead of the O(component) scoped default).
+        if env == "full":
+            scope = "full"
+    checker = InvariantChecker(every=stride, scope=scope) if invariants else None
     with obs.use(registry=registry, tracer=tracer):
         with faults_runtime.use_checker(checker):
             return _run_experiment_inner(

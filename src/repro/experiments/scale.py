@@ -46,6 +46,13 @@ LARGE_FABRICS: list[tuple[str, Callable[[], Topology]]] = [
     ("leaf-spine 16x8 (256 hosts)", lambda: leaf_spine(leaves=16, spines=8, hosts_per_leaf=16)),
 ]
 
+#: the 1000+-host point the topology-local delta engine unlocks.
+#: Minutes, not hours — but still minutes, so it only runs from the
+#: slow-marked smoke (nightly workflow / `pytest -m slow`).
+XL_FABRICS: list[tuple[str, Callable[[], Topology]]] = [
+    ("fat-tree k=16 (1024 hosts)", lambda: fat_tree(16)),
+]
+
 
 def run_scale_study(
     gb_per_host: float = 0.6,

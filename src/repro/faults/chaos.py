@@ -351,7 +351,9 @@ class ChaosEngine:
             return
         slot = int(alive[0])
         arena.sent[slot] -= nbytes
-        # mark the network dirty so the next settle point (where the
-        # invariant checker hooks) observes the corrupted accounting
-        self.network._flows_changed()
+        # mark the victim's links dirty so the next settle point (where
+        # the invariant checker hooks) scopes in the corrupted component
+        # and observes the broken accounting even under delta checking
+        flow = arena.flows[slot]
+        self.network.touch_links(flow.path or [] if flow is not None else [])
         self._record("accounting_corruption", slot=slot, nbytes=nbytes)

@@ -90,16 +90,40 @@ class InvariantChecker:
         of them at exit.
     trace_tail:
         How many trailing trace-ring events to attach to a violation.
+    scope:
+        ``"component"`` (default) audits only the settle's affected
+        region — the slots/links the delta engine re-solved plus the
+        flows that completed — keeping per-settle verification
+        O(component); a whole-fabric audit still runs on full settles,
+        every ``full_every``-th checkpoint, and on every manual
+        :meth:`check`.  ``"full"`` restores the unconditional
+        whole-fabric audit at every checkpoint (``REPRO_INVARIANTS=full``
+        selects this from the environment).
+    full_every:
+        In component scope, run the whole-fabric audit (all watched
+        subsystems) every Nth checkpoint regardless of scope.
     """
 
-    def __init__(self, every: int = 1, strict: bool = True, trace_tail: int = 40) -> None:
+    def __init__(
+        self,
+        every: int = 1,
+        strict: bool = True,
+        trace_tail: int = 40,
+        scope: str = "component",
+        full_every: int = 64,
+    ) -> None:
+        if scope not in ("component", "full"):
+            raise ValueError(f"scope must be 'component' or 'full': {scope!r}")
         self.every = max(1, every)
         self.strict = strict
         self.trace_tail = trace_tail
+        self.scope = scope
+        self.full_every = max(1, full_every)
         self.checks_run = 0
         self.checkpoints = 0
         self.violation_log: list[str] = []
         self._settles = 0
+        self._checkpoints_since_full = 0
         self._networks: list["Network"] = []
         self._controllers: list[tuple["Controller", "SwitchTableView"]] = []
         self._stats_services: list["LinkStatsService"] = []
@@ -107,6 +131,7 @@ class InvariantChecker:
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
         self._m_checked = registry.counter("invariants.checked")
+        self._m_checked_scoped = registry.counter("invariants.checked_scoped")
         self._m_violated = registry.counter("invariants.violated")
 
     # ------------------------------------------------------------------
@@ -138,10 +163,27 @@ class InvariantChecker:
         """Assert no stream of this source survives its teardown."""
         self._backgrounds.append(background)
 
-    def _on_settle(self, _network: "Network") -> None:
+    def _on_settle(self, network: "Network") -> None:
         self._settles += 1
-        if self._settles % self.every == 0:
+        if self._settles % self.every != 0:
+            return
+        if self.scope == "full":
             self.check()
+            return
+        scope = network.last_settle_scope
+        self._checkpoints_since_full += 1
+        if (
+            scope is None
+            or scope["full"]
+            # An empty region means something requested a settle without
+            # marking what it touched (external state surgery) — audit
+            # everything rather than trust an unmarked mutation.
+            or (not scope["slots"].size and not scope["links"].size)
+            or self._checkpoints_since_full >= self.full_every
+        ):
+            self.check()
+        else:
+            self.check_scoped(network, scope)
 
     # ------------------------------------------------------------------
     # checking
@@ -150,6 +192,9 @@ class InvariantChecker:
         """Run every check once; returns (and records) the violations."""
         problems: list[str] = []
         for network in self._networks:
+            # a manual call may land between a batched mutation and its
+            # coalesced settle; audit the settled state
+            network.settle()
             problems += self._check_capacity(network)
             problems += self._check_conservation(network)
             problems += self._check_arena(network)
@@ -160,7 +205,27 @@ class InvariantChecker:
         for background in self._backgrounds:
             problems += self._check_background(background)
         self.checkpoints += 1
+        self._checkpoints_since_full = 0
         self._m_checked.inc()
+        return self._record_problems(problems)
+
+    def check_scoped(self, network: "Network", scope: dict) -> list[str]:
+        """Audit only one settle's affected region (O(component)).
+
+        Covers the delta-solved slots and links plus the flows that
+        completed at this settle; everything outside the region was
+        frozen by the delta engine, so its state is exactly what the
+        last audit covering it saw.
+        """
+        problems: list[str] = []
+        problems += self._check_capacity_scoped(network, scope)
+        problems += self._check_conservation_scoped(network, scope)
+        problems += self._check_arena_scoped(network, scope)
+        self.checkpoints += 1
+        self._m_checked_scoped.inc()
+        return self._record_problems(problems)
+
+    def _record_problems(self, problems: list[str]) -> list[str]:
         if problems:
             self._m_violated.inc(len(problems))
             self.violation_log += problems
@@ -222,31 +287,37 @@ class InvariantChecker:
         return problems
 
     # -- conservation --------------------------------------------------
+    @staticmethod
+    def _flow_conservation(flow: Flow) -> list[str]:
+        problems: list[str] = []
+        size = flow.size
+        if size is None:
+            if flow.bytes_sent < -_CONS_ATOL:
+                problems.append(
+                    f"conservation: flow {flow.fid} has negative bytes_sent "
+                    f"{flow.bytes_sent:.3f}"
+                )
+            return problems
+        sent, remaining = flow.bytes_sent, flow.remaining
+        tol = _CONS_ATOL + 1e-6 * size
+        if abs(size - sent - remaining) > tol:
+            problems.append(
+                f"conservation: flow {flow.fid} {flow.src}->{flow.dst} "
+                f"sent {sent:.3f} + remaining {remaining:.3f} != size {size:.3f} "
+                f"(error {size - sent - remaining:+.3f})"
+            )
+        if sent < -tol or sent > size + tol:
+            problems.append(
+                f"conservation: flow {flow.fid} bytes_sent {sent:.3f} "
+                f"outside [0, {size:.3f}]"
+            )
+        return problems
+
     def _check_conservation(self, net: "Network") -> list[str]:
         problems: list[str] = []
         self.checks_run += 1
         for flow in net.archive:
-            size = flow.size
-            if size is None:
-                if flow.bytes_sent < -_CONS_ATOL:
-                    problems.append(
-                        f"conservation: flow {flow.fid} has negative bytes_sent "
-                        f"{flow.bytes_sent:.3f}"
-                    )
-                continue
-            sent, remaining = flow.bytes_sent, flow.remaining
-            tol = _CONS_ATOL + 1e-6 * size
-            if abs(size - sent - remaining) > tol:
-                problems.append(
-                    f"conservation: flow {flow.fid} {flow.src}->{flow.dst} "
-                    f"sent {sent:.3f} + remaining {remaining:.3f} != size {size:.3f} "
-                    f"(error {size - sent - remaining:+.3f})"
-                )
-            if sent < -tol or sent > size + tol:
-                problems.append(
-                    f"conservation: flow {flow.fid} bytes_sent {sent:.3f} "
-                    f"outside [0, {size:.3f}]"
-                )
+            problems += self._flow_conservation(flow)
         return problems
 
     # -- slot arena / ghost flows --------------------------------------
@@ -306,6 +377,119 @@ class InvariantChecker:
                         f"arena: link index {lid} holds flow {flow.fid} whose "
                         f"path does not cross it"
                     )
+        return problems
+
+    # -- scoped (O(component)) variants --------------------------------
+    def _scope_pairs(
+        self, net: "Network", slots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(link, rate) for every incidence pair of the scoped slots."""
+        arena = net._arena
+        pl_parts: list[np.ndarray] = []
+        rate_parts: list[np.ndarray] = []
+        for s in slots.tolist():
+            start = int(arena.pair_start[s])
+            cnt = int(arena.pair_count[s])
+            pl_parts.append(arena.pair_link[start: start + cnt])
+            rate_parts.append(np.full(cnt, arena.rate[s]))
+        if not pl_parts:
+            empty = np.zeros(0)
+            return empty.astype(np.intp), empty
+        return np.concatenate(pl_parts), np.concatenate(rate_parts)
+
+    def _check_capacity_scoped(self, net: "Network", scope: dict) -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        links: np.ndarray = scope["links"]
+        slots: np.ndarray = scope["slots"]
+        if links.size == 0:
+            return problems
+        from repro.simnet.links import Link
+
+        cap = net._lcap[links]
+        rigid = net._lrigid[links]
+        up = net._lup[links]
+        pl_r, w = self._scope_pairs(net, slots)
+        if pl_r.size:
+            idx = np.searchsorted(links, pl_r)
+            escaped = (idx >= links.size) | (links[np.minimum(idx, links.size - 1)] != pl_r)
+            if escaped.any():
+                problems.append(
+                    f"scope: {int(escaped.sum())} incidence pair(s) of the "
+                    f"settle's slots reference links outside its link scope "
+                    f"(delta closure broken)"
+                )
+                keep = ~escaped
+                idx, w = idx[keep], w[keep]
+            loads = np.bincount(idx, weights=w, minlength=links.size)
+        else:
+            loads = np.zeros(links.size)
+        residual = np.maximum(Link.ELASTIC_FLOOR * cap, cap - rigid)
+        residual[~up] = 0.0
+        slack = _CAP_RTOL * np.maximum(cap, 1.0)
+        for i in np.flatnonzero(loads > residual + slack).tolist():
+            lid = int(links[i])
+            link = net.topology.links[lid]
+            problems.append(
+                f"capacity: link {lid} ({link.src}->{link.dst}, up={link.up}) "
+                f"elastic load {loads[i]:.1f} exceeds residual {residual[i]:.1f}"
+            )
+        for i in np.flatnonzero(np.abs(net._lelastic[links] - loads) > slack).tolist():
+            lid = int(links[i])
+            problems.append(
+                f"capacity: link {lid} engine mirror {net._lelastic[lid]:.1f} "
+                f"!= recomputed elastic load {loads[i]:.1f}"
+            )
+        return problems
+
+    def _check_conservation_scoped(self, net: "Network", scope: dict) -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        arena = net._arena
+        for s in scope["slots"].tolist():
+            flow = arena.flows[s]
+            if flow is not None:
+                problems += self._flow_conservation(flow)
+        for flow in scope["completed"]:
+            problems += self._flow_conservation(flow)
+        return problems
+
+    def _check_arena_scoped(self, net: "Network", scope: dict) -> list[str]:
+        problems: list[str] = []
+        self.checks_run += 1
+        arena = net._arena
+        for s in scope["slots"].tolist():
+            flow = arena.flows[s]
+            if not arena.alive[s]:
+                problems.append(f"scope: settle scoped a dead slot {s}")
+                continue
+            if flow is None:
+                problems.append(f"arena: live slot {s} has no flow object")
+                continue
+            if flow._state is not arena or flow._slot != s:
+                problems.append(
+                    f"arena: flow {flow.fid} binding mismatch "
+                    f"(slot {flow._slot} vs {s})"
+                )
+            if flow not in net._elastic:
+                problems.append(
+                    f"arena: ghost slot {s} — flow {flow.fid} is not an "
+                    f"active elastic flow"
+                )
+            if flow.end_time is not None:
+                problems.append(
+                    f"arena: completed flow {flow.fid} still occupies slot {s}"
+                )
+        for flow in scope["completed"]:
+            if flow._state is not None:
+                problems.append(
+                    f"arena: completed flow {flow.fid} retains an arena binding"
+                )
+            if flow.end_time is None:
+                problems.append(
+                    f"arena: flow {flow.fid} reported completed but has no "
+                    f"end_time"
+                )
         return problems
 
     # -- switch tables vs controller intent ----------------------------

@@ -5,17 +5,32 @@ SDN controller — runs on one :class:`Simulator` instance.  Events are
 ordered by ``(time, sequence-number)`` so that simultaneous events fire
 in scheduling order, which makes every run bit-reproducible for a given
 seed (a property the test-suite checks).
+
+The queue is a *calendar queue* (heap of time buckets) rather than one
+global binary heap: an event lands in bucket ``floor(time / width)``
+with an O(1) append, buckets are heapified lazily when the clock first
+reaches them, and a small min-heap of bucket keys picks the next bucket
+to drain.  With 100k pending completions a schedule touches one list
+append instead of a 17-level sift, and cancellations are reclaimed
+per-bucket (tombstone compaction) instead of draining through the
+global heap.  The execution order is exactly the ``(time, priority,
+seq)`` total order of the old single heap — same key, same ties — so
+traces are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro import obs
+
+#: Buckets smaller than this are never compacted (the scan isn't worth it).
+_COMPACT_MIN = 8
 
 
 @dataclass(order=True)
@@ -28,8 +43,9 @@ class Event:
     need an *explicit* ordering among events sharing a timestamp (fault
     injection, invariant sweeps) pass a non-zero priority instead of
     relying on the incidental order their ``schedule`` calls were made
-    in.  Cancelled events stay in the heap but are skipped when popped
-    (lazy deletion).
+    in.  Cancelled events stay in their bucket but are skipped when
+    popped (lazy deletion); a bucket that accumulates tombstones past
+    half its size is compacted eagerly.
     """
 
     time: float
@@ -39,26 +55,51 @@ class Event:
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
     _sim: Optional["Simulator"] = field(compare=False, default=None, repr=False)
+    _key: float = field(compare=False, default=0.0, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         if not self.cancelled:
             self.cancelled = True
             if self._sim is not None:
-                self._sim._live -= 1
+                self._sim._note_cancel(self)
 
 
 class Simulator:
-    """Min-heap driven event loop with a monotonically advancing clock."""
+    """Calendar-queue driven event loop with a monotonically advancing clock.
 
-    def __init__(self) -> None:
-        self._queue: list[Event] = []
+    Parameters
+    ----------
+    bucket_width:
+        Seconds of simulated time per calendar bucket.  Purely a
+        performance knob — any positive width yields the identical
+        execution order (a single overfull bucket degrades gracefully
+        to the old binary-heap behaviour).
+    """
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive: {bucket_width!r}")
+        self._width = float(bucket_width)
+        #: bucket key -> unordered (until heapified) list of events
+        self._buckets: dict[float, list[Event]] = {}
+        #: min-heap of bucket keys; may hold stale duplicates, cleaned
+        #: lazily in :meth:`_min_bucket`
+        self._key_heap: list[float] = []
+        #: keys whose bucket has been heapified (the clock reached it)
+        self._heaped: set[float] = set()
+        #: per-bucket tombstone counts driving eager compaction
+        self._dead: dict[float, int] = {}
+        self._size = 0               # queued events incl. tombstones
         self._seq = itertools.count()
         self.now: float = 0.0
         self._events_processed = 0
+        #: tombstoned events reclaimed by bucket compaction (machine
+        #: independent; also published as ``sim.events_tombstoned``)
+        self.events_tombstoned = 0
         #: live (non-cancelled) queued events, maintained so ``pending``
         #: — read inside experiment loops and the obs gauge path — is
-        #: O(1) instead of a scan over the heap.
+        #: O(1) instead of a scan over the queue.
         self._live = 0
         # Observability is bound at construction: when the active
         # registry is the no-op default and no tracer is installed,
@@ -69,6 +110,7 @@ class Simulator:
         self._m_events = registry.counter("sim.events_processed")
         self._m_depth = registry.gauge("sim.queue_depth")
         self._m_cb_time = registry.histogram("sim.callback_wall_seconds")
+        self._m_tombstoned = registry.counter("sim.events_tombstoned")
 
     # ------------------------------------------------------------------
     # scheduling
@@ -94,35 +136,112 @@ class Simulator:
         ev = Event(
             time=time, priority=priority, seq=next(self._seq), fn=fn, args=args, _sim=self
         )
-        heapq.heappush(self._queue, ev)
+        # inf // width is nan, so unbounded timers get the inf bucket
+        key = time // self._width if not math.isinf(time) else time
+        ev._key = key
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [ev]
+            heapq.heappush(self._key_heap, key)
+        elif key in self._heaped:
+            heapq.heappush(bucket, ev)
+        else:
+            bucket.append(ev)
+        self._size += 1
         self._live += 1
         return ev
+
+    # ------------------------------------------------------------------
+    # queue internals
+    # ------------------------------------------------------------------
+    def _min_bucket(self) -> Optional[tuple[float, list[Event]]]:
+        """Front bucket with a live event at its head, or None when empty.
+
+        Cleans as it goes: stale key-heap entries are dropped, empty
+        buckets deleted, the front bucket is heapified on first touch,
+        and cancelled events at its head are popped.
+        """
+        key_heap = self._key_heap
+        buckets = self._buckets
+        while key_heap:
+            key = key_heap[0]
+            bucket = buckets.get(key)
+            if not bucket:
+                heapq.heappop(key_heap)
+                if bucket is not None:
+                    del buckets[key]
+                    self._heaped.discard(key)
+                    self._dead.pop(key, None)
+                continue
+            if key not in self._heaped:
+                heapq.heapify(bucket)
+                self._heaped.add(key)
+            while bucket and bucket[0].cancelled:
+                heapq.heappop(bucket)
+                self._size -= 1
+                dead = self._dead.get(key)
+                if dead:
+                    self._dead[key] = dead - 1
+            if not bucket:
+                continue
+            return key, bucket
+        return None
+
+    def _note_cancel(self, ev: Event) -> None:
+        """Book-keeping for a cancellation; compacts tombstone-heavy buckets."""
+        self._live -= 1
+        key = ev._key
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        dead = self._dead.get(key, 0) + 1
+        if len(bucket) >= _COMPACT_MIN and dead * 2 > len(bucket):
+            self._compact_bucket(key, bucket)
+        else:
+            self._dead[key] = dead
+
+    def _compact_bucket(self, key: float, bucket: list[Event]) -> None:
+        live = [e for e in bucket if not e.cancelled]
+        removed = len(bucket) - len(live)
+        self._size -= removed
+        self.events_tombstoned += removed
+        self._m_tombstoned.inc(removed)
+        self._dead.pop(key, None)
+        if live:
+            if key in self._heaped:
+                heapq.heapify(live)
+            self._buckets[key] = live
+        else:
+            del self._buckets[key]
+            self._heaped.discard(key)
+            # the stale key-heap entry is dropped lazily by _min_bucket
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self._live -= 1
-            self.now = ev.time
-            self._events_processed += 1
-            if self._instrumented:
-                self._execute_instrumented(ev)
-            else:
-                ev.fn(*ev.args)
-            return True
-        return False
+        front = self._min_bucket()
+        if front is None:
+            return False
+        key, bucket = front
+        ev = heapq.heappop(bucket)
+        self._size -= 1
+        self._live -= 1
+        self.now = ev.time
+        self._events_processed += 1
+        if self._instrumented:
+            self._execute_instrumented(ev)
+        else:
+            ev.fn(*ev.args)
+        return True
 
     def _execute_instrumented(self, ev: Event) -> None:
         start = time.perf_counter()
         ev.fn(*ev.args)
         self._m_cb_time.observe(time.perf_counter() - start)
         self._m_events.inc()
-        self._m_depth.set(len(self._queue))
+        self._m_depth.set(self._size)
         if self.tracer is not None:
             self.tracer.emit(
                 self.now,
@@ -146,17 +265,19 @@ class Simulator:
         """
         processed = 0
         instrumented = self._instrumented
-        while self._queue:
-            ev = self._queue[0]
-            if ev.cancelled:
-                heapq.heappop(self._queue)
-                continue
+        while True:
+            front = self._min_bucket()
+            if front is None:
+                break
+            key, bucket = front
+            ev = bucket[0]
             if until is not None and ev.time > until:
                 self.now = until
                 return
             if max_events is not None and processed >= max_events:
                 raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
-            heapq.heappop(self._queue)
+            heapq.heappop(bucket)
+            self._size -= 1
             self._live -= 1
             self.now = ev.time
             self._events_processed += 1

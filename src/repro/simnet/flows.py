@@ -67,6 +67,11 @@ class Flow:
     _bytes_sent: float = field(default=0.0, repr=False)
     _state: Optional[object] = field(default=None, repr=False)   # slot arena
     _slot: int = field(default=-1, repr=False)
+    #: owning Network while the flow is admitted but its arena slot has
+    #: not been materialised yet (same-wave admissions are batched into
+    #: one arena append at the settle); a rate read settles first, so
+    #: the deferral is unobservable.
+    _pending: Optional[object] = field(default=None, repr=False)
 
     @property
     def rate(self) -> float:
@@ -76,7 +81,9 @@ class Flow:
         coalesced recompute, so the bound read settles the owning
         network first — a reader between a same-instant flow event and
         its settle observes exactly what an always-synchronous engine
-        would have produced.
+        would have produced.  A flow whose admission is still batched
+        (no arena slot yet) settles through its owning network, which
+        materialises the slot before solving.
         """
         state = self._state
         if state is not None:
@@ -84,6 +91,12 @@ class Flow:
             if network is not None and network._dirty:
                 network._settle()
             return float(state.rate[self._slot])
+        pending = self._pending
+        if pending is not None:
+            pending.settle()
+            state = self._state
+            if state is not None:
+                return float(state.rate[self._slot])
         return self._rate
 
     @rate.setter

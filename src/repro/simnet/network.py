@@ -33,6 +33,7 @@ scale (see docs/ARCHITECTURE.md "Network engine internals"):
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from typing import Callable, Optional
 
@@ -41,7 +42,7 @@ import numpy as np
 from repro import obs
 from repro.faults import runtime as faults_runtime
 from repro.simnet.engine import Simulator
-from repro.simnet.fairshare import maxmin_rates_pairs
+from repro.simnet.fairshare import maxmin_rates_componentwise
 from repro.simnet.flows import Flow
 from repro.simnet.links import Link
 from repro.simnet.topology import Topology
@@ -134,6 +135,52 @@ class _SlotArena:
         flow._slot = slot
         return slot
 
+    def add_batch(self, flows: list[Flow]) -> None:
+        """Admit a whole wave of flows with one set of array writes.
+
+        Same slot/pair layout as calling :meth:`add` once per flow in
+        list order (slot order is admission order, pairs are appended
+        path-by-path), but the vector fields are written as slabs and
+        the pair arrays grow at most once — one arena append per wave
+        instead of per flow.  Reads the flows' scalar fields directly
+        (the flows are unbound, and going through the properties could
+        re-enter a settle).
+        """
+        m = len(flows)
+        if not m:
+            return
+        while self.n + m > len(self.rate):
+            self._grow_slots()
+        paths = [f.path or [] for f in flows]
+        counts = np.array([len(p) for p in paths], dtype=np.intp)
+        total = int(counts.sum())
+        if self.pn + total > len(self.pair_flow):
+            self._grow_pairs(self.pn + total)
+        s0, p0 = self.n, self.pn
+        sl = slice(s0, s0 + m)
+        self.rate[sl] = [f._rate for f in flows]
+        self.remaining[sl] = [f._remaining for f in flows]
+        self.sent[sl] = [f._bytes_sent for f in flows]
+        self.weight[sl] = [f.weight for f in flows]
+        self.alive[sl] = True
+        starts = p0 + np.concatenate(([0], np.cumsum(counts[:-1]))) if m else p0
+        self.pair_start[sl] = starts
+        self.pair_count[sl] = counts
+        self.pair_flow[p0: p0 + total] = np.repeat(
+            np.arange(s0, s0 + m, dtype=np.intp), counts
+        )
+        if total:
+            self.pair_link[p0: p0 + total] = np.concatenate(
+                [np.asarray(p, dtype=np.intp) for p in paths if p]
+            )
+        self.pn += total
+        self.flows.extend(flows)
+        self.n += m
+        for slot, flow in enumerate(flows, start=s0):
+            flow._state = self
+            flow._slot = slot
+            flow._pending = None
+
     def kill(self, flow: Flow) -> None:
         """Release the flow's slot, writing final values back to it."""
         slot = flow._slot
@@ -218,10 +265,16 @@ class _SlotArena:
         return pf, pl
 
     def solve(self, residual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Solve max-min over the live incidence; returns the live pairs."""
+        """Solve max-min over the live incidence; returns the live pairs.
+
+        Componentwise (see :func:`maxmin_rates_componentwise`): each
+        connected component of the incidence is filled in isolation, so
+        a later *delta* solve of any one component reproduces these
+        rates bit-for-bit.
+        """
         pf, pl = self.live_pairs()
         n = self.n
-        rates = maxmin_rates_pairs(
+        rates = maxmin_rates_componentwise(
             pf, pl, n, residual, weights=self.weight[:n]
         )
         self.rate[:n] = rates
@@ -229,11 +282,27 @@ class _SlotArena:
 
 
 class Network:
-    """Fluid-model network: rigid CBR streams + max-min elastic flows."""
+    """Fluid-model network: rigid CBR streams + max-min elastic flows.
 
-    def __init__(self, sim: Simulator, topology: Topology) -> None:
+    Parameters
+    ----------
+    delta:
+        Enable topology-local (delta) settles: re-solve only the
+        connected components of the incidence graph a mutation touched,
+        keeping every other component's rates frozen (bit-identical by
+        the componentwise solve contract).  ``None`` (default) reads
+        the ``REPRO_DELTA`` environment variable — any value other than
+        ``"off"``/``"0"`` leaves delta mode on.
+    """
+
+    def __init__(
+        self, sim: Simulator, topology: Topology, *, delta: Optional[bool] = None
+    ) -> None:
         self.sim = sim
         self.topology = topology
+        if delta is None:
+            delta = os.environ.get("REPRO_DELTA", "") not in ("off", "0")
+        self._delta = bool(delta)
         self._elastic: dict[Flow, None] = {}
         self._rigid: dict[Flow, None] = {}
         self.archive: list[Flow] = []        # every flow ever admitted
@@ -247,6 +316,22 @@ class Network:
         self._order = itertools.count()
         self._flows_by_link: dict[int, set[Flow]] = {}
         self._nlinks = 0
+        #: links whose residual or flow membership changed since the
+        #: last settle — the seeds of the next delta solve's scope.
+        self._dirty_links: set[int] = set()
+        #: force the next settle to solve the whole fabric (topology
+        #: grew, or delta mode is off).
+        self._dirty_all = True
+        #: admissions batched since the last settle; materialised as one
+        #: arena append when the settle fires.
+        self._pending_admits: list[Flow] = []
+        #: flows completed by the tick that triggered the current
+        #: settle — handed to scoped invariant checks, then cleared.
+        self._last_completed: list[Flow] = []
+        #: scope of the most recent settle, for component-scoped
+        #: invariant checking: dict with ``full`` (bool), ``slots`` /
+        #: ``links`` (index arrays, empty when full) and ``completed``.
+        self.last_settle_scope: Optional[dict] = None
         self._rebuild_link_arrays()
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
@@ -256,6 +341,10 @@ class Network:
         self._m_recomputes = registry.counter("network.fair_share_recomputes")
         self._m_coalesced = registry.counter("network.recompute_coalesced")
         self._m_recompute_time = registry.histogram("network.fair_share_wall_seconds")
+        self._m_solves_scoped = registry.counter("network.solves_scoped")
+        self._m_solves_full = registry.counter("network.solves_full")
+        self._m_comp_flows = registry.counter("network.delta_component_flows")
+        self._m_comp_links = registry.counter("network.delta_component_links")
         #: callbacks fired after every settle (rate recompute) — the
         #: natural checkpoint where all fluid state is self-consistent.
         self._settle_hooks: list[Callable[["Network"], None]] = []
@@ -341,8 +430,15 @@ class Network:
     def _admit_elastic(self, flow: Flow) -> None:
         self._elastic[flow] = None
         flow._order = next(self._order)  # type: ignore[attr-defined]
-        self._arena.add(flow)
+        # Same-wave admissions are batched: the flow joins the pending
+        # list now and receives its arena slot (one slab append for the
+        # whole wave) when the coalesced settle fires.  Slot order is
+        # still admission order, so the solve sees the same layout an
+        # admit-immediately engine would.
+        flow._pending = self
+        self._pending_admits.append(flow)
         self._index_add(flow)
+        self._dirty_links.update(flow.path or [])
 
     def _admit_rigid(self, flow: Flow) -> None:
         assert flow.rigid_rate is not None
@@ -354,6 +450,7 @@ class Network:
         self._rigid[flow] = None
         flow._order = next(self._order)  # type: ignore[attr-defined]
         self._index_add(flow)
+        self._dirty_links.update(flow.path or [])
         if flow.size is not None:
             duration = flow.size / flow.rigid_rate
             self.sim.schedule(duration, self._complete_rigid, flow)
@@ -374,6 +471,7 @@ class Network:
         for lid in flow.path or []:
             self.topology.links[lid].rigid_rate -= flow.rigid_rate  # type: ignore[operator]
             self._lrigid[lid] -= flow.rigid_rate  # type: ignore[operator]
+        self._dirty_links.update(flow.path or [])
         flow.end_time = self.sim.now
         flow.rate = 0.0
         del self._rigid[flow]
@@ -410,14 +508,19 @@ class Network:
             for lid in new_path:
                 self.topology.links[lid].rigid_rate += flow.rigid_rate  # type: ignore[operator]
                 self._lrigid[lid] += flow.rigid_rate  # type: ignore[operator]
+        self._dirty_links.update(flow.path or [])   # vacated links
+        self._dirty_links.update(new_path)          # newly loaded links
         flow.path = list(new_path)
         in_elastic = flow in self._elastic
-        if flow.elastic and in_elastic:
+        pending = flow._state is None
+        if flow.elastic and in_elastic and not pending:
             # Equal hop count (the common case on Clos fabrics) swaps
             # the incidence pairs in place; otherwise re-slot.
             if not self._arena.set_path_inplace(flow, flow.path):
                 self._arena.kill(flow)
                 self._arena.add(flow)
+        # A pending (batched, not yet slotted) flow only needed its path
+        # list updated — add_batch reads it at the flush.
         if not flow.elastic or in_elastic:
             # paused flows rejoin the index on resume
             self._index_add(flow)
@@ -425,7 +528,11 @@ class Network:
         if pause > 0 and flow.elastic and in_elastic:
             del self._elastic[flow]
             self._index_remove(flow)
-            self._arena.kill(flow)
+            if pending:
+                self._pending_admits.remove(flow)
+                flow._pending = None
+            else:
+                self._arena.kill(flow)
             flow.rate = 0.0
             self.sim.schedule(pause, self._resume, flow)
         self._flows_changed()
@@ -435,8 +542,10 @@ class Network:
             return
         self._elastic[flow] = None
         flow._order = next(self._order)  # type: ignore[attr-defined]
-        self._arena.add(flow)
+        flow._pending = self
+        self._pending_admits.append(flow)
         self._index_add(flow)
+        self._dirty_links.update(flow.path or [])
         self._flows_changed()
 
     def flows_on_link(self, lid: int) -> list[Flow]:
@@ -473,8 +582,10 @@ class Network:
         # stall at rate 0 until somebody (the SDN layer) reroutes them.
         if link.lid >= self._nlinks:
             self._rebuild_link_arrays()
+            self._dirty_all = True
         else:
             self._lup[link.lid] = link.up
+            self._dirty_links.add(link.lid)
         self._flows_changed()
 
     def _validate_path(self, flow: Flow, path: list[int], allow_down: bool = True) -> None:
@@ -562,36 +673,143 @@ class Network:
         self._lbytes += (self._lelastic + self._lrigid) * dt
         self._last_integration = now
 
+    def _flush_admits(self) -> None:
+        """Materialise the batched admissions as one arena slab append."""
+        if self._pending_admits:
+            pending = self._pending_admits
+            self._pending_admits = []
+            self._arena.add_batch(pending)
+
+    def _affected_region(self) -> tuple[np.ndarray, np.ndarray]:
+        """Closure of the dirty links under the live flow-link incidence.
+
+        Breadth-first over the bipartite incidence graph starting from
+        the links dirtied since the previous settle: every live elastic
+        flow crossing a reached link joins the region, and drags every
+        link on its path in.  The result is a union of whole connected
+        components — exactly the set whose max-min rates can have
+        changed — returned as sorted (slot, link) index arrays.
+        """
+        arena = self._arena
+        nlinks = self._nlinks
+        seen_links = {l for l in self._dirty_links if 0 <= l < nlinks}
+        queue = list(seen_links)
+        seen_slots: set[int] = set()
+        by_link = self._flows_by_link
+        pair_link = arena.pair_link
+        while queue:
+            lid = queue.pop()
+            for flow in by_link.get(lid, ()):
+                if flow._state is not arena:
+                    continue  # rigid, paused, or not yet slotted
+                slot = flow._slot
+                if slot in seen_slots:
+                    continue
+                seen_slots.add(slot)
+                start = int(arena.pair_start[slot])
+                stop = start + int(arena.pair_count[slot])
+                for l in pair_link[start:stop].tolist():
+                    if l not in seen_links:
+                        seen_links.add(l)
+                        queue.append(l)
+        slots = np.fromiter(seen_slots, dtype=np.intp, count=len(seen_slots))
+        links = np.fromiter(seen_links, dtype=np.intp, count=len(seen_links))
+        slots.sort()
+        links.sort()
+        return slots, links
+
+    def touch_links(self, lids) -> None:
+        """Mark links dirty and request a settle (fault injection hook).
+
+        External mutators that bypass the flow API (e.g. the chaos
+        engine corrupting arena state) call this so the delta scope
+        covers the components they touched.
+        """
+        self._dirty_links.update(int(l) for l in lids)
+        self._flows_changed()
+
     def _settle(self) -> None:
-        """Re-solve max-min rates and schedule the next completion."""
+        """Re-solve max-min rates and schedule the next completion.
+
+        Delta mode re-solves only the *affected region*: the connected
+        components of the live incidence reachable from the links
+        dirtied since the previous settle.  Rates and per-link elastic
+        loads outside the region are left untouched — bit-identical to
+        a whole-fabric componentwise solve, because a component's fill
+        never reads another component's state
+        (:func:`~repro.simnet.fairshare.maxmin_rates_componentwise`).
+        """
         start = time.perf_counter() if self._measure_recompute else 0.0
         self._integrate()
         self._dirty = False
         self._m_recomputes.inc()
         if len(self.topology.links) != self._nlinks:
             self._rebuild_link_arrays()
+            self._dirty_all = True
+        self._flush_admits()
         residual = np.maximum(
             Link.ELASTIC_FLOOR * self._lcap, self._lcap - self._lrigid
         )
         residual[~self._lup] = 0.0
         arena = self._arena
         n = arena.n
-        if self._elastic:
-            pf, pl = arena.solve(residual)
+        full = not self._delta or self._dirty_all
+        if full:
+            if self._elastic:
+                pf, pl = arena.solve(residual)
+                self._lelastic = np.bincount(
+                    pl, weights=arena.rate[:n][pf], minlength=self._nlinks
+                )
+            else:
+                self._lelastic = np.zeros(self._nlinks)
+            self._m_solves_full.inc()
+            scope_slots = scope_links = np.zeros(0, dtype=np.intp)
+        else:
+            scope_slots, scope_links = self._affected_region()
+            if scope_slots.size:
+                pf_all = arena.pair_flow[: arena.pn]
+                pl_all = arena.pair_link[: arena.pn]
+                aff = np.zeros(n, dtype=bool)
+                aff[scope_slots] = True
+                mask = aff[pf_all]   # dead slots are never in the region
+                pf_r = pf_all[mask]
+                pl_r = pl_all[mask]
+                rates_r = maxmin_rates_componentwise(
+                    pf_r, pl_r, n, residual, weights=arena.weight[:n]
+                )
+                arena.rate[scope_slots] = rates_r[scope_slots]
+                self._lelastic[scope_links] = np.bincount(
+                    np.searchsorted(scope_links, pl_r),
+                    weights=rates_r[pf_r],
+                    minlength=scope_links.size,
+                )
+            elif scope_links.size:
+                # dirtied links with no live elastic flows left on them
+                self._lelastic[scope_links] = 0.0
+            self._m_solves_scoped.inc()
+            self._m_comp_flows.inc(int(scope_slots.size))
+            self._m_comp_links.inc(int(scope_links.size))
+        # Completion scheduling stays global: the next finisher may sit
+        # in an untouched component (rates there are frozen, not gone).
+        if n:
             rates = arena.rate[:n]
-            self._lelastic = np.bincount(
-                pl, weights=rates[pf], minlength=self._nlinks
-            )
             remaining = arena.remaining[:n]
             live = (rates > 0.0) & (remaining > 0.0)
             if live.any():
                 next_done = float((remaining[live] / rates[live]).min())
                 self.sim.schedule(next_done, self._completion_tick, self._generation)
-        else:
-            self._lelastic = np.zeros(self._nlinks)
-        # flows already at/below zero remaining complete immediately
-        if n and bool(np.any(arena.alive[:n] & (arena.remaining[:n] <= _DONE_EPS))):
-            self.sim.schedule(0.0, self._completion_tick, self._generation)
+            # flows already at/below zero remaining complete immediately
+            if bool(np.any(arena.alive[:n] & (remaining <= _DONE_EPS))):
+                self.sim.schedule(0.0, self._completion_tick, self._generation)
+        self.last_settle_scope = {
+            "full": full,
+            "slots": scope_slots,
+            "links": scope_links,
+            "completed": self._last_completed,
+        }
+        self._dirty_links.clear()
+        self._dirty_all = False
+        self._last_completed = []
         if self._measure_recompute:
             self._m_recompute_time.observe(time.perf_counter() - start)
         for hook in self._settle_hooks:
@@ -615,6 +833,7 @@ class Network:
             assert flow is not None
             del self._elastic[flow]
             self._index_remove(flow)
+            self._dirty_links.update(flow.path or [])
             arena.kill(flow)
             flow.end_time = now
             flow.rate = 0.0
@@ -629,6 +848,7 @@ class Network:
         # rather than via a zero-delay event, so no extra event is spent.
         self._generation += 1
         self._dirty = True
+        self._last_completed = done
         self._settle()
         for flow in done:
             self._finish(flow)
