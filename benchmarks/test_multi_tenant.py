@@ -1,0 +1,102 @@
+"""Benchmark M1: multi-tenant fleet gates.
+
+Fleet cells must be exactly as cacheable and bit-reproducible as
+single-job cells: a warm rerun of the arrival-rate grid executes zero
+cells, and the parallel pool agrees with the serial loop digest-for-
+digest.  On top of the plumbing gates sit the efficacy gates the
+multi-tenant experiment exists for: under contention Pythia's fleet
+p50/p99 JCT must beat ECMP's, and the winning numbers are published
+into ``BENCH_sweep.json`` (section ``multi_tenant``) next to the
+sweep-runner figures.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.experiments.multi_tenant import fleet_grid, multi_tenant_sweep
+from repro.runner import run_cells
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: one contended point is enough for a smoke gate — ~a job every 20 s
+#: against 3-job fleets keeps several jobs live on the fabric at once.
+RATE = 0.05
+N_JOBS = 3
+
+
+def _digests(report):
+    return [(s.jct, s.events_processed, tuple(sorted(s.fleet.items())))
+            for s in report.summaries]
+
+
+def test_fleet_sweep_cache_accounting(benchmark, tmp_path):
+    cells = fleet_grid(
+        arrival_rates=(RATE,), schedulers=("ecmp", "pythia"),
+        seeds=(1,), n_jobs=N_JOBS,
+    )
+    serial = run_cells(cells, workers=1)
+    cold = run_cells(cells, workers=2, cache_dir=tmp_path)
+    assert cold.executed == len(cells)
+    assert _digests(cold) == _digests(serial), "parallel diverged from serial"
+
+    warm = run_once(
+        benchmark, lambda: run_cells(cells, workers=2, cache_dir=tmp_path)
+    )
+    assert warm.executed == 0, "warm fleet sweep must not re-simulate"
+    assert warm.hit_rate >= 0.9
+    assert _digests(warm) == _digests(cold)
+
+
+def test_fleet_pythia_beats_ecmp_under_contention(benchmark, tmp_path):
+    rows, report = run_once(
+        benchmark,
+        lambda: multi_tenant_sweep(
+            arrival_rates=(RATE,), schedulers=("ecmp", "pythia"),
+            seeds=(1,), n_jobs=N_JOBS, cache_dir=tmp_path,
+        ),
+    )
+    fleets = {row["scheduler"]: row["fleet"] for row in rows}
+    ecmp, pythia = fleets["ecmp"], fleets["pythia"]
+    assert pythia["p50_jct"] < ecmp["p50_jct"], (
+        f"fleet p50 gate: pythia {pythia['p50_jct']:.1f}s vs "
+        f"ecmp {ecmp['p50_jct']:.1f}s"
+    )
+    assert pythia["p99_jct"] < ecmp["p99_jct"], (
+        f"fleet p99 gate: pythia {pythia['p99_jct']:.1f}s vs "
+        f"ecmp {ecmp['p99_jct']:.1f}s"
+    )
+    assert pythia["mean_slowdown"] <= ecmp["mean_slowdown"]
+    for fleet in (ecmp, pythia):
+        assert 0 < fleet["jain_fairness"] <= 1.0
+
+    # merge the gate numbers into BENCH_sweep.json beside the runner
+    # figures (the simulator is deterministic, so these are
+    # machine-independent)
+    payload = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    payload["multi_tenant"] = {
+        "description": (
+            "Fleet-level gates from benchmarks/test_multi_tenant.py: a "
+            f"{N_JOBS}-job Poisson stream at {RATE:g} jobs/s shared by two "
+            "tenants, ecmp vs pythia, seed 1.  Deterministic on any machine."
+        ),
+        "arrival_rate": RATE,
+        "n_jobs": N_JOBS,
+        "gates": {
+            scheduler: {
+                "p50_jct_seconds": round(fleet["p50_jct"], 3),
+                "p99_jct_seconds": round(fleet["p99_jct"], 3),
+                "mean_slowdown": round(fleet["mean_slowdown"], 3),
+                "jain_fairness": round(fleet["jain_fairness"], 4),
+                "makespan_seconds": round(fleet["makespan"], 3),
+            }
+            for scheduler, fleet in fleets.items()
+        },
+        "p50_speedup_pythia_vs_ecmp": round(
+            ecmp["p50_jct"] / pythia["p50_jct"], 2
+        ),
+        "p99_speedup_pythia_vs_ecmp": round(
+            ecmp["p99_jct"] / pythia["p99_jct"], 2
+        ),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")

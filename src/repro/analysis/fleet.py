@@ -1,0 +1,108 @@
+"""Fleet-level metrics: per-job rows and cross-tenant fairness.
+
+A multi-tenant run produces many concurrent job traces; this module
+reduces them to the measurements the multi-tenant evaluation reports:
+
+* **per-job rows** — job id, tenant, arrival/start/finish, JCT, and
+  *slowdown*: JCT under contention divided by the JCT of the same spec
+  run alone on an identical fabric (1.0 = no interference penalty).
+* **fleet aggregates** — p50/p99 JCT, mean/max slowdown, makespan, and
+  the Jain fairness index across tenants.
+
+Jain's index over per-tenant mean slowdowns ``x_1..x_n`` is
+``(sum x)^2 / (n * sum x^2)``: 1.0 when every tenant suffers equally,
+approaching ``1/n`` when one tenant absorbs all the contention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+
+def job_rows(result) -> list[dict[str, Any]]:
+    """Per-job measurement rows of a fleet :class:`RunResult`.
+
+    Rows come out in the workload's canonical (arrival, key) order.
+    ``slowdown`` is None when the run carried no isolated baseline for
+    that job (``isolated_baselines=False``).
+    """
+    rows: list[dict[str, Any]] = []
+    for run in result.jobs:
+        iso = result.isolated_jct.get(run.job_id)
+        rows.append(
+            {
+                "job_id": run.job_id,
+                "workload": run.spec.name,
+                "tenant": run.tenant,
+                "submitted_at": float(run.submitted_at),
+                "started_at": (
+                    float(run.started_at) if run.started_at is not None else None
+                ),
+                "completed_at": float(run.completed_at),
+                "jct": float(run.jct),
+                "isolated_jct": float(iso) if iso is not None else None,
+                "slowdown": float(run.jct / iso) if iso else None,
+            }
+        )
+    return rows
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain fairness index of a list of non-negative shares."""
+    if not values:
+        return 1.0
+    x = np.asarray(values, dtype=float)
+    denom = len(x) * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(x) ** 2 / denom)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def fleet_metrics(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate per-job rows into the fleet-level report.
+
+    Fairness is computed across *tenants* on per-tenant mean slowdown
+    (falling back to per-tenant mean JCT when no baselines were run):
+    equal means = 1.0 regardless of how many jobs each tenant ran.
+    """
+    if not rows:
+        return {}
+    jcts = [r["jct"] for r in rows]
+    slowdowns = [r["slowdown"] for r in rows if r["slowdown"] is not None]
+    per_tenant: dict[str, list[float]] = {}
+    for r in rows:
+        value = r["slowdown"] if r["slowdown"] is not None else r["jct"]
+        per_tenant.setdefault(r["tenant"], []).append(value)
+    tenant_means = {
+        t: float(np.mean(v)) for t, v in sorted(per_tenant.items())
+    }
+    out: dict[str, Any] = {
+        "n_jobs": len(rows),
+        "p50_jct": _percentile(jcts, 50.0),
+        "p99_jct": _percentile(jcts, 99.0),
+        "mean_jct": float(np.mean(jcts)),
+        "makespan": max(r["completed_at"] for r in rows)
+        - min(r["submitted_at"] for r in rows),
+        "tenant_means": tenant_means,
+        "jain_fairness": jain_index(list(tenant_means.values())),
+    }
+    if slowdowns:
+        out["mean_slowdown"] = float(np.mean(slowdowns))
+        out["p99_slowdown"] = _percentile(slowdowns, 99.0)
+        out["max_slowdown"] = float(np.max(slowdowns))
+    return out
+
+
+def fleet_summary(result) -> dict[str, Any]:
+    """``job_rows`` + ``fleet_metrics`` of one fleet RunResult."""
+    rows = job_rows(result)
+    return {"rows": rows, "fleet": fleet_metrics(rows)}
+
+
+__all__ = ["fleet_metrics", "fleet_summary", "jain_index", "job_rows"]

@@ -172,6 +172,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.speedup import speedup
     from repro.runner import run_cells, sweep_grid
 
+    if args.arrival_rates:
+        return _fleet_sweep(args)
     cells = sweep_grid(
         lambda: make_workload(args.workload, scale=args.scale),
         schedulers=args.schedulers,
@@ -207,6 +209,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"cache: {args.cache_dir} (hit rate {100.0 * report.hit_rate:.0f}%, "
             f"manifest {report.manifest_path})"
         )
+    if args.min_cache_hit_rate is not None and report.hit_rate < args.min_cache_hit_rate:
+        print(
+            f"error: cache hit rate {report.hit_rate:.2f} below required "
+            f"{args.min_cache_hit_rate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _fleet_sweep(args: argparse.Namespace) -> int:
+    """Multi-tenant mode of ``repro sweep``: arrival-rate x scheduler."""
+    from repro.experiments.multi_tenant import format_fleet_table, multi_tenant_sweep
+
+    ratio = args.ratios[0] if args.ratios else 10.0
+    rows, report = multi_tenant_sweep(
+        arrival_rates=args.arrival_rates,
+        schedulers=args.schedulers,
+        seeds=args.seeds,
+        ratio=ratio,
+        n_jobs=args.fleet_jobs,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(format_fleet_table(rows))
+    print(
+        f"fleet cells: {len(rows)} total, {report.cache_hits} from cache, "
+        f"{report.executed} executed ({report.invalidations} invalidated) "
+        f"in {report.elapsed_seconds:.1f}s with {args.workers} worker(s)"
+    )
     if args.min_cache_hit_rate is not None and report.hit_rate < args.min_cache_hit_rate:
         print(
             f"error: cache hit rate {report.hit_rate:.2f} below required "
@@ -476,6 +508,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="exit non-zero if the cache served less than "
                               "this fraction of cells (CI guard)")
+    sweep_p.add_argument("--arrival-rates", type=float, nargs="+", default=None,
+                         metavar="RATE",
+                         help="multi-tenant mode: sweep a Poisson job stream "
+                              "at these arrival rates (jobs/s) instead of the "
+                              "single-job grid; reports fleet p50/p99 JCT, "
+                              "slowdown and Jain fairness")
+    sweep_p.add_argument("--fleet-jobs", type=int, default=5,
+                         help="jobs per fleet workload in --arrival-rates mode")
 
     fc_p = sub.add_parser(
         "forecast",

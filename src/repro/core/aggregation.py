@@ -58,6 +58,9 @@ class AggregateEntry:
     """One routable unit: the sum of predicted flows under one key."""
 
     key: tuple
+    #: owning job id ("" when the caller didn't scope the flow) — fleet
+    #: runs must never fold two jobs' predictions into one entry.
+    job: str = ""
     predicted_bytes: float = 0.0
     #: concrete server pairs folded into this entry (rule targets).
     pairs: set[tuple[str, str]] = field(default_factory=set)
@@ -90,12 +93,29 @@ class FlowAggregator:
         self.entries: dict[tuple, AggregateEntry] = {}
         self._dirty: set[tuple] = set()
 
-    def add(self, src: str, dst: str, map_id: int, reducer_id: int, nbytes: float) -> AggregateEntry:
-        """Fold one predicted flow into its aggregate entry."""
+    def add(
+        self,
+        src: str,
+        dst: str,
+        map_id: int,
+        reducer_id: int,
+        nbytes: float,
+        job: str = "",
+    ) -> AggregateEntry:
+        """Fold one predicted flow into its aggregate entry.
+
+        ``job`` scopes the aggregate: concurrent jobs whose shuffles
+        share a server pair must stay in separate entries (separate
+        paths, separate rules), so the job id is prepended to the
+        policy key.  The empty default keeps bare (src, dst) keys for
+        callers that predate fleet runs.
+        """
         key = self.policy.key(src, dst)
+        if job:
+            key = (job, *key)
         entry = self.entries.get(key)
         if entry is None:
-            entry = AggregateEntry(key=key)
+            entry = AggregateEntry(key=key, job=job)
             self.entries[key] = entry
         entry.add(src, dst, map_id, reducer_id, nbytes)
         self._dirty.add(key)

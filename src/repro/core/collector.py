@@ -157,7 +157,12 @@ class PredictionCollector:
             )
         if intent.src_server != dst_server:
             self.aggregator.add(
-                intent.src_server, dst_server, intent.map_id, intent.reducer_id, intent.nbytes
+                intent.src_server,
+                dst_server,
+                intent.map_id,
+                intent.reducer_id,
+                intent.nbytes,
+                job=intent.job,
             )
 
     def _wake(self) -> None:

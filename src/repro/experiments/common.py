@@ -39,6 +39,7 @@ from repro.simnet.engine import Simulator
 from repro.simnet.netflow import NetFlowCollector
 from repro.simnet.network import Network
 from repro.simnet.topology import Topology, two_rack
+from repro.workloads.cluster import ClusterJob, ClusterWorkload
 
 SCHEDULERS = ("pythia", "ecmp", "hedera")
 
@@ -64,10 +65,18 @@ class RunResult:
     invariants: dict = field(default_factory=dict)
     #: per-kind chaos injection counts (empty unless chaos ran).
     faults_injected: dict = field(default_factory=dict)
+    #: every job's trace in canonical (arrival, key) order; a solo run
+    #: holds its one job here too, so fleet consumers need no branching.
+    jobs: list[JobRun] = field(default_factory=list)
+    #: the ClusterWorkload name for fleet runs ("" for solo runs).
+    workload_name: str = ""
+    #: job_id -> JCT of the same spec run alone on the same fabric —
+    #: the slowdown denominator (populated by run_cluster_experiment).
+    isolated_jct: dict = field(default_factory=dict)
 
     @property
     def jct(self) -> float:
-        """Job completion time in seconds."""
+        """Job completion time in seconds (fleet runs: the first job's)."""
         return self.run.jct
 
 
@@ -126,20 +135,7 @@ def run_experiment(
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
-    stride = 1
-    scope = "component"
-    if invariants is None:
-        env = os.environ.get("REPRO_INVARIANTS", "")
-        invariants = env not in ("", "0")
-        # REPRO_INVARIANTS=N (N > 1) checks every Nth settle — the knob
-        # that keeps suite-wide checking affordable on big runs.
-        if invariants and env.isdigit():
-            stride = max(1, int(env))
-        # REPRO_INVARIANTS=full forces the whole-fabric audit at every
-        # checkpoint (instead of the O(component) scoped default).
-        if env == "full":
-            scope = "full"
-    checker = InvariantChecker(every=stride, scope=scope) if invariants else None
+    checker = _make_checker(invariants)
     with obs.use(registry=registry, tracer=tracer):
         with faults_runtime.use_checker(checker):
             return _run_experiment_inner(
@@ -161,6 +157,99 @@ def run_experiment(
             )
 
 
+def _make_checker(invariants: Optional[bool]) -> Optional[InvariantChecker]:
+    """Resolve the invariant-checking request (arg beats environment)."""
+    stride = 1
+    scope = "component"
+    if invariants is None:
+        env = os.environ.get("REPRO_INVARIANTS", "")
+        invariants = env not in ("", "0")
+        # REPRO_INVARIANTS=N (N > 1) checks every Nth settle — the knob
+        # that keeps suite-wide checking affordable on big runs.
+        if invariants and env.isdigit():
+            stride = max(1, int(env))
+        # REPRO_INVARIANTS=full forces the whole-fabric audit at every
+        # checkpoint (instead of the O(component) scoped default).
+        if env == "full":
+            scope = "full"
+    return InvariantChecker(every=stride, scope=scope) if invariants else None
+
+
+def run_cluster_experiment(
+    workload: ClusterWorkload,
+    scheduler: str = "pythia",
+    ratio: Optional[float] = None,
+    seed: int = 0,
+    topology_factory: Callable[[], Topology] = two_rack,
+    cluster_config: Optional[ClusterConfig] = None,
+    pythia_config: Optional[PythiaConfig] = None,
+    netflow_interval: float = 1.0,
+    model_instrumentation_cost: bool = False,
+    fault: Optional[Callable[[Simulator, Topology], None]] = None,
+    registry: Optional[obs.MetricsRegistry] = None,
+    tracer: Optional[obs.Tracer] = None,
+    invariants: Optional[bool] = None,
+    chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
+    background_ramp: Optional[BackgroundRamp] = None,
+    isolated_baselines: bool = True,
+) -> RunResult:
+    """Run a multi-tenant fleet on one shared fabric and return its trace.
+
+    Jobs are submitted in the workload's canonical ``(arrival, key)``
+    order — arrivals at time 0 directly, later ones through scheduled
+    events — so fleet outcomes are invariant under permutations of the
+    job list, and a one-job workload replays the single-job path
+    bit-for-bit (each job's RNG stream comes from its stable key, not
+    its submission rank).
+
+    ``isolated_baselines`` additionally runs every job's spec alone on
+    an identical fabric (same scheduler/ratio/seed) and records the
+    resulting JCTs in ``RunResult.isolated_jct`` — the denominators of
+    the per-job *slowdown* metric.  Baselines run outside the fleet's
+    observability context so a registry or invariant checker attached
+    to the fleet never sees them.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
+    checker = _make_checker(invariants)
+    with obs.use(registry=registry, tracer=tracer):
+        with faults_runtime.use_checker(checker):
+            result = _run_experiment_inner(
+                workload.sorted_jobs()[0].spec,
+                scheduler,
+                ratio,
+                seed,
+                topology_factory,
+                cluster_config,
+                pythia_config,
+                netflow_interval,
+                model_instrumentation_cost,
+                fault,
+                registry,
+                tracer,
+                checker,
+                chaos,
+                background_ramp,
+                workload=workload,
+            )
+    if isolated_baselines:
+        for job, run in zip(workload.sorted_jobs(), result.jobs):
+            solo = run_experiment(
+                job.spec,
+                scheduler=scheduler,
+                ratio=ratio,
+                seed=seed,
+                topology_factory=topology_factory,
+                cluster_config=cluster_config,
+                pythia_config=pythia_config,
+                netflow_interval=netflow_interval,
+                model_instrumentation_cost=model_instrumentation_cost,
+                invariants=False,
+            )
+            result.isolated_jct[run.job_id] = solo.jct
+    return result
+
+
 def _run_experiment_inner(
     spec: JobSpec,
     scheduler: str,
@@ -177,6 +266,7 @@ def _run_experiment_inner(
     checker: Optional[InvariantChecker] = None,
     chaos: Optional[Callable[[Topology], ChaosSchedule]] = None,
     background_ramp: Optional[BackgroundRamp] = None,
+    workload: Optional[ClusterWorkload] = None,
 ) -> RunResult:
     sim = Simulator()
     rng = np.random.default_rng(seed)
@@ -252,15 +342,51 @@ def _run_experiment_inner(
         )
         chaos_engine.apply(schedule)
 
-    def _on_done(_run: JobRun) -> None:
-        controller.stop()
-        background.teardown()
+    if workload is None:
 
-    run = jobtracker.submit(spec, on_complete=_on_done)
+        def _on_done(_run: JobRun) -> None:
+            controller.stop()
+            background.teardown()
+
+        run = jobtracker.submit(spec, on_complete=_on_done)
+        jobs = [run]
+    else:
+        jobtracker.configure_tenants(workload.tenants)
+        ordered = workload.sorted_jobs()
+        remaining = len(ordered)
+        runs_by_key: dict[int, JobRun] = {}
+
+        def _on_fleet_done(_run: JobRun) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                controller.stop()
+                background.teardown()
+
+        def _submit(job: ClusterJob) -> None:
+            runs_by_key[job.key] = jobtracker.submit(
+                job.spec,
+                on_complete=_on_fleet_done,
+                tenant=job.tenant,
+                seed_key=job.key,
+            )
+
+        # Time-0 arrivals are submitted directly (exactly what the solo
+        # path does, keeping one-job fleets bit-identical); later ones
+        # arrive through the event queue in canonical order.
+        for job in ordered:
+            if job.at <= 0.0:
+                _submit(job)
+            else:
+                sim.schedule_at(job.at, _submit, job)
     sim.run()
-    if run.completed_at is None:
+    if workload is not None:
+        jobs = [runs_by_key[j.key] for j in workload.sorted_jobs()]
+        run = jobs[0]
+    unfinished = [r.spec.name for r in jobs if r.completed_at is None]
+    if unfinished:
         raise RuntimeError(
-            f"job {spec.name!r} did not complete (event queue drained early)"
+            f"jobs {unfinished!r} did not complete (event queue drained early)"
         )
     if checker is not None:
         # Final end-of-run checkpoint regardless of the sampling stride.
@@ -308,6 +434,8 @@ def _run_experiment_inner(
         tracer=tracer,
         invariants=checker.snapshot() if checker is not None else {},
         faults_injected=dict(chaos_engine.injected) if chaos_engine is not None else {},
+        jobs=jobs,
+        workload_name=workload.name if workload is not None else "",
     )
 
 

@@ -1,0 +1,154 @@
+"""Multi-tenant fleet evaluation: schedulers under rising arrival rate.
+
+The single-job figures show Pythia winning one shuffle at a time; a
+production cluster runs many tenants' jobs against the same fabric, and
+contention compounds.  This experiment sweeps a Poisson job stream's
+arrival rate across schedulers (ECMP, Hedera, Pythia) on the loaded
+2-rack testbed and reports the fleet-level metrics the operator cares
+about: p50/p99 JCT, mean slowdown versus isolated runs, makespan, and
+Jain fairness across tenants (see :mod:`repro.analysis.fleet` for the
+metric definitions).
+
+Every cell runs through :func:`repro.runner.run_cells`, so rate sweeps
+fan over the process pool and repeat invocations are served from the
+content-addressed cache — fleet cells are exactly as cacheable and
+bit-reproducible as single-job cells.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.runner import SweepCell, run_cells
+from repro.workloads.cluster import ClusterWorkload, poisson_workload
+
+#: jobs/second points of the default sweep — ~one job per 50/20/10 s.
+DEFAULT_ARRIVAL_RATES: tuple[float, ...] = (0.02, 0.05, 0.1)
+DEFAULT_SCHEDULERS: tuple[str, ...] = ("ecmp", "hedera", "pythia")
+
+
+def fleet_grid(
+    arrival_rates: Sequence[float] = DEFAULT_ARRIVAL_RATES,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    seeds: Sequence[int] = (1,),
+    ratio: Optional[float] = 10.0,
+    n_jobs: int = 5,
+    workload_seed: int = 0,
+    **workload_kwargs,
+) -> list[SweepCell]:
+    """Expand (rate x scheduler x seed) into fleet sweep cells.
+
+    The workload at each rate is generated once (``workload_seed`` keys
+    the stream) and shared by every scheduler/seed cell at that rate, so
+    schedulers face an identical job mix.
+    """
+    workloads: dict[float, ClusterWorkload] = {
+        rate: poisson_workload(
+            n_jobs=n_jobs,
+            arrival_rate=rate,
+            seed=workload_seed,
+            **workload_kwargs,
+        )
+        for rate in arrival_rates
+    }
+    return [
+        SweepCell(spec=workloads[rate], scheduler=scheduler, ratio=ratio, seed=seed)
+        for rate in arrival_rates
+        for scheduler in schedulers
+        for seed in seeds
+    ]
+
+
+def multi_tenant_sweep(
+    arrival_rates: Sequence[float] = DEFAULT_ARRIVAL_RATES,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    seeds: Sequence[int] = (1,),
+    ratio: Optional[float] = 10.0,
+    n_jobs: int = 5,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    run_kwargs: Optional[dict] = None,
+    **workload_kwargs,
+) -> tuple[list[dict[str, Any]], Any]:
+    """Run the fleet grid; returns (per-cell rows, SweepReport).
+
+    Each row carries the cell coordinates plus the fleet aggregates and
+    the per-job measurement rows the cell's summary recorded.  Seeds are
+    averaged by the caller (rows stay per-seed so tails are not washed
+    out before percentile math).
+    """
+    cells = fleet_grid(
+        arrival_rates=arrival_rates,
+        schedulers=schedulers,
+        seeds=seeds,
+        ratio=ratio,
+        n_jobs=n_jobs,
+        **workload_kwargs,
+    )
+    report = run_cells(
+        cells, workers=workers, cache_dir=cache_dir, run_kwargs=run_kwargs
+    )
+    per_rate = len(schedulers) * len(seeds)
+    rows: list[dict[str, Any]] = []
+    for idx, (cell, summary) in enumerate(zip(cells, report.summaries)):
+        rows.append(
+            {
+                "arrival_rate": float(arrival_rates[idx // per_rate]),
+                "scheduler": cell.scheduler,
+                "seed": cell.seed,
+                "workload": summary.workload,
+                "fleet": dict(summary.fleet),
+                "job_rows": [dict(r) for r in summary.job_rows],
+            }
+        )
+    return rows, report
+
+
+def format_fleet_table(rows: list[dict[str, Any]]) -> str:
+    """Render sweep rows as the fleet report table (seed-averaged)."""
+    grouped: dict[tuple[float, str], list[dict]] = {}
+    for row in rows:
+        grouped.setdefault((row["arrival_rate"], row["scheduler"]), []).append(
+            row["fleet"]
+        )
+
+    def mean(fleets: list[dict], key: str) -> float:
+        return float(np.mean([f[key] for f in fleets]))
+
+    table = [
+        (
+            f"{rate:g}",
+            scheduler,
+            mean(fleets, "p50_jct"),
+            mean(fleets, "p99_jct"),
+            mean(fleets, "mean_slowdown"),
+            mean(fleets, "jain_fairness"),
+            mean(fleets, "makespan"),
+        )
+        for (rate, scheduler), fleets in sorted(grouped.items())
+    ]
+    return format_table(
+        [
+            "rate (jobs/s)",
+            "scheduler",
+            "p50 JCT (s)",
+            "p99 JCT (s)",
+            "mean slowdown",
+            "Jain fairness",
+            "makespan (s)",
+        ],
+        table,
+    )
+
+
+__all__ = [
+    "DEFAULT_ARRIVAL_RATES",
+    "DEFAULT_SCHEDULERS",
+    "fleet_grid",
+    "format_fleet_table",
+    "multi_tenant_sweep",
+]

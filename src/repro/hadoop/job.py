@@ -136,6 +136,8 @@ class JobRun:
 
     spec: JobSpec
     job_id: str = ""
+    #: owning tenant in a multi-tenant fleet ("" for solo runs).
+    tenant: str = ""
     submitted_at: float = 0.0
     completed_at: Optional[float] = None
     maps: dict[int, TaskRecord] = field(default_factory=dict)
@@ -153,6 +155,12 @@ class JobRun:
         if self.completed_at is None:
             raise RuntimeError(f"job {self.spec.name!r} has not completed")
         return self.completed_at - self.submitted_at
+
+    @property
+    def started_at(self) -> Optional[float]:
+        """First task-start timestamp (queueing delay = started - submitted)."""
+        starts = [t.start for t in self.maps.values() if t.start is not None]
+        return min(starts) if starts else None
 
     @property
     def map_phase_span(self) -> tuple[float, float]:

@@ -47,6 +47,13 @@ class _JobState:
     run: JobRun
     rng: np.random.Generator
     on_complete: Optional[Callable[[JobRun], None]]
+    #: owning tenant (fleet scheduling pools slots per tenant).
+    tenant: str = ""
+    #: submission index — FIFO tie-break within a tenant.
+    index: int = 0
+    #: live map attempts / running reducers, for fair-share accounting.
+    running_maps: int = 0
+    running_reduces: int = 0
     map_queue: list[int] = field(default_factory=list)
     #: spill -> the time it becomes visible to reducers: the map
     #: completion is reported on the source tasktracker's *next*
@@ -105,6 +112,11 @@ class JobTracker:
         if seed_seq is None or not isinstance(seed_seq, np.random.SeedSequence):
             seed_seq = np.random.SeedSequence(int(rng.integers(2**63)))
         self._seed_seq: np.random.SeedSequence = seed_seq
+        #: tenant name -> (weight, map_quota, reduce_quota); populated by
+        #: :meth:`configure_tenants`, defaulting to weight-1 unlimited.
+        self._tenant_weights: dict[str, float] = {}
+        self._tenant_map_quota: dict[str, Optional[float]] = {}
+        self._tenant_reduce_quota: dict[str, Optional[float]] = {}
         self.hdfs: Optional[HdfsNamespace] = None
         if cluster.config.hdfs_enabled:
             self.hdfs = HdfsNamespace(
@@ -133,24 +145,97 @@ class JobTracker:
             tracker.subscribe(fn)
 
     # ------------------------------------------------------------------
+    # tenants (fleet scheduling)
+    # ------------------------------------------------------------------
+    def configure_tenants(self, tenants) -> None:
+        """Register tenant fair-share weights and slot quotas.
+
+        ``tenants`` is a sequence of objects with ``name``, ``weight``
+        and optional ``map_quota``/``reduce_quota`` attributes (see
+        :class:`repro.workloads.cluster.Tenant`).  Unregistered tenants
+        schedule at weight 1.0 with no quota.
+        """
+        for t in tenants:
+            self._tenant_weights[t.name] = float(t.weight)
+            self._tenant_map_quota[t.name] = getattr(t, "map_quota", None)
+            self._tenant_reduce_quota[t.name] = getattr(t, "reduce_quota", None)
+
+    def _tenant_usage(self, kind: str) -> dict[str, int]:
+        """Live task count per tenant (``kind`` is 'map' or 'reduce')."""
+        usage: dict[str, int] = {}
+        for st in self._jobs:
+            n = st.running_maps if kind == "map" else st.running_reduces
+            usage[st.tenant] = usage.get(st.tenant, 0) + n
+        return usage
+
+    def _under_quota(self, tenant: str, kind: str, usage: dict[str, int]) -> bool:
+        quota = (self._tenant_map_quota if kind == "map"
+                 else self._tenant_reduce_quota).get(tenant)
+        if quota is None:
+            return True
+        total = (self.cluster.total_map_slots if kind == "map"
+                 else self.cluster.total_reduce_slots)
+        return usage.get(tenant, 0) + 1 <= quota * total
+
+    def _pick_job(self, kind: str, eligible: list[_JobState]) -> Optional[_JobState]:
+        """Weighted fair share: lowest usage/weight tenant first, then
+        FIFO by submission index (the Hadoop Fair Scheduler shape)."""
+        usage = self._tenant_usage(kind)
+        candidates = [
+            st for st in eligible if self._under_quota(st.tenant, kind, usage)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda st: (
+                usage.get(st.tenant, 0) / self._tenant_weights.get(st.tenant, 1.0),
+                st.tenant,
+                st.index,
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # job admission
     # ------------------------------------------------------------------
     def submit(
         self,
         spec: JobSpec,
         on_complete: Optional[Callable[[JobRun], None]] = None,
+        *,
+        tenant: str = "",
+        seed_key: Optional[int] = None,
     ) -> JobRun:
-        """Accept a job; returns its live JobRun record."""
+        """Accept a job; returns its live JobRun record.
+
+        ``seed_key`` pins the job's RNG stream to an explicit
+        ``SeedSequence`` spawn key instead of the next sequential spawn:
+        key ``k`` yields exactly the stream the ``k``-th keyless
+        submission would have received, so a fleet that assigns stable
+        keys gets submission-order-independent per-job randomness (and a
+        one-job fleet with key 0 is bit-identical to the solo path).
+        """
         run = JobRun(
             spec=spec,
             job_id=f"job_{len(self._jobs):04d}_{spec.name}",
+            tenant=tenant,
             submitted_at=self.sim.now,
         )
+        if seed_key is None:
+            job_seed = self._seed_seq.spawn(1)[0]
+        else:
+            job_seed = np.random.SeedSequence(
+                entropy=self._seed_seq.entropy,
+                spawn_key=(*self._seed_seq.spawn_key, int(seed_key)),
+                pool_size=self._seed_seq.pool_size,
+            )
         state = _JobState(
             spec=spec,
             run=run,
-            rng=np.random.default_rng(self._seed_seq.spawn(1)[0]),
+            rng=np.random.default_rng(job_seed),
             on_complete=on_complete,
+            tenant=tenant,
+            index=len(self._jobs),
             map_queue=list(range(spec.num_maps)),
             reducer_launch_queue=list(range(spec.num_reducers)),
         )
@@ -159,7 +244,7 @@ class JobTracker:
             blocks = self.hdfs.create_file(run.job_id, sizes, state.rng)
             state.blocks = dict(enumerate(blocks))
         self._jobs.append(state)
-        self.sim.schedule(0.0, self._assign_maps, state)
+        self.sim.schedule(0.0, self._dispatch_maps)
         if self.cluster.config.speculative_execution:
             state.speculation_ticking = True
             self.sim.schedule(
@@ -170,19 +255,25 @@ class JobTracker:
     # ------------------------------------------------------------------
     # map side
     # ------------------------------------------------------------------
-    def _assign_maps(self, state: _JobState) -> None:
-        # Round-robin placement over nodes with free slots.  With HDFS
-        # modelling on, each node gets its best-locality pending map
-        # (node-local, then rack-local, then head of queue) — the
-        # jobtracker's classic locality preference.
+    def _dispatch_maps(self) -> None:
+        # Round-robin placement over nodes with free slots; each free
+        # slot goes to the fair-share-picked job's best-locality pending
+        # map (node-local, then rack-local, then head of queue — the
+        # jobtracker's classic locality preference).  With a single live
+        # job this replays the classic per-job assignment loop exactly,
+        # which the golden traces pin down.
         progress = True
-        while state.map_queue and progress:
+        while progress:
             progress = False
             for node in self.cluster.nodes:
-                if not state.map_queue:
-                    break
+                eligible = [st for st in self._jobs if st.map_queue]
+                if not eligible:
+                    return
                 tracker = self.trackers[node]
                 if tracker.free_map_slots > 0:
+                    state = self._pick_job("map", eligible)
+                    if state is None:
+                        continue  # every queued tenant is at quota
                     map_id = self._pick_map(state, node)
                     state.map_queue.remove(map_id)
                     self._start_map(state, map_id, node)
@@ -205,6 +296,7 @@ class JobTracker:
     ) -> None:
         tracker = self.trackers[node]
         tracker.acquire_map_slot()
+        state.running_maps += 1
         attempt = {"node": node, "start": self.sim.now, "event": None, "dead": False}
         state.attempts.setdefault(map_id, []).append(attempt)
         if not speculative:
@@ -261,6 +353,7 @@ class JobTracker:
             # another attempt already finished this map (e.g. while our
             # HDFS read was in flight) — give the slot back
             self.trackers[node].release_map_slot()
+            state.running_maps -= 1
             return
         spec = state.spec
         cfg = self.cluster.config
@@ -285,6 +378,7 @@ class JobTracker:
         if record.end is not None:
             # a sibling attempt won while this one was finishing
             self.trackers[node].release_map_slot()
+            state.running_maps -= 1
             return
         record.end = self.sim.now
         if record.node != node:
@@ -297,6 +391,7 @@ class JobTracker:
             if attempt["event"] is not None:
                 attempt["event"].cancel()
                 self.trackers[attempt["node"]].release_map_slot()
+                state.running_maps -= 1
         spec = state.spec
         spill = make_spill(
             map_id=map_id,
@@ -314,12 +409,13 @@ class JobTracker:
         state.finished_maps += 1
         self.trackers[node].emit("spill", job=state.run, spill=spill)
         self.trackers[node].release_map_slot()
-        self._assign_maps(state)
+        state.running_maps -= 1
+        self._dispatch_maps()
         if not state.reducers_started and (
             state.finished_maps / spec.num_maps >= self.cluster.config.slowstart
         ):
             state.reducers_started = True
-            self._launch_reducers(state)
+        self._dispatch_reducers()
 
     # ------------------------------------------------------------------
     # speculative execution
@@ -365,11 +461,22 @@ class JobTracker:
     # ------------------------------------------------------------------
     # reduce side
     # ------------------------------------------------------------------
-    def _launch_reducers(self, state: _JobState) -> None:
-        while state.reducer_launch_queue:
+    def _dispatch_reducers(self) -> None:
+        """Hand each free reduce slot to the fair-share-picked job whose
+        slowstart has fired.  Single live job: the classic launch loop."""
+        while True:
+            eligible = [
+                st for st in self._jobs
+                if st.reducers_started and st.reducer_launch_queue
+            ]
+            if not eligible:
+                return
             node = self._next_reduce_node()
             if node is None:
                 return  # wait for a slot to free up
+            state = self._pick_job("reduce", eligible)
+            if state is None:
+                return  # every waiting tenant is at quota
             self._start_reducer(state, state.reducer_launch_queue.pop(0), node)
 
     def _next_reduce_node(self) -> Optional[str]:
@@ -382,6 +489,7 @@ class JobTracker:
     def _start_reducer(self, state: _JobState, reducer_id: int, node: str) -> None:
         tracker = self.trackers[node]
         tracker.acquire_reduce_slot()
+        state.running_reduces += 1
         record = TaskRecord(kind="reduce", task_id=reducer_id, node=node, start=self.sim.now)
         record.shuffle_start = self.sim.now
         state.run.reduces[reducer_id] = record
@@ -447,9 +555,9 @@ class JobTracker:
         rstate = state.reducers[reducer_id]
         rstate.record.end = self.sim.now
         self.trackers[rstate.record.node].release_reduce_slot()
+        state.running_reduces -= 1
         state.reducers_done += 1
-        if state.reducer_launch_queue:
-            self._launch_reducers(state)
+        self._dispatch_reducers()
         if state.reducers_done >= state.spec.num_reducers:
             state.run.completed_at = self.sim.now
             if state.on_complete is not None:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 
 def _span(getter) -> Optional[tuple[float, float]]:
@@ -57,15 +57,26 @@ class RunSummary:
     invariants: dict[str, Any] = field(default_factory=dict)
     #: per-kind chaos injection counts (empty unless chaos ran).
     faults_injected: dict[str, int] = field(default_factory=dict)
+    #: fleet runs only: one measurement row per job, in canonical
+    #: (arrival, key) order (see :func:`repro.analysis.fleet.job_rows`).
+    job_rows: list[dict] = field(default_factory=list)
+    #: fleet runs only: p50/p99 JCT, slowdown, Jain fairness, makespan.
+    fleet: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, result) -> "RunSummary":
         """Extract the summary from a live RunResult."""
+        from repro.analysis.fleet import fleet_metrics, job_rows
         from repro.analysis.timeline import phase_fractions
 
+        rows: list[dict] = []
+        fleet: dict[str, Any] = {}
+        if result.workload_name:
+            rows = job_rows(result)
+            fleet = fleet_metrics(rows)
         run = result.run
         return cls(
-            workload=run.spec.name,
+            workload=result.workload_name or run.spec.name,
             scheduler=result.scheduler,
             ratio=result.ratio,
             seed=result.seed,
@@ -85,6 +96,8 @@ class RunSummary:
             metrics=dict(result.metrics),
             invariants=dict(result.invariants),
             faults_injected=dict(result.faults_injected),
+            job_rows=rows,
+            fleet=fleet,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -111,14 +124,19 @@ class RunSummary:
             "metrics": self.metrics,
             "invariants": self.invariants,
             "faults_injected": self.faults_injected,
+            "job_rows": self.job_rows,
+            "fleet": self.fleet,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
         """Rebuild a summary from :meth:`to_dict` output."""
         version = data.get("version")
-        if version != SUMMARY_VERSION:
+        if version not in (1, SUMMARY_VERSION):
             raise ValueError(f"unsupported summary version {version!r}")
+        # Version 1 predates the multi-tenant fleet fields; solo-run
+        # summaries carry empty defaults for both, so a v1 payload loads
+        # losslessly.
         return cls(
             workload=data["workload"],
             scheduler=data["scheduler"],
@@ -140,4 +158,6 @@ class RunSummary:
             metrics=dict(data["metrics"]),
             invariants=dict(data["invariants"]),
             faults_injected=dict(data["faults_injected"]),
+            job_rows=[dict(r) for r in data.get("job_rows", [])],
+            fleet=dict(data.get("fleet", {})),
         )

@@ -49,6 +49,7 @@ from repro.runner.cache import (
 )
 from repro.runner.summary import RunSummary
 from repro.simnet.topology import two_rack
+from repro.workloads.cluster import ClusterWorkload
 
 MANIFEST_VERSION = 1
 
@@ -58,9 +59,15 @@ CACHED, EXECUTED, UNCACHEABLE = "cached", "executed", "uncacheable"
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid point: a job spec under one scheduler/ratio/seed."""
+    """One grid point: a workload under one scheduler/ratio/seed.
 
-    spec: JobSpec
+    ``spec`` is either a single :class:`JobSpec` (the classic solo-job
+    cell) or a :class:`~repro.workloads.cluster.ClusterWorkload` (a
+    multi-tenant fleet cell); both are plain dataclasses, so the cache
+    key and the worker boundary handle them identically.
+    """
+
+    spec: Union[JobSpec, ClusterWorkload]
     scheduler: str
     ratio: Optional[float]
     seed: int
@@ -154,9 +161,14 @@ def _reset_worker_context() -> None:
 
 def _execute_cell(cell: SweepCell, run_kwargs: dict) -> RunSummary:
     """Run one cell to completion (in the parent or a pool worker)."""
-    from repro.experiments.common import run_experiment
+    from repro.experiments.common import run_cluster_experiment, run_experiment
 
-    result = run_experiment(
+    runner = (
+        run_cluster_experiment
+        if isinstance(cell.spec, ClusterWorkload)
+        else run_experiment
+    )
+    result = runner(
         cell.spec,
         scheduler=cell.scheduler,
         ratio=cell.ratio,

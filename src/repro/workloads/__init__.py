@@ -10,6 +10,14 @@ land the jobs in the same regimes: sort shuffle-bound with large flows,
 Nutch compute-bound with many small skewed flows.
 """
 
+from repro.workloads.cluster import (
+    ClusterJob,
+    ClusterWorkload,
+    Tenant,
+    poisson_workload,
+    single_job_workload,
+    trace_workload,
+)
 from repro.workloads.hibench import HIBENCH, make_workload
 from repro.workloads.mix import JobArrival, synthesize_mix
 from repro.workloads.nutch import nutch_indexing_job
@@ -22,6 +30,12 @@ from repro.workloads.wordcount import wordcount_job
 __all__ = [
     "HIBENCH",
     "make_workload",
+    "ClusterJob",
+    "ClusterWorkload",
+    "Tenant",
+    "poisson_workload",
+    "single_job_workload",
+    "trace_workload",
     "sort_job",
     "toy_sort_job",
     "integer_sort_job",

@@ -1,0 +1,247 @@
+"""Cluster-level workload layer: concurrent jobs from an arrival process.
+
+Production clusters are multi-tenant: many users submit heterogeneous
+jobs against one fabric, and the paper's premise — predictive SDN
+optimization paying off under contention — only really shows at fleet
+scale.  A :class:`ClusterWorkload` describes such a fleet statically: a
+set of tenants (with fair-share weights and optional slot quotas) and a
+list of :class:`ClusterJob` submissions, each carrying a *stable key*
+that pins the job's RNG stream and identity independently of the order
+the jobs happen to be submitted in.
+
+Determinism contract
+--------------------
+* Every generator derives per-job parameters from
+  ``SeedSequence(seed).spawn``-style keyed streams, so a workload is a
+  pure function of its arguments.
+* :meth:`ClusterWorkload.sorted_jobs` orders submissions canonically by
+  ``(arrival, key)``; the experiment runner always submits in that
+  order, which makes fleet traces invariant under permutations of the
+  job list at identical arrival times (a property test holds that
+  line).
+* A job's stable ``key`` maps to the jobtracker's per-job
+  ``SeedSequence.spawn`` derivation, so a one-job workload is
+  bit-identical to the classic single-job path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hadoop.job import JobSpec
+from repro.workloads.mix import JobArrival
+from repro.workloads.nutch import nutch_indexing_job
+from repro.workloads.sort import sort_job
+
+DEFAULT_TENANT = "tenant-0"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One cluster tenant: fair-share weight plus optional slot quotas.
+
+    ``weight`` scales the tenant's share of free slots (the Hadoop Fair
+    Scheduler analogue: slots go to the tenant with the lowest
+    running-slots/weight ratio).  ``map_quota``/``reduce_quota`` cap
+    the tenant's concurrent tasks as a fraction of cluster slots; None
+    leaves the tenant bounded only by fair sharing.
+    """
+
+    name: str
+    weight: float = 1.0
+    map_quota: Optional[float] = None
+    reduce_quota: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be positive")
+        for label, quota in (("map_quota", self.map_quota),
+                             ("reduce_quota", self.reduce_quota)):
+            if quota is not None and not 0 < quota <= 1:
+                raise ValueError(f"tenant {self.name!r}: {label} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterJob:
+    """One submission in a cluster workload.
+
+    ``key`` is the job's stable identity: it selects the job's RNG
+    stream (``SeedSequence`` spawn key) and orders simultaneous
+    arrivals, so it must be unique within a workload.
+    """
+
+    key: int
+    tenant: str
+    at: float
+    spec: JobSpec
+
+    def __post_init__(self) -> None:
+        if self.key < 0:
+            raise ValueError("job key must be non-negative")
+        if self.at < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass
+class ClusterWorkload:
+    """A static multi-tenant fleet: tenants plus keyed job arrivals."""
+
+    name: str
+    jobs: list[ClusterJob] = field(default_factory=list)
+    tenants: list[Tenant] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a cluster workload needs at least one job")
+        keys = [j.key for j in self.jobs]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate job keys in workload {self.name!r}")
+        if not self.tenants:
+            names = sorted({j.tenant for j in self.jobs})
+            self.tenants = [Tenant(name=n) for n in names]
+        known = {t.name for t in self.tenants}
+        unknown = sorted({j.tenant for j in self.jobs} - known)
+        if unknown:
+            raise ValueError(f"jobs reference unknown tenants: {unknown}")
+
+    def sorted_jobs(self) -> list[ClusterJob]:
+        """Submissions in canonical order: by arrival, then stable key.
+
+        The runner always submits in this order, so fleet outcomes do
+        not depend on how the ``jobs`` list happens to be permuted.
+        """
+        return sorted(self.jobs, key=lambda j: (j.at, j.key))
+
+    def tenant(self, name: str) -> Tenant:
+        """The tenant record for ``name``."""
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def horizon(self) -> float:
+        """Latest arrival time in the workload."""
+        return max(j.at for j in self.jobs)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def single_job_workload(
+    spec: JobSpec, tenant: str = DEFAULT_TENANT, name: Optional[str] = None
+) -> ClusterWorkload:
+    """Wrap one spec as a degenerate fleet (bit-identical to a solo run)."""
+    return ClusterWorkload(
+        name=name or spec.name,
+        jobs=[ClusterJob(key=0, tenant=tenant, at=0.0, spec=spec)],
+        tenants=[Tenant(name=tenant)],
+    )
+
+
+def trace_workload(
+    arrivals: Sequence[JobArrival],
+    tenants: Optional[Sequence[str]] = None,
+    name: str = "trace",
+) -> ClusterWorkload:
+    """Lift a :class:`~repro.workloads.mix.JobArrival` trace to a fleet.
+
+    ``tenants`` assigns each arrival a tenant round-robin when given
+    (e.g. ``("prod", "adhoc")``); otherwise every job belongs to the
+    default tenant.
+    """
+    if not arrivals:
+        raise ValueError("empty arrival trace")
+    names = list(tenants) if tenants else [DEFAULT_TENANT]
+    jobs = [
+        ClusterJob(key=i, tenant=names[i % len(names)], at=a.at, spec=a.spec)
+        for i, a in enumerate(arrivals)
+    ]
+    return ClusterWorkload(name=name, jobs=jobs,
+                           tenants=[Tenant(name=n) for n in names])
+
+
+def _job_rng(seed: int, key: int) -> np.random.Generator:
+    """Keyed parameter stream: independent of generation order."""
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(key,)))
+
+
+def _heavy_tailed_gb(rng: np.random.Generator, median_gb: float) -> float:
+    """Log-normal job size: most jobs small, a few large (clipped at 4x)."""
+    return float(min(4.0 * median_gb,
+                     median_gb * rng.lognormal(mean=0.0, sigma=0.9)))
+
+
+def poisson_workload(
+    n_jobs: int = 6,
+    arrival_rate: float = 0.1,
+    tenants: Optional[Sequence[Tenant]] = None,
+    sort_fraction: float = 0.6,
+    median_input_gb: float = 1.5,
+    num_reducers: int = 6,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ClusterWorkload:
+    """A Poisson stream of sort/nutch jobs spread across tenants.
+
+    ``arrival_rate`` is jobs/second: inter-arrival gaps are exponential
+    draws, so raising the rate packs more jobs into the same window and
+    raises contention — the knob the multi-tenant experiment sweeps.
+    Job sizes are heavy-tailed (log-normal, clipped); the sort/nutch
+    split follows ``sort_fraction``.  Tenants are assigned round-robin
+    by job key, so every permutation-stable key keeps its tenant.
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive (jobs/second)")
+    if not 0 <= sort_fraction <= 1:
+        raise ValueError("sort_fraction must be in [0, 1]")
+    tenant_list = list(tenants) if tenants else [
+        Tenant(name="tenant-0"), Tenant(name="tenant-1"),
+    ]
+    arrival_rng = np.random.default_rng(np.random.SeedSequence(seed))
+    gaps = arrival_rng.exponential(scale=1.0 / arrival_rate, size=n_jobs)
+    gaps[0] = 0.0  # the first job opens the window
+    times = np.cumsum(gaps)
+    jobs: list[ClusterJob] = []
+    for key in range(n_jobs):
+        rng = _job_rng(seed, key)
+        gb = max(0.25, _heavy_tailed_gb(rng, median_input_gb))
+        if float(rng.uniform()) < sort_fraction:
+            spec = sort_job(input_gb=gb, num_reducers=num_reducers)
+        else:
+            spec = nutch_indexing_job(pages=gb * 1e6 / 1.6,
+                                      num_reducers=num_reducers)
+        spec.name = f"{spec.name}-j{key}"
+        jobs.append(
+            ClusterJob(
+                key=key,
+                tenant=tenant_list[key % len(tenant_list)].name,
+                at=float(times[key]),
+                spec=spec,
+            )
+        )
+    return ClusterWorkload(
+        name=name or f"poisson-{n_jobs}x{arrival_rate:g}",
+        jobs=jobs,
+        tenants=tenant_list,
+    )
+
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "ClusterJob",
+    "ClusterWorkload",
+    "Tenant",
+    "poisson_workload",
+    "single_job_workload",
+    "trace_workload",
+]

@@ -32,8 +32,8 @@ def test_prediction_with_known_location_completes_immediately():
     col.receive_reducer_location(loc(rid=1, server="h11"))
     col.receive_prediction(pred())
     assert col.pending_intents == 0
-    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(100.0)
-    assert agg.entries[("h00", "h11")].predicted_bytes == pytest.approx(50.0)
+    assert agg.entries[("j", "h00", "h10")].predicted_bytes == pytest.approx(100.0)
+    assert agg.entries[("j", "h00", "h11")].predicted_bytes == pytest.approx(50.0)
 
 
 def test_unknown_destination_held_then_flushed():
@@ -45,7 +45,7 @@ def test_unknown_destination_held_then_flushed():
     assert agg.entries == {}
     col.receive_reducer_location(loc(rid=0, server="h10"))
     assert col.pending_intents == 1
-    assert ("h00", "h10") in agg.entries
+    assert ("j", "h00", "h10") in agg.entries
     col.receive_reducer_location(loc(rid=1, server="h12"))
     assert col.pending_intents == 0
 
@@ -112,7 +112,7 @@ def test_location_before_any_prediction_is_remembered():
     assert col.log == []
     col.receive_prediction(pred(sizes=(40.0,)))
     assert col.pending_intents == 0   # bound without ever waiting
-    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(40.0)
+    assert agg.entries[("j", "h00", "h10")].predicted_bytes == pytest.approx(40.0)
 
 
 def test_duplicate_location_reports_are_idempotent():
@@ -122,12 +122,12 @@ def test_duplicate_location_reports_are_idempotent():
     col.receive_reducer_location(loc(rid=0, server="h10"))  # duplicate report
     assert col.locations_received == 2
     # the waiter flushed exactly once: no double aggregation, no relog
-    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(25.0)
+    assert agg.entries[("j", "h00", "h10")].predicted_bytes == pytest.approx(25.0)
     assert len(col.log) == 1
     assert col.pending_intents == 0
     # and later predictions still bind to the (unchanged) location
     col.receive_prediction(pred(map_id=1, sizes=(5.0,)))
-    assert agg.entries[("h00", "h10")].predicted_bytes == pytest.approx(30.0)
+    assert agg.entries[("j", "h00", "h10")].predicted_bytes == pytest.approx(30.0)
 
 
 def test_same_instant_prediction_and_location_share_one_wake():
@@ -139,7 +139,7 @@ def test_same_instant_prediction_and_location_share_one_wake():
     col.receive_prediction(pred(sizes=(60.0,)))   # waits: location unknown
     col.receive_reducer_location(loc(rid=0, server="h10"))  # same instant
     sim.run()
-    assert fired == [[("h00", "h10")]]
+    assert fired == [[("j", "h00", "h10")]]
 
 
 def test_wake_rearms_after_firing():

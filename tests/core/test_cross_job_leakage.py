@@ -1,0 +1,89 @@
+"""Regression: concurrent jobs must never share an aggregate entry.
+
+Before the fleet layer, the aggregator keyed entries on the bare
+(src, dst) server pair, so two jobs shuffling over the same pair —
+the normal case whenever reducer placement coincides — summed their
+predicted bytes into one entry and were routed (and rule-installed) as
+one flow.  These tests pin the per-job keying down at the aggregation
+layer and end-to-end through a two-job fleet.
+"""
+
+import numpy as np
+
+from repro.core.aggregation import FlowAggregator, ServerPairAggregation
+from repro.core.collector import PredictionCollector
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.simnet.engine import Simulator
+from repro.experiments.common import run_cluster_experiment
+from repro.workloads.cluster import ClusterJob, ClusterWorkload
+from repro.workloads.sort import sort_job
+
+
+def _ingest(col, job, src, sizes, reducer_server):
+    for rid in range(len(sizes)):
+        col.receive_reducer_location(
+            ReducerLocationMessage(job=job, reducer_id=rid, server=reducer_server,
+                                   created_at=0.0)
+        )
+    col.receive_prediction(
+        PredictionMessage(job=job, map_id=0, src_server=src,
+                          reducer_bytes=np.array(sizes), created_at=0.0)
+    )
+
+
+def test_identical_reducer_placement_keeps_jobs_apart():
+    """Two jobs, same (src, dst) pair: two entries, unmixed byte sums."""
+    sim = Simulator()
+    agg = FlowAggregator(ServerPairAggregation())
+    col = PredictionCollector(sim, agg)
+    _ingest(col, job="job_a", src="h00", sizes=(100.0,), reducer_server="h10")
+    _ingest(col, job="job_b", src="h00", sizes=(70.0,), reducer_server="h10")
+
+    assert set(agg.entries) == {("job_a", "h00", "h10"), ("job_b", "h00", "h10")}
+    a = agg.entries[("job_a", "h00", "h10")]
+    b = agg.entries[("job_b", "h00", "h10")]
+    assert a.predicted_bytes == 100.0
+    assert b.predicted_bytes == 70.0
+    assert a.job == "job_a" and b.job == "job_b"
+    # both cover the same concrete pair, yet stay separately routable
+    assert a.pairs == b.pairs == {("h00", "h10")}
+
+
+def test_unscoped_add_keeps_legacy_bare_keys():
+    """Callers that predate fleets still get (src, dst) keys."""
+    agg = FlowAggregator(ServerPairAggregation())
+    agg.add("h00", "h10", 0, 0, 42.0)
+    assert set(agg.entries) == {("h00", "h10")}
+    assert agg.entries[("h00", "h10")].job == ""
+
+
+def test_fleet_run_never_mixes_jobs_in_one_aggregate():
+    """End-to-end: a two-job fleet's aggregates are all job-scoped, and
+    each entry's bytes come only from its own job's predictions."""
+    wl = ClusterWorkload(
+        name="leak-check",
+        jobs=[
+            ClusterJob(key=0, tenant="a", at=0.0,
+                       spec=sort_job(input_gb=0.4, num_reducers=2)),
+            ClusterJob(key=1, tenant="b", at=0.0,
+                       spec=sort_job(input_gb=0.4, num_reducers=2)),
+        ],
+    )
+    res = run_cluster_experiment(
+        wl, scheduler="pythia", ratio=5.0, seed=0, isolated_baselines=False
+    )
+    assert res.collector is not None
+    entries = res.collector.aggregator.entries
+    assert entries, "pythia run produced no aggregates"
+    job_ids = {run.job_id for run in res.jobs}
+    per_job_logged = {jid: 0.0 for jid in job_ids}
+    for e in res.collector.log:
+        if e.src_server != e.dst_server:
+            per_job_logged[e.job] += e.predicted_wire_bytes
+    per_job_aggregated = {jid: 0.0 for jid in job_ids}
+    for key, entry in entries.items():
+        assert entry.job in job_ids, f"aggregate {key} not scoped to a job"
+        assert key[0] == entry.job
+        per_job_aggregated[entry.job] += entry.predicted_bytes
+    for jid in job_ids:
+        assert per_job_aggregated[jid] == per_job_logged[jid]

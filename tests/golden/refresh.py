@@ -24,10 +24,16 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 DIGESTS = HERE / "digests.json"
+FLEET_DIGESTS = HERE / "fleet_digests.json"
 
 SCHEDULERS = ("ecmp", "pythia", "hedera")
 SEEDS = (1, 2, 3)
 WORKLOADS = ("sort", "nutch")
+
+#: the fleet matrix mirrors the solo one at multi-tenant scale: a
+#: 2-tenant sort+nutch mix with staggered arrivals under each scheduler.
+FLEET_SCHEDULERS = ("ecmp", "pythia")
+FLEET_SEEDS = (1, 2)
 
 
 def make_spec(workload: str):
@@ -58,6 +64,51 @@ def run_cell(workload: str, scheduler: str, seed: int) -> dict:
     }
 
 
+def make_fleet_workload():
+    """The golden 2-tenant sort+nutch mix with staggered arrivals."""
+    from repro.workloads import (
+        ClusterJob,
+        ClusterWorkload,
+        Tenant,
+        nutch_indexing_job,
+        sort_job,
+    )
+
+    return ClusterWorkload(
+        name="golden-fleet",
+        jobs=[
+            ClusterJob(key=0, tenant="prod", at=0.0,
+                       spec=sort_job(input_gb=1.0, num_reducers=4)),
+            ClusterJob(key=1, tenant="adhoc", at=5.0,
+                       spec=nutch_indexing_job(pages=1e5, num_reducers=4)),
+            ClusterJob(key=2, tenant="prod", at=12.0,
+                       spec=sort_job(input_gb=0.5, num_reducers=4)),
+        ],
+        tenants=[Tenant(name="prod", weight=2.0), Tenant(name="adhoc")],
+    )
+
+
+def fleet_cell_key(scheduler: str, seed: int) -> str:
+    return f"fleet/{scheduler}/seed{seed}"
+
+
+def run_fleet_cell(scheduler: str, seed: int) -> dict:
+    """One fleet matrix cell -> its digest (per-job JCTs + event count)."""
+    from repro.experiments.common import run_cluster_experiment
+
+    res = run_cluster_experiment(
+        make_fleet_workload(),
+        scheduler=scheduler,
+        ratio=10.0,
+        seed=seed,
+        isolated_baselines=False,
+    )
+    return {
+        "jct_seconds": {run.job_id: run.jct for run in res.jobs},
+        "events_processed": res.sim.events_processed,
+    }
+
+
 def compute_digests() -> dict[str, dict]:
     """Run the full matrix."""
     out: dict[str, dict] = {}
@@ -70,8 +121,21 @@ def compute_digests() -> dict[str, dict]:
     return out
 
 
+def compute_fleet_digests() -> dict[str, dict]:
+    """Run the fleet matrix."""
+    return {
+        fleet_cell_key(scheduler, seed): run_fleet_cell(scheduler, seed)
+        for scheduler in FLEET_SCHEDULERS
+        for seed in FLEET_SEEDS
+    }
+
+
 def load_digests() -> dict[str, dict]:
     return json.loads(DIGESTS.read_text())
+
+
+def load_fleet_digests() -> dict[str, dict]:
+    return json.loads(FLEET_DIGESTS.read_text())
 
 
 def main() -> int:
@@ -79,6 +143,9 @@ def main() -> int:
     digests = compute_digests()
     DIGESTS.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(digests)} digests to {DIGESTS}")
+    fleet = compute_fleet_digests()
+    FLEET_DIGESTS.write_text(json.dumps(fleet, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(fleet)} fleet digests to {FLEET_DIGESTS}")
     return 0
 
 

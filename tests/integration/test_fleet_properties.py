@@ -1,0 +1,113 @@
+"""Property tests for the multi-tenant fleet layer's determinism.
+
+Three contracts the workload layer promises (ISSUE 8):
+
+* a one-job :class:`ClusterWorkload` replays the classic single-job
+  path bit-for-bit (same JCT, same event count);
+* fleet outcomes are invariant under permutations of the job list when
+  arrival times are identical — canonical (arrival, key) submission
+  order, not list order, decides everything;
+* per-job RNG streams never collide across jobs or tenants (keyed
+  ``SeedSequence`` spawns are provably disjoint; this holds the line
+  against regressions to draw-an-integer reseeding).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import run_cluster_experiment, run_experiment
+from repro.workloads.cluster import (
+    ClusterJob,
+    ClusterWorkload,
+    poisson_workload,
+    single_job_workload,
+)
+from repro.workloads.sort import sort_job
+
+
+def _small_spec(gb: float = 0.3):
+    return sort_job(input_gb=gb, num_reducers=2)
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    scheduler=st.sampled_from(["ecmp", "pythia"]),
+)
+def test_one_job_fleet_is_bit_identical_to_solo_run(seed, scheduler):
+    solo = run_experiment(_small_spec(), scheduler=scheduler, ratio=5.0, seed=seed)
+    fleet = run_cluster_experiment(
+        single_job_workload(_small_spec()),
+        scheduler=scheduler,
+        ratio=5.0,
+        seed=seed,
+        isolated_baselines=False,
+    )
+    assert fleet.jct == solo.jct
+    assert fleet.sim.events_processed == solo.sim.events_processed
+    assert fleet.jobs[0].job_id == solo.run.job_id
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    order=st.permutations(list(range(3))),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_fleet_jcts_invariant_under_submission_order(order, seed):
+    """Simultaneous arrivals: the jobs list permutation must not matter."""
+    sizes = (0.3, 0.45, 0.2)
+    jobs = [
+        ClusterJob(key=k, tenant=f"tenant-{k % 2}", at=0.0, spec=_small_spec(sizes[k]))
+        for k in order
+    ]
+    permuted = ClusterWorkload(name="perm", jobs=jobs)
+    canonical = ClusterWorkload(
+        name="perm",
+        jobs=sorted(jobs, key=lambda j: j.key),
+    )
+    a = run_cluster_experiment(
+        permuted, scheduler="ecmp", ratio=5.0, seed=seed, isolated_baselines=False
+    )
+    b = run_cluster_experiment(
+        canonical, scheduler="ecmp", ratio=5.0, seed=seed, isolated_baselines=False
+    )
+    assert [r.job_id for r in a.jobs] == [r.job_id for r in b.jobs]
+    assert [r.jct for r in a.jobs] == [r.jct for r in b.jobs]
+    assert a.sim.events_processed == b.sim.events_processed
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_per_job_rng_streams_never_collide(seed):
+    """Keyed spawn streams stay pairwise distinct across jobs/tenants."""
+    wl = poisson_workload(n_jobs=8, arrival_rate=0.5, seed=seed)
+    streams = {}
+    for job in wl.jobs:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(job.key,))
+        )
+        streams[(job.tenant, job.key)] = tuple(rng.integers(2**63, size=4))
+    drawn = list(streams.values())
+    assert len(set(drawn)) == len(drawn), "colliding per-job RNG streams"
+
+
+def test_fleet_jobs_see_distinct_jobtracker_streams():
+    """End-to-end: two identical specs in one fleet draw different jitter."""
+    spec = _small_spec()
+    wl = ClusterWorkload(
+        name="twins",
+        jobs=[
+            ClusterJob(key=0, tenant="a", at=0.0, spec=_small_spec()),
+            ClusterJob(key=1, tenant="b", at=0.0, spec=_small_spec()),
+        ],
+    )
+    res = run_cluster_experiment(
+        wl, scheduler="ecmp", ratio=None, seed=0, isolated_baselines=False
+    )
+    a, b = res.jobs
+    assert a.spec.num_maps == b.spec.num_maps == spec.num_maps
+    durations_a = [t.duration for t in a.maps.values()]
+    durations_b = [t.duration for t in b.maps.values()]
+    assert durations_a != durations_b

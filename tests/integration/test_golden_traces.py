@@ -16,17 +16,24 @@ and commit the diff alongside the change that explains it.
 import pytest
 
 from tests.golden.refresh import (
+    FLEET_SCHEDULERS,
+    FLEET_SEEDS,
     SCHEDULERS,
     SEEDS,
     WORKLOADS,
     cell_key,
+    fleet_cell_key,
     load_digests,
+    load_fleet_digests,
     run_cell,
+    run_fleet_cell,
 )
 
 _MATRIX = [
     (w, s, seed) for w in WORKLOADS for s in SCHEDULERS for seed in SEEDS
 ]
+
+_FLEET_MATRIX = [(s, seed) for s in FLEET_SCHEDULERS for seed in FLEET_SEEDS]
 
 
 @pytest.fixture(scope="module")
@@ -53,3 +60,32 @@ def test_golden_trace(golden, workload, scheduler, seed):
     assert actual["jct_seconds"] == pytest.approx(
         expected["jct_seconds"], rel=1e-9
     ), f"{key}: JCT drifted"
+
+
+@pytest.fixture(scope="module")
+def fleet_golden():
+    return load_fleet_digests()
+
+
+def test_fleet_digests_cover_the_whole_matrix():
+    golden = load_fleet_digests()
+    assert sorted(golden) == sorted(fleet_cell_key(*cell) for cell in _FLEET_MATRIX)
+
+
+@pytest.mark.parametrize(
+    "scheduler,seed", _FLEET_MATRIX, ids=[fleet_cell_key(*c) for c in _FLEET_MATRIX]
+)
+def test_fleet_golden_trace(fleet_golden, scheduler, seed):
+    """The 2-tenant sort+nutch mix replays bit-identically per job."""
+    key = fleet_cell_key(scheduler, seed)
+    expected = fleet_golden[key]
+    actual = run_fleet_cell(scheduler, seed)
+    assert actual["events_processed"] == expected["events_processed"], (
+        f"{key}: event count drifted — if intentional, refresh with "
+        f"`PYTHONPATH=src python tests/golden/refresh.py`"
+    )
+    assert sorted(actual["jct_seconds"]) == sorted(expected["jct_seconds"])
+    for job_id, jct in expected["jct_seconds"].items():
+        assert actual["jct_seconds"][job_id] == pytest.approx(jct, rel=1e-9), (
+            f"{key}: JCT of {job_id} drifted"
+        )

@@ -45,3 +45,51 @@ def test_pickle_round_trip(summary):
 def test_version_gate():
     with pytest.raises(ValueError, match="version"):
         RunSummary.from_dict({"version": 999})
+
+
+def test_v1_payload_loads_with_empty_fleet_fields(summary):
+    """Pre-PR-8 caches serialised version-1 summaries without the
+    multi-tenant fields; they must keep loading losslessly."""
+    data = summary.to_dict()
+    data["version"] = 1
+    del data["job_rows"]
+    del data["fleet"]
+    rebuilt = RunSummary.from_dict(data)
+    assert rebuilt.job_rows == []
+    assert rebuilt.fleet == {}
+    assert rebuilt.jct == summary.jct
+    assert rebuilt.policy_stats == summary.policy_stats
+
+
+@pytest.fixture(scope="module")
+def fleet_summary() -> RunSummary:
+    from repro.experiments.common import run_cluster_experiment
+    from repro.workloads import poisson_workload
+
+    result = run_cluster_experiment(
+        poisson_workload(n_jobs=3, arrival_rate=0.1, seed=0),
+        scheduler="ecmp",
+        ratio=5.0,
+        seed=1,
+    )
+    return RunSummary.from_result(result)
+
+
+def test_fleet_summary_carries_rows_and_metrics(fleet_summary):
+    assert fleet_summary.workload.startswith("poisson-")
+    assert len(fleet_summary.job_rows) == 3
+    row = fleet_summary.job_rows[0]
+    assert {"job_id", "tenant", "jct", "slowdown"} <= set(row)
+    assert row["slowdown"] is not None
+    fleet = fleet_summary.fleet
+    assert fleet["n_jobs"] == 3
+    assert 0 < fleet["p50_jct"] <= fleet["p99_jct"]
+    assert 0 < fleet["jain_fairness"] <= 1.0
+    assert fleet["mean_slowdown"] >= 1.0
+
+
+def test_fleet_summary_round_trips(fleet_summary):
+    data = json.loads(json.dumps(fleet_summary.to_dict()))
+    assert data["version"] == 2
+    assert RunSummary.from_dict(data) == fleet_summary
+    assert pickle.loads(pickle.dumps(fleet_summary)) == fleet_summary

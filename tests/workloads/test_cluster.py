@@ -1,0 +1,106 @@
+"""Cluster workload layer: generators, validation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.cluster import (
+    ClusterJob,
+    ClusterWorkload,
+    Tenant,
+    poisson_workload,
+    single_job_workload,
+    trace_workload,
+)
+from repro.workloads.mix import JobArrival
+from repro.workloads.sort import sort_job
+
+
+def test_single_job_workload_is_a_one_job_fleet():
+    wl = single_job_workload(sort_job(input_gb=1.0))
+    assert wl.n_jobs == 1
+    assert wl.jobs[0].key == 0
+    assert wl.jobs[0].at == 0.0
+    assert wl.horizon == 0.0
+
+
+def test_duplicate_keys_rejected():
+    spec = sort_job(input_gb=1.0)
+    with pytest.raises(ValueError, match="duplicate job keys"):
+        ClusterWorkload(
+            name="bad",
+            jobs=[
+                ClusterJob(key=0, tenant="t", at=0.0, spec=spec),
+                ClusterJob(key=0, tenant="t", at=1.0, spec=spec),
+            ],
+        )
+
+
+def test_unknown_tenant_rejected():
+    spec = sort_job(input_gb=1.0)
+    with pytest.raises(ValueError, match="unknown tenants"):
+        ClusterWorkload(
+            name="bad",
+            jobs=[ClusterJob(key=0, tenant="ghost", at=0.0, spec=spec)],
+            tenants=[Tenant(name="real")],
+        )
+
+
+def test_tenants_auto_created_from_jobs():
+    spec = sort_job(input_gb=1.0)
+    wl = ClusterWorkload(
+        name="auto",
+        jobs=[
+            ClusterJob(key=0, tenant="b", at=0.0, spec=spec),
+            ClusterJob(key=1, tenant="a", at=1.0, spec=spec),
+        ],
+    )
+    assert [t.name for t in wl.tenants] == ["a", "b"]
+
+
+def test_tenant_quota_validation():
+    with pytest.raises(ValueError, match="map_quota"):
+        Tenant(name="t", map_quota=1.5)
+    with pytest.raises(ValueError, match="weight"):
+        Tenant(name="t", weight=0.0)
+
+
+def test_sorted_jobs_orders_by_arrival_then_key():
+    spec = sort_job(input_gb=1.0)
+    wl = ClusterWorkload(
+        name="order",
+        jobs=[
+            ClusterJob(key=2, tenant="t", at=5.0, spec=spec),
+            ClusterJob(key=1, tenant="t", at=5.0, spec=spec),
+            ClusterJob(key=0, tenant="t", at=9.0, spec=spec),
+        ],
+    )
+    assert [j.key for j in wl.sorted_jobs()] == [1, 2, 0]
+
+
+def test_trace_workload_round_robins_tenants():
+    arrivals = [
+        JobArrival(at=float(i), spec=sort_job(input_gb=1.0)) for i in range(4)
+    ]
+    wl = trace_workload(arrivals, tenants=("prod", "adhoc"))
+    assert [j.tenant for j in wl.jobs] == ["prod", "adhoc", "prod", "adhoc"]
+
+
+def test_poisson_workload_is_deterministic():
+    a = poisson_workload(n_jobs=5, arrival_rate=0.1, seed=3)
+    b = poisson_workload(n_jobs=5, arrival_rate=0.1, seed=3)
+    assert [(j.key, j.at, j.spec.name) for j in a.jobs] == [
+        (j.key, j.at, j.spec.name) for j in b.jobs
+    ]
+    assert np.all(a.jobs[0].spec.reducer_weights == b.jobs[0].spec.reducer_weights)
+
+
+def test_poisson_workload_first_job_opens_window():
+    wl = poisson_workload(n_jobs=4, arrival_rate=0.5, seed=0)
+    assert wl.sorted_jobs()[0].at == 0.0
+    assert all(j.at >= 0.0 for j in wl.jobs)
+
+
+def test_poisson_rate_packs_jobs_tighter():
+    slow = poisson_workload(n_jobs=6, arrival_rate=0.01, seed=1)
+    fast = poisson_workload(n_jobs=6, arrival_rate=1.0, seed=1)
+    assert fast.horizon < slow.horizon
