@@ -46,12 +46,14 @@ CI_NFLOWS = 6_000
 FULL_NFLOWS = 100_000
 
 
-def _run_storm(nflows: int, delta: bool = True) -> dict:
+def _run_storm(nflows: int, delta: bool = True, on_network=None) -> dict:
     """Pod-local arrival/departure storm; returns counters for gating."""
     obs.set_registry(MetricsRegistry())
     sim = Simulator()
     topo = fat_tree(K)
     net = Network(sim, topo, delta=delta)
+    if on_network is not None:
+        on_network(net)
     hosts = [h.name for h in topo.hosts()]
     per_pod = len(hosts) // K
     cache = KPathCache(topo, 4)
@@ -134,6 +136,33 @@ def test_storm_pod_local_gates(benchmark):
         lambda: _run_storm(CI_NFLOWS), rounds=1, iterations=1, warmup_rounds=0
     )
     _assert_storm_gates(r, CI_NFLOWS)
+
+
+def test_settle_scratch_is_hoisted():
+    """Post-warmup settles reuse the same hoisted scratch buffers.
+
+    The settle hot path works entirely in grow-only buffers (residual,
+    region/visited scratch, the arena rate snapshot): once the storm's
+    peak live-flow count has been reached, no settle may reallocate any
+    fabric- or arena-sized working array.  The gate records the buffer
+    identities at every settle and requires them frozen over the whole
+    back 40% of the run — growth is doubling, so it has long plateaued
+    by then — and the total grow count bounded by the doubling schedule.
+    """
+    history: list[tuple[dict, int]] = []
+
+    def hook(net):
+        history.append((net.scratch_buffer_ids(), net.scratch_grows))
+
+    _run_storm(2_000, on_network=lambda net: net.add_settle_hook(hook))
+    assert len(history) > 100
+    tail = history[int(len(history) * 0.6):]
+    ids0, grows0 = tail[0]
+    for ids, grows in tail:
+        assert ids == ids0, "a settle reallocated a hoisted scratch buffer"
+        assert grows == grows0, "a settle grew scratch after warm-up"
+    # one initial link-array build plus a handful of doubling steps
+    assert grows0 < 32
 
 
 @pytest.mark.slow

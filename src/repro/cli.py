@@ -399,6 +399,38 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lp(args: argparse.Namespace) -> int:
+    """LP re-optimization comparison sweep (needs the [lp] extra)."""
+    from repro.core.lp_allocator import HAVE_SCIPY
+    from repro.experiments.lp_comparison import (
+        bench_payload,
+        format_lp_comparison,
+        lp_comparison_sweep,
+    )
+
+    if not HAVE_SCIPY:
+        print(
+            "the LP variants need scipy; install the [lp] extra "
+            "(pip install 'repro[lp]')",
+            file=sys.stderr,
+        )
+        return 2
+    rows = lp_comparison_sweep(
+        ratios=args.ratios,
+        seeds=args.seeds,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(format_lp_comparison(rows))
+    if args.export:
+        payload = bench_payload(rows, ratios=args.ratios, seeds=args.seeds)
+        with open(args.export, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.export}")
+    return 0
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
     p.add_argument("--scale", type=float, default=0.05)
@@ -539,6 +571,18 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["ewma", "holt_winters", "ar"],
                       help="forecaster for the lead-time curve")
 
+    lp_p = sub.add_parser(
+        "lp",
+        help="LP re-optimization sweep: greedy baselines vs the periodic "
+             "global min-MLU / max-throughput re-solve (needs the [lp] extra)",
+    )
+    lp_p.add_argument("--ratios", type=_parse_ratio, nargs="+", default=[5.0, 10.0])
+    lp_p.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    lp_p.add_argument("--workers", type=int, default=1)
+    lp_p.add_argument("--cache-dir", default=None, metavar="DIR")
+    lp_p.add_argument("--export", default=None, metavar="FILE",
+                      help="write the sweep as BENCH_lp.json-style JSON")
+
     mix_p = sub.add_parser("mix", help="run a multi-tenant job stream")
     mix_p.add_argument("--jobs", type=int, default=8)
     mix_p.add_argument("--ratio", type=_parse_ratio, default=10.0)
@@ -558,6 +602,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
         "forecast": _cmd_forecast,
+        "lp": _cmd_lp,
         "mix": _cmd_mix,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,

@@ -1,0 +1,647 @@
+"""Global LP re-optimization of live aggregate placements.
+
+The greedy allocators place each predicted aggregate once, against the
+residuals of the moment, and never revisit the decision — so early
+placements pin later ones onto hot links even when the controller's
+own predictions would justify a global re-shuffle (ROADMAP item 2).
+This module closes that loop: a path-based linear program re-solves
+the placement of *all* live aggregates at once over the routing
+graph's cached k-shortest-path candidates.
+
+Formulations (both over one variable per (aggregate, candidate-path)
+pair, demands expressed as rates ``predicted-or-remaining bytes /
+demand_horizon``):
+
+``min_mlu``
+    epigraph form of minimising the maximum link utilisation: variables
+    ``x[f,p] in [0, 1]`` (fraction of aggregate *f* on path *p*) plus a
+    scalar ``U``; per-aggregate rows ``sum_p x[f,p] = 1`` and per-link
+    rows ``sum_{(f,p) using l} d_f x[f,p] - U c_l <= -bg_l`` —
+    i.e. demand plus background on every link stays below ``U`` times
+    capacity, and ``U`` is minimised.  Unbounded ``U`` keeps overloaded
+    instances feasible; genuine infeasibility (every candidate path of
+    some aggregate crosses a zero-capacity link) falls back to the
+    greedy placement.
+
+``max_throughput``
+    variables ``y[f,p] >= 0`` (admitted rate of aggregate *f* on path
+    *p*); per-aggregate rows ``sum_p y[f,p] <= d_f`` and per-link rows
+    ``sum y <= max(c_l - bg_l, 0)``; total admitted rate is maximised.
+
+Fractional solutions are rounded **largest-variable-first**: variables
+are visited in decreasing fractional value and the first variable seen
+for each aggregate fixes its path.  A residual-feasibility **repair**
+pass then walks the most-utilised link and moves aggregates (largest
+demand first) to alternative candidates, accepting only moves that
+strictly decrease the planned maximum utilisation — so repair is
+monotone and terminates.
+
+scipy is the optional ``[lp]`` extra: this module imports without it
+(``HAVE_SCIPY`` false) so the core pipeline stays scipy-free, and the
+scheduler refuses to start with ``lp_mode != "off"`` when the solver
+is unavailable.  Solver wall time is measured and gated in CI against
+the controller's rule-install budget but never fed back into the
+simulation — runs stay machine-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.aggregation import AggregateEntry
+from repro.core.routing import LiveIncidence
+
+try:  # pragma: no cover - exercised via the [lp] extra in CI
+    from scipy.optimize import linprog as _linprog
+    from scipy.sparse import csr_matrix as _csr_matrix
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _linprog = None
+    _csr_matrix = None
+    HAVE_SCIPY = False
+
+#: numerical slack when comparing utilisations (relative).
+_EPS = 1e-9
+
+OBJECTIVES = ("min_mlu", "max_throughput")
+
+
+@dataclass
+class LpSolution:
+    """One global re-solve: fractional optimum, rounding and repair."""
+
+    #: "optimal", "infeasible", "error" or "empty" (no variables).
+    status: str
+    #: the LP optimum — U* (max link utilisation) for min_mlu, total
+    #: admitted rate for max_throughput; nan when not solved.
+    objective: float
+    #: chosen candidate index per entry (None: no candidates, or the
+    #: LP admitted nothing for this entry — keep the current path).
+    choices: list[Optional[int]]
+    #: planned max-link-utilisation of the rounded+repaired placement.
+    mlu: float
+    #: post-repair: no link's planned load exceeds its capacity.
+    feasible: bool
+    repair_moves: int
+    solve_ms: float
+
+
+def placement_mlu(
+    paths: list[Optional[list[int]]],
+    demands: np.ndarray,
+    capacity: np.ndarray,
+    background: np.ndarray,
+) -> float:
+    """Planned max-link-utilisation of a concrete placement.
+
+    ``demands`` are rates (bytes/s over the demand horizon); entries
+    with ``paths[i] is None`` contribute nothing.  Links with zero
+    capacity count as infinitely utilised when loaded at all.
+    """
+    load = np.clip(np.asarray(background, dtype=float), 0.0, None).copy()
+    for d, path in zip(demands, paths):
+        if path:
+            load[np.asarray(path, dtype=np.intp)] += d
+    cap = np.asarray(capacity, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(cap > 0.0, load / np.where(cap > 0.0, cap, 1.0), np.where(load > 0.0, np.inf, 0.0))
+    return float(util.max()) if util.size else 0.0
+
+
+def _round_largest_first(
+    inc: LiveIncidence, frac: np.ndarray
+) -> list[Optional[int]]:
+    """Largest-variable-first rounding to one candidate per entry."""
+    nentries = len(inc.paths)
+    choices: list[Optional[int]] = [None] * nentries
+    order = np.argsort(-frac, kind="stable")
+    var_entry = inc.var_entry
+    var_offset = inc.var_offset
+    for v in order.tolist():
+        if frac[v] <= 0.0:
+            break  # remaining variables carry no weight
+        e = int(var_entry[v])
+        if choices[e] is None:
+            choices[e] = v - int(var_offset[e])
+    return choices
+
+
+def _repair(
+    inc: LiveIncidence,
+    demands: np.ndarray,
+    capacity: np.ndarray,
+    background: np.ndarray,
+    choices: list[Optional[int]],
+) -> tuple[int, float, bool]:
+    """Move aggregates off the most-utilised link while it strictly helps.
+
+    Mutates ``choices`` in place; every accepted move strictly lowers
+    the planned maximum utilisation, so the pass is monotone and the
+    iteration bound is never the thing that stops a productive repair.
+    Returns (moves, final mlu, capacity-feasible).
+    """
+    used = inc.used_links
+    cap = np.asarray(capacity, dtype=float)[used]
+    load = np.clip(np.asarray(background, dtype=float)[used], 0.0, None)
+    # entry -> row indices of its chosen path, against the used-link set
+    def rows_of(e: int, choice: int) -> np.ndarray:
+        path = inc.paths[e][choice]
+        return np.searchsorted(used, np.asarray(path, dtype=np.intp))
+
+    for e, choice in enumerate(choices):
+        if choice is not None:
+            load[rows_of(e, choice)] += demands[e]
+
+    def util(loads: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                cap > 0.0,
+                loads / np.where(cap > 0.0, cap, 1.0),
+                np.where(loads > 0.0, np.inf, 0.0),
+            )
+
+    moves = 0
+    budget = 2 * len(choices)
+    by_demand = sorted(
+        range(len(choices)), key=lambda i: (-float(demands[i]), i)
+    )
+    while moves < budget:
+        u = util(load)
+        mlu = float(u.max()) if u.size else 0.0
+        if mlu <= 0.0:
+            break
+        worst = int(u.argmax())
+        improved = False
+        for e in by_demand:
+            choice = choices[e]
+            if choice is None or demands[e] <= 0.0:
+                continue
+            cur_rows = rows_of(e, choice)
+            if worst not in cur_rows:
+                continue
+            for alt in range(len(inc.paths[e])):
+                if alt == choice:
+                    continue
+                alt_rows = rows_of(e, alt)
+                trial = load.copy()
+                trial[cur_rows] -= demands[e]
+                trial[alt_rows] += demands[e]
+                new_mlu = float(util(trial).max())
+                if new_mlu < mlu * (1.0 - _EPS):
+                    load = trial
+                    choices[e] = alt
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    final_u = util(load)
+    mlu = float(final_u.max()) if final_u.size else 0.0
+    feasible = bool(np.all(load <= cap * (1.0 + _EPS) + 1e-6))
+    return moves, mlu, feasible
+
+
+def solve_placement(
+    inc: LiveIncidence,
+    demands: np.ndarray,
+    capacity: np.ndarray,
+    background: np.ndarray,
+    objective: str = "min_mlu",
+) -> LpSolution:
+    """Solve one global placement instance and round it to paths.
+
+    ``demands`` are per-entry rates; entries with empty candidate sets
+    come back with ``choices[i] is None``.  Raises ``RuntimeError``
+    when scipy is unavailable.
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(f"unknown objective {objective!r}")
+    if not HAVE_SCIPY:
+        raise RuntimeError(
+            "scipy is required for LP placement; install the [lp] extra"
+        )
+    demands = np.asarray(demands, dtype=float)
+    nvars = inc.nvars
+    nentries = len(inc.paths)
+    if nvars == 0:
+        return LpSolution(
+            status="empty",
+            objective=float("nan"),
+            choices=[None] * nentries,
+            mlu=0.0,
+            feasible=True,
+            repair_moves=0,
+            solve_ms=0.0,
+        )
+    used = inc.used_links
+    nlinks = len(used)
+    cap_used = np.asarray(capacity, dtype=float)[used]
+    bg_used = np.clip(np.asarray(background, dtype=float)[used], 0.0, None)
+    # incidence pairs mapped onto the used-link row space
+    row_of_pair = np.searchsorted(used, inc.pair_link)
+    d_of_pair = demands[inc.var_entry[inc.pair_var]]
+    # entries that actually have candidates (the LP's equality rows)
+    has_cands = np.diff(inc.var_offset) > 0
+    eq_entries = np.flatnonzero(has_cands)
+    eq_row_of_entry = np.full(nentries, -1, dtype=np.intp)
+    eq_row_of_entry[eq_entries] = np.arange(len(eq_entries))
+
+    t0 = time.perf_counter()
+    try:
+        if objective == "min_mlu":
+            # columns: x_0..x_{nvars-1}, U at column nvars
+            rows = np.concatenate([row_of_pair, np.arange(nlinks)])
+            cols = np.concatenate(
+                [inc.pair_var, np.full(nlinks, nvars, dtype=np.intp)]
+            )
+            data = np.concatenate([d_of_pair, -cap_used])
+            a_ub = _csr_matrix(
+                (data, (rows, cols)), shape=(nlinks, nvars + 1)
+            )
+            b_ub = -bg_used
+            a_eq = _csr_matrix(
+                (
+                    np.ones(nvars),
+                    (eq_row_of_entry[inc.var_entry], np.arange(nvars)),
+                ),
+                shape=(len(eq_entries), nvars + 1),
+            )
+            b_eq = np.ones(len(eq_entries))
+            c = np.zeros(nvars + 1)
+            c[nvars] = 1.0
+            bounds = [(0.0, 1.0)] * nvars + [(0.0, None)]
+            res = _linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+            )
+        else:  # max_throughput
+            rows = np.concatenate([row_of_pair, nlinks + inc.var_entry])
+            cols = np.concatenate([inc.pair_var, np.arange(nvars)])
+            data = np.concatenate([np.ones(len(row_of_pair)), np.ones(nvars)])
+            a_ub = _csr_matrix(
+                (data, (rows, cols)), shape=(nlinks + nentries, nvars)
+            )
+            b_ub = np.concatenate(
+                [np.maximum(cap_used - bg_used, 0.0), demands]
+            )
+            c = -np.ones(nvars)
+            res = _linprog(
+                c, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, None), method="highs"
+            )
+    except Exception:
+        solve_ms = (time.perf_counter() - t0) * 1000.0
+        return LpSolution(
+            status="error",
+            objective=float("nan"),
+            choices=[None] * nentries,
+            mlu=float("inf"),
+            feasible=False,
+            repair_moves=0,
+            solve_ms=solve_ms,
+        )
+    solve_ms = (time.perf_counter() - t0) * 1000.0
+    if res.status == 2:
+        return LpSolution(
+            status="infeasible",
+            objective=float("nan"),
+            choices=[None] * nentries,
+            mlu=float("inf"),
+            feasible=False,
+            repair_moves=0,
+            solve_ms=solve_ms,
+        )
+    if res.status != 0 or res.x is None:
+        return LpSolution(
+            status="error",
+            objective=float("nan"),
+            choices=[None] * nentries,
+            mlu=float("inf"),
+            feasible=False,
+            repair_moves=0,
+            solve_ms=solve_ms,
+        )
+    if objective == "min_mlu":
+        frac = np.asarray(res.x[:nvars], dtype=float)
+        lp_objective = float(res.x[nvars])
+    else:
+        frac = np.asarray(res.x, dtype=float)
+        lp_objective = float(-res.fun)
+    choices = _round_largest_first(inc, frac)
+    moves, mlu, feasible = _repair(inc, demands, capacity, background, choices)
+    return LpSolution(
+        status="optimal",
+        objective=lp_objective,
+        choices=choices,
+        mlu=mlu,
+        feasible=feasible,
+        repair_moves=moves,
+        solve_ms=solve_ms,
+    )
+
+
+class LpReoptimizer:
+    """Drives periodic global re-solves through the control plane.
+
+    Triggers: a configurable period, topology version bumps (failure
+    *and* restore), and collector demand updates whose relative change
+    exceeds ``lp_demand_delta``.  A solved instance is applied only
+    when its planned max utilisation improves on the current
+    placement's (hysteresis via ``lp_min_improvement``); changed
+    placements churn rules as one batched flow-mod diff and move live
+    member flows through the existing reroute-with-pause machinery.
+    """
+
+    def __init__(
+        self,
+        sim,
+        config,
+        routing,
+        aggregator,
+        allocator,
+        network,
+        programmer,
+        rules_for: Callable[[AggregateEntry, list[int], list], list],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.routing = routing
+        self.aggregator = aggregator
+        self.allocator = allocator
+        self.network = network
+        self.programmer = programmer
+        #: scheduler-bound (entry, path, removed) -> fresh rules hook;
+        #: keeps rule bookkeeping (keys, backbones) in one place.
+        self._rules_for = rules_for
+        self.objective = config.lp_mode
+        self._stopped = False
+        self._last_version = routing.topology.version
+        #: total demand rate of the last applied instance (delta trigger).
+        self._solved_demand: Optional[float] = None
+        self.last_solution: Optional[LpSolution] = None
+        # plain attributes mirror the obs counters so policy_stats can
+        # carry them even when the run has no metrics registry
+        self.solves = 0
+        self.solve_ms_max = 0.0
+        self.placements_changed_total = 0
+        self.reroutes_total = 0
+        self.infeasible_total = 0
+        self.fallback_total = 0
+        self.no_improvement_total = 0
+        self.budget_exceeded_total = 0
+        self.repair_moves_total = 0
+        reg = obs.get_registry()
+        self._m_solves = reg.counter("lp.solves")
+        self._m_triggers = {
+            t: reg.counter(f"lp.triggers.{t}")
+            for t in ("period", "topology", "demand")
+        }
+        self._m_infeasible = reg.counter("lp.infeasible")
+        self._m_fallbacks = reg.counter("lp.fallbacks")
+        self._m_no_improvement = reg.counter("lp.no_improvement")
+        self._m_budget_exceeded = reg.counter("lp.budget_exceeded")
+        self._m_changed = reg.counter("lp.placements_changed")
+        self._m_repair_moves = reg.counter("lp.repair_moves")
+        self._m_reroutes = reg.counter("lp.reroutes")
+        self._g_solve_ms = reg.gauge("lp.solve_ms")
+        self._h_solve = reg.histogram("lp.solve_seconds")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sim.schedule(self.config.lp_period, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.resolve("period")
+        self.sim.schedule(self.config.lp_period, self._tick)
+
+    def on_topology_change(self, link) -> None:
+        """Topology-service listener: re-solve on any version bump."""
+        if self._stopped:
+            return
+        version = self.routing.topology.version
+        if version != self._last_version:
+            self._last_version = version
+            self.resolve("topology")
+
+    def note_demand(self) -> None:
+        """Collector hook: re-solve when total demand moved enough."""
+        if self._stopped:
+            return
+        total = self._total_demand()
+        if self._solved_demand is None:
+            return  # nothing solved yet; the periodic tick will
+        base = max(self._solved_demand, 1.0)
+        if abs(total - self._solved_demand) / base > self.config.lp_demand_delta:
+            self.resolve("demand")
+
+    # ------------------------------------------------------------------
+    def budget_ms(self, nrules: int) -> float:
+        """Solver budget: explicit, or the rule-install window in ms."""
+        if self.config.lp_budget_ms is not None:
+            return self.config.lp_budget_ms
+        return 1000.0 * (
+            self.programmer.control_rtt
+            + self.programmer.per_rule_latency * max(1, nrules)
+        )
+
+    def _total_demand(self) -> float:
+        _entries, demands = self._live_instance()
+        return float(np.sum(demands)) if len(demands) else 0.0
+
+    def _live_instance(self) -> tuple[list[AggregateEntry], np.ndarray]:
+        """Live aggregates and their demand rates, in deterministic order.
+
+        Demand per aggregate is the bytes its member flows still have
+        in flight; an aggregate whose flows have not started yet (but
+        was placed within the demand horizon) keeps its predicted
+        volume.  Fully drained aggregates drop out of the instance.
+        """
+        remaining_by_pair: dict[tuple[str, str], float] = {}
+        for flow in self.network.elastic:
+            if flow.is_shuffle() and flow.remaining > 0:
+                key = (flow.src, flow.dst)
+                remaining_by_pair[key] = (
+                    remaining_by_pair.get(key, 0.0) + flow.remaining
+                )
+        now = self.sim.now
+        horizon = self.config.demand_horizon
+        entries: list[AggregateEntry] = []
+        demands: list[float] = []
+        for key in sorted(self.aggregator.entries, key=repr):
+            entry = self.aggregator.entries[key]
+            if not entry.pairs:
+                continue
+            live = sum(remaining_by_pair.get(p, 0.0) for p in entry.pairs)
+            if live > 0.0:
+                bytes_left = live
+            elif (
+                entry.allocated_at is not None
+                and now - entry.allocated_at <= horizon
+            ):
+                bytes_left = entry.predicted_bytes
+            else:
+                continue
+            if bytes_left <= 0.0:
+                continue
+            entries.append(entry)
+            demands.append(bytes_left / horizon)
+        return entries, np.asarray(demands, dtype=float)
+
+    # ------------------------------------------------------------------
+    def resolve(self, trigger: str) -> Optional[LpSolution]:
+        """Solve the current instance and apply it if it improves."""
+        self._m_triggers[trigger].inc()
+        entries, demands = self._live_instance()
+        if not entries:
+            return None
+        pairs = [min(e.pairs) for e in entries]
+        inc = self.routing.live_incidence(pairs)
+        capacity = self.network.link_capacity()
+        background = self.allocator.scoring_background()
+        try:
+            sol = solve_placement(
+                inc, demands, capacity, background, self.objective
+            )
+        except RuntimeError:
+            self._m_fallbacks.inc()
+            self.fallback_total += 1
+            return None
+        self.last_solution = sol
+        self._m_solves.inc()
+        self.solves += 1
+        self._g_solve_ms.set(sol.solve_ms)
+        self._h_solve.observe(sol.solve_ms / 1000.0)
+        self.solve_ms_max = max(self.solve_ms_max, sol.solve_ms)
+        if sol.solve_ms > self.budget_ms(len(entries)):
+            # observational only: CI gates on this counter, the sim
+            # never branches on wall time (machine independence).
+            self._m_budget_exceeded.inc()
+            self.budget_exceeded_total += 1
+        if sol.status == "infeasible":
+            self._m_infeasible.inc()
+            self._m_fallbacks.inc()
+            self.infeasible_total += 1
+            self.fallback_total += 1
+            return sol
+        if sol.status != "optimal":
+            self._m_fallbacks.inc()
+            self.fallback_total += 1
+            return sol
+        self._m_repair_moves.inc(sol.repair_moves)
+        self.repair_moves_total += sol.repair_moves
+        # hysteresis: apply only when the solved placement beats the
+        # one we already have (never churn rules to break even).  The
+        # comparison masks background to the LP's used-link universe —
+        # load on links no candidate path touches is invisible to
+        # sol.mlu and must not inflate the incumbent either.
+        bg_masked = np.zeros_like(np.asarray(background, dtype=float))
+        bg_masked[inc.used_links] = np.asarray(background, dtype=float)[
+            inc.used_links
+        ]
+        current_mlu = placement_mlu(
+            [e.path for e in entries], demands, capacity, bg_masked
+        )
+        min_gain = self.config.lp_min_improvement * max(current_mlu, _EPS)
+        if not sol.mlu < current_mlu - min_gain:
+            self._m_no_improvement.inc()
+            self.no_improvement_total += 1
+            self._solved_demand = float(np.sum(demands))
+            return sol
+        self._apply(entries, demands, inc, sol)
+        self._solved_demand = float(np.sum(demands))
+        return sol
+
+    def _apply(
+        self,
+        entries: list[AggregateEntry],
+        demands: np.ndarray,
+        inc: LiveIncidence,
+        sol: LpSolution,
+    ) -> None:
+        """Push changed placements out: batched rule diff + reroutes."""
+        changed: list[tuple[AggregateEntry, list[int]]] = []
+        for i, entry in enumerate(entries):
+            choice = sol.choices[i]
+            if choice is None:
+                continue
+            new_path = list(inc.paths[i][choice])
+            if entry.path == new_path:
+                continue
+            entry.path = new_path
+            entry.allocated_at = self.sim.now
+            changed.append((entry, new_path))
+        if not changed:
+            return
+        self._m_changed.inc(len(changed))
+        self.placements_changed_total += len(changed)
+        removed: list = []
+        adds: list = []
+        for entry, path in changed:
+            adds.extend(self._rules_for(entry, path, removed))
+        if adds or removed:
+            self.programmer.install_diff(adds, removed)
+        self._reroute_live(changed)
+
+    def _reroute_live(
+        self, changed: list[tuple[AggregateEntry, list[int]]]
+    ) -> None:
+        """Move in-flight member flows onto their aggregate's new path."""
+        by_pair: dict[tuple[str, str], tuple[AggregateEntry, list[int]]] = {}
+        for entry, path in changed:
+            for pair in entry.pairs:
+                by_pair[pair] = (entry, path)
+        pause = self.config.lp_reroute_pause
+        for flow in list(self.network.elastic):
+            if not flow.is_shuffle() or flow.remaining <= 0:
+                continue
+            hit = by_pair.get((flow.src, flow.dst))
+            if hit is None:
+                continue
+            entry, agg_path = hit
+            if (flow.src, flow.dst) == min(entry.pairs):
+                concrete: Optional[list[int]] = list(agg_path)
+            else:
+                backbone = self.routing.switch_backbone(agg_path)
+                concrete = self.routing.path_matching_backbone(
+                    flow.src, flow.dst, backbone
+                )
+            if concrete is None or list(flow.path or []) == concrete:
+                continue
+            if not all(
+                self.routing.topology.links[lid].up for lid in concrete
+            ):
+                continue
+            self.network.reroute(flow, concrete, pause=pause)
+            self._m_reroutes.inc()
+            self.reroutes_total += 1
+
+    def snapshot(self) -> dict:
+        """Plain-attribute stats for ``RunResult.policy_stats``."""
+        return {
+            "lp_solves": self.solves,
+            "lp_solve_ms_max": self.solve_ms_max,
+            "lp_placements_changed": self.placements_changed_total,
+            "lp_reroutes": self.reroutes_total,
+            "lp_infeasible": self.infeasible_total,
+            "lp_fallbacks": self.fallback_total,
+            "lp_no_improvement": self.no_improvement_total,
+            "lp_budget_exceeded": self.budget_exceeded_total,
+            "lp_repair_moves": self.repair_moves_total,
+        }

@@ -124,6 +124,8 @@ class PythiaScheduler:
         #: config.forecast_mode != "off"; None otherwise.
         self.forecast = None
         self.rerouter = None
+        #: LpReoptimizer, wired in start() when config.lp_mode != "off".
+        self.lp = None
         self._policy: Optional[PythiaPolicy] = None
         self._rules_by_key: dict[tuple, list[Rule]] = {}
         self._backbone_by_key: dict[tuple, tuple[str, ...]] = {}
@@ -190,10 +192,36 @@ class PythiaScheduler:
             self.routing,
             weigher=self._reducer_weight if self.config.weighted_shuffle else None,
         )
+        if self.config.lp_mode != "off":
+            # Imported here so the greedy pipeline never touches scipy
+            # (the [lp] extra stays genuinely optional).
+            from repro.core.lp_allocator import HAVE_SCIPY, LpReoptimizer
+
+            if not HAVE_SCIPY:
+                raise RuntimeError(
+                    f"lp_mode={self.config.lp_mode!r} requires scipy; "
+                    "install the [lp] extra (pip install 'repro[lp]')"
+                )
+            self.lp = LpReoptimizer(
+                controller.sim,
+                self.config,
+                self.routing,
+                self.aggregator,
+                self.allocator,
+                controller.network,
+                controller.programmer,
+                rules_for=self._rules_for,
+            )
+            # version bumps in *either* direction (failure and restore)
+            # trigger a global re-solve; the greedy failure repair above
+            # still runs first, the LP then cleans up globally.
+            controller.topology_service.on_change(self.lp.on_topology_change)
+            self.lp.start()
 
     def stop(self) -> None:
-        """Nothing periodic to halt; the collector is event-driven."""
-        pass  # nothing periodic to halt; the collector is event-driven
+        """Halt the LP re-solve loop; the collector is event-driven."""
+        if self.lp is not None:
+            self.lp.stop()
 
     def resync(self) -> int:
         """Reconcile switch tables with current intent after an outage.
@@ -236,14 +264,24 @@ class PythiaScheduler:
             rules.extend(self._rules_for(entry, path))
         if rules:
             self.controller.programmer.install(rules)
+        if self.lp is not None:
+            self.lp.note_demand()
 
-    def _rules_for(self, entry: AggregateEntry, path: list[int]) -> list[Rule]:
+    def _rules_for(
+        self,
+        entry: AggregateEntry,
+        path: list[int],
+        removed: Optional[list[Rule]] = None,
+    ) -> list[Rule]:
         """One wildcard rule per member server pair, sharing the backbone.
 
         Rules are churned only when the routing decision changes: an
         entry that keeps its backbone gets rules installed just for
         member pairs not yet covered, which keeps switch-programming
         traffic and table pressure down (§IV's state-conservation aim).
+        When ``removed`` is given, displaced rules are collected there
+        instead of being removed immediately — the LP re-optimizer
+        sends the whole diff as one batched flow-mod transaction.
         """
         assert self.routing is not None and self.controller is not None
         backbone = self.routing.switch_backbone(path)
@@ -255,8 +293,11 @@ class PythiaScheduler:
             fresh = self._build_rules(entry, backbone, skip_covered=covered)
             existing.extend(fresh)
             return fresh
-        for old in existing:
-            self.controller.programmer.remove(old)
+        if removed is not None:
+            removed.extend(existing)
+        else:
+            for old in existing:
+                self.controller.programmer.remove(old)
         rules = self._build_rules(entry, backbone, skip_covered=set())
         self._rules_by_key[entry.key] = rules
         self._backbone_by_key[entry.key] = backbone

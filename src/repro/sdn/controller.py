@@ -72,6 +72,19 @@ class Controller:
         if checker is not None:
             checker.watch_controller(self)
 
+    def rule_install_budget(self, nrules: int = 1) -> float:
+        """Seconds the control plane needs to program an n-rule batch.
+
+        The window a preemptive re-placement pass (the LP re-optimizer)
+        has to produce its answer: any solver that outruns the install
+        latency of the rules it would change adds no critical-path
+        delay.  CI gates the measured `lp.solve_ms` against this.
+        """
+        return (
+            self.programmer.control_rtt
+            + self.programmer.per_rule_latency * max(1, nrules)
+        )
+
     def register(self, app: ControllerApp) -> None:
         """Attach an application (started immediately if running)."""
         self.apps.append(app)

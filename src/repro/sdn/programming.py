@@ -139,6 +139,7 @@ class FlowProgrammer:
         self,
         rules: list[Rule],
         on_installed: Optional[Callable[[list[Rule]], None]] = None,
+        extra_mods: int = 0,
     ) -> float:
         """Install a batch; returns the nominal completion time.
 
@@ -146,8 +147,12 @@ class FlowProgrammer:
         retries with bounded exponential backoff; a batch that exhausts
         its retry budget lands in :attr:`failed_rules` for the
         controller's recovery resync instead of being silently lost.
+        ``extra_mods`` counts additional flow-mods (deletions) the same
+        transaction carries, so diff installs pay for their removals.
         """
-        latency = self.control_rtt + self.per_rule_latency * len(rules)
+        latency = self.control_rtt + self.per_rule_latency * (
+            len(rules) + extra_mods
+        )
         done_at = self.sim.now + latency
         self.install_batches += 1
         self.pending_installs += 1
@@ -198,6 +203,26 @@ class FlowProgrammer:
 
         self.sim.schedule(latency, _commit, 0)
         return done_at
+
+    def install_diff(
+        self,
+        add: list[Rule],
+        remove: list[Rule],
+        on_installed: Optional[Callable[[list[Rule]], None]] = None,
+    ) -> float:
+        """One batched flow-mod transaction: deletions plus installs.
+
+        Re-placement passes (the LP re-optimizer) touch many aggregates
+        at once; sending the whole diff as a single transaction charges
+        one control RTT for the lot while still paying per-rule
+        programming latency for every mod, deletions included.
+        Deletions take effect immediately (the table stops matching the
+        old rules as soon as the controller decides), exactly like the
+        incremental path's ``remove`` + ``install`` sequence.
+        """
+        for rule in remove:
+            self.remove(rule)
+        return self.install(add, on_installed, extra_mods=len(remove))
 
     def take_failed(self) -> list[Rule]:
         """Drain the abandoned-install backlog (recovery resync)."""

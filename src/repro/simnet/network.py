@@ -28,6 +28,15 @@ scale (see docs/ARCHITECTURE.md "Network engine internals"):
   maintained link→flow index, and the elastic/rigid collections are
   insertion-ordered dicts so completion waves no longer pay
   ``list.remove`` per flow.
+* **Indexed completion scheduling.**  Each slot caches its absolute
+  completion instants (``eta0`` — remaining hits zero, ``etaE`` — it
+  crosses the done-epsilon), recomputed only when the slot's solved
+  rate actually changes, and the network tracks the arena-wide minimum
+  of each: a settle folds the dirty component's candidate minimum in
+  O(1) after a vectorised argmin over just the rate-changed slots, and
+  a full (C-speed, allocation-free) rescan happens only when the
+  tracked minimum slot itself was re-rated or departed.  Dead slots
+  park their etas at +inf so rescans are a bare ``np.argmin``.
 """
 
 from __future__ import annotations
@@ -50,6 +59,9 @@ from repro.simnet.topology import Topology
 #: Remaining-bytes slack under which a flow counts as finished.
 _DONE_EPS = 1e-3
 
+#: shared empty index array for no-scope settles (never mutated).
+_EMPTY_SLOTS = np.zeros(0, dtype=np.intp)
+
 
 class _SlotArena:
     """Flat per-flow state and (flow, link) incidence for elastic flows.
@@ -67,6 +79,7 @@ class _SlotArena:
         "n", "rate", "remaining", "sent", "weight", "alive",
         "pair_start", "pair_count", "flows",
         "pn", "pair_flow", "pair_link", "dead", "dead_pairs", "network",
+        "eta0", "etaE", "rate_scratch",
     )
 
     def __init__(self) -> None:
@@ -88,12 +101,23 @@ class _SlotArena:
         self.pair_link = np.zeros(pcap, dtype=np.intp)
         self.dead = 0
         self.dead_pairs = 0
+        #: absolute completion instants under the slot's current rate:
+        #: ``eta0`` is when remaining reaches zero (inf while rate is 0
+        #: or remaining already <= 0), ``etaE`` when remaining crosses
+        #: the done-epsilon (-inf when already there with zero rate).
+        #: NaN marks a freshly admitted slot whose eta is still unset;
+        #: dead slots park at +inf so min-rescans need no alive mask.
+        self.eta0 = np.full(cap, np.nan)
+        self.etaE = np.full(cap, np.nan)
+        #: pre-solve rate snapshot for change detection (full solves).
+        self.rate_scratch = np.zeros(cap)
 
     # -- growth --------------------------------------------------------
     def _grow_slots(self) -> None:
         cap = len(self.rate) * 2
         for name in ("rate", "remaining", "sent", "weight", "alive",
-                     "pair_start", "pair_count"):
+                     "pair_start", "pair_count", "eta0", "etaE",
+                     "rate_scratch"):
             old = getattr(self, name)
             new = np.zeros(cap, dtype=old.dtype)
             new[: old.shape[0]] = old
@@ -124,6 +148,8 @@ class _SlotArena:
         self.sent[slot] = flow.bytes_sent
         self.weight[slot] = flow.weight
         self.alive[slot] = True
+        self.eta0[slot] = np.nan
+        self.etaE[slot] = np.nan
         self.pair_start[slot] = self.pn
         self.pair_count[slot] = npairs
         self.pair_flow[self.pn: self.pn + npairs] = slot
@@ -163,6 +189,8 @@ class _SlotArena:
         self.sent[sl] = [f._bytes_sent for f in flows]
         self.weight[sl] = [f.weight for f in flows]
         self.alive[sl] = True
+        self.eta0[sl] = np.nan
+        self.etaE[sl] = np.nan
         starts = p0 + np.concatenate(([0], np.cumsum(counts[:-1]))) if m else p0
         self.pair_start[sl] = starts
         self.pair_count[sl] = counts
@@ -191,6 +219,8 @@ class _SlotArena:
         flow._bytes_sent = float(self.sent[slot])
         self.rate[slot] = 0.0
         self.alive[slot] = False
+        self.eta0[slot] = np.inf
+        self.etaE[slot] = np.inf
         self.flows[slot] = None
         self.dead += 1
         self.dead_pairs += int(self.pair_count[slot])
@@ -225,7 +255,7 @@ class _SlotArena:
         new_pf = remap[self.pair_flow[:pn][pair_keep]]
         new_pl = self.pair_link[:pn][pair_keep]
         for name in ("rate", "remaining", "sent", "weight", "alive",
-                     "pair_count"):
+                     "pair_count", "eta0", "etaE"):
             arr = getattr(self, name)
             arr[: keep.size] = arr[keep]
         counts = self.pair_count[: keep.size]
@@ -316,6 +346,28 @@ class Network:
         self._order = itertools.count()
         self._flows_by_link: dict[int, set[Flow]] = {}
         self._nlinks = 0
+        #: tracked arena-wide minima of the cached completion instants:
+        #: (value, witness slot) per eta kind.  A witness is trusted only
+        #: while it is alive and its cached eta still equals the value;
+        #: otherwise the next query rescans (slot -1 forces that).
+        self._min0_val = np.inf
+        self._min0_slot = -1
+        self._minE_val = np.inf
+        self._minE_slot = -1
+        #: grow-only settle scratch (see scratch_buffer_ids): region
+        #: discovery visited flags + output index buffers.  The visited
+        #: slot flags double as the scoped solve's membership mask.
+        self._vis_slots = np.zeros(64, dtype=bool)
+        self._vis_links = np.zeros(0, dtype=bool)
+        self._region_slots = np.zeros(64, dtype=np.intp)
+        self._region_links = np.zeros(0, dtype=np.intp)
+        self._region_stack: list[int] = []
+        #: maintained per-link elastic residual (refreshed only for
+        #: dirtied links each settle; recomputed wholesale on rebuild).
+        self._residual = np.zeros(0)
+        #: reallocations of any hoisted scratch buffer — the storm
+        #: microbench asserts this stops moving after warm-up.
+        self.scratch_grows = 0
         #: links whose residual or flow membership changed since the
         #: last settle — the seeds of the next delta solve's scope.
         self._dirty_links: set[int] = set()
@@ -626,6 +678,14 @@ class Network:
         self._lelastic = lelastic
         self._lbytes = lbytes
         self._nlinks = len(links)
+        # Maintained residual + link-sized scratch follow the link count.
+        self._residual = np.maximum(
+            Link.ELASTIC_FLOOR * self._lcap, self._lcap - self._lrigid
+        )
+        self._residual[~self._lup] = 0.0
+        self._vis_links = np.zeros(self._nlinks, dtype=bool)
+        self._region_links = np.zeros(self._nlinks, dtype=np.intp)
+        self.scratch_grows += 1
 
     # ------------------------------------------------------------------
     # fluid dynamics
@@ -680,6 +740,14 @@ class Network:
             self._pending_admits = []
             self._arena.add_batch(pending)
 
+    def _ensure_slot_scratch(self) -> None:
+        """Grow the slot-sized scratch to the arena's slot capacity."""
+        cap = len(self._arena.rate)
+        if len(self._vis_slots) < cap:
+            self._vis_slots = np.zeros(cap, dtype=bool)
+            self._region_slots = np.zeros(cap, dtype=np.intp)
+            self.scratch_grows += 1
+
     def _affected_region(self) -> tuple[np.ndarray, np.ndarray]:
         """Closure of the dirty links under the live flow-link incidence.
 
@@ -689,31 +757,50 @@ class Network:
         link on its path in.  The result is a union of whole connected
         components — exactly the set whose max-min rates can have
         changed — returned as sorted (slot, link) index arrays.
+
+        The returned arrays are views into grow-only scratch buffers
+        (valid until the next settle), and the visited-slot flags are
+        left set so the scoped solve can reuse them as its membership
+        mask; ``_settle`` clears both flag sets once done.
         """
         arena = self._arena
+        self._ensure_slot_scratch()
         nlinks = self._nlinks
-        seen_links = {l for l in self._dirty_links if 0 <= l < nlinks}
-        queue = list(seen_links)
-        seen_slots: set[int] = set()
+        vis_l = self._vis_links
+        vis_s = self._vis_slots
+        out_l = self._region_links
+        out_s = self._region_slots
+        stack = self._region_stack
+        nl = ns = 0
+        for lid in self._dirty_links:
+            if 0 <= lid < nlinks and not vis_l[lid]:
+                vis_l[lid] = True
+                out_l[nl] = lid
+                nl += 1
+                stack.append(lid)
         by_link = self._flows_by_link
         pair_link = arena.pair_link
-        while queue:
-            lid = queue.pop()
+        while stack:
+            lid = stack.pop()
             for flow in by_link.get(lid, ()):
                 if flow._state is not arena:
                     continue  # rigid, paused, or not yet slotted
                 slot = flow._slot
-                if slot in seen_slots:
+                if vis_s[slot]:
                     continue
-                seen_slots.add(slot)
+                vis_s[slot] = True
+                out_s[ns] = slot
+                ns += 1
                 start = int(arena.pair_start[slot])
                 stop = start + int(arena.pair_count[slot])
                 for l in pair_link[start:stop].tolist():
-                    if l not in seen_links:
-                        seen_links.add(l)
-                        queue.append(l)
-        slots = np.fromiter(seen_slots, dtype=np.intp, count=len(seen_slots))
-        links = np.fromiter(seen_links, dtype=np.intp, count=len(seen_links))
+                    if not vis_l[l]:
+                        vis_l[l] = True
+                        out_l[nl] = l
+                        nl += 1
+                        stack.append(l)
+        slots = out_s[:ns]
+        links = out_l[:nl]
         slots.sort()
         links.sort()
         return slots, links
@@ -747,37 +834,51 @@ class Network:
             self._rebuild_link_arrays()
             self._dirty_all = True
         self._flush_admits()
-        residual = np.maximum(
-            Link.ELASTIC_FLOOR * self._lcap, self._lcap - self._lrigid
-        )
-        residual[~self._lup] = 0.0
+        self._refresh_residual()
+        residual = self._residual
         arena = self._arena
         n = arena.n
         full = not self._delta or self._dirty_all
+        upd = _EMPTY_SLOTS
         if full:
             if self._elastic:
+                prev = arena.rate_scratch
+                prev[:n] = arena.rate[:n]
                 pf, pl = arena.solve(residual)
                 self._lelastic = np.bincount(
                     pl, weights=arena.rate[:n][pf], minlength=self._nlinks
                 )
+                # Untouched components re-solve to bit-identical rates
+                # (the componentwise contract), so value comparison
+                # finds exactly the slots whose trajectory moved — the
+                # same set a delta engine would re-solve.
+                upd = np.flatnonzero(
+                    arena.alive[:n]
+                    & ((arena.rate[:n] != prev[:n]) | np.isnan(arena.eta0[:n]))
+                )
             else:
                 self._lelastic = np.zeros(self._nlinks)
             self._m_solves_full.inc()
-            scope_slots = scope_links = np.zeros(0, dtype=np.intp)
+            scope_slots = scope_links = _EMPTY_SLOTS
         else:
             scope_slots, scope_links = self._affected_region()
             if scope_slots.size:
                 pf_all = arena.pair_flow[: arena.pn]
                 pl_all = arena.pair_link[: arena.pn]
-                aff = np.zeros(n, dtype=bool)
-                aff[scope_slots] = True
-                mask = aff[pf_all]   # dead slots are never in the region
+                # region discovery left _vis_slots marking exactly the
+                # scoped slots — dead slots are never in the region
+                mask = self._vis_slots[pf_all]
                 pf_r = pf_all[mask]
                 pl_r = pl_all[mask]
                 rates_r = maxmin_rates_componentwise(
                     pf_r, pl_r, n, residual, weights=arena.weight[:n]
                 )
-                arena.rate[scope_slots] = rates_r[scope_slots]
+                new_rates = rates_r[scope_slots]
+                upd = scope_slots[
+                    (new_rates != arena.rate[scope_slots])
+                    | np.isnan(arena.eta0[scope_slots])
+                ]
+                arena.rate[scope_slots] = new_rates
                 self._lelastic[scope_links] = np.bincount(
                     np.searchsorted(scope_links, pl_r),
                     weights=rates_r[pf_r],
@@ -786,20 +887,27 @@ class Network:
             elif scope_links.size:
                 # dirtied links with no live elastic flows left on them
                 self._lelastic[scope_links] = 0.0
+            self._vis_slots[scope_slots] = False
+            self._vis_links[scope_links] = False
             self._m_solves_scoped.inc()
             self._m_comp_flows.inc(int(scope_slots.size))
             self._m_comp_links.inc(int(scope_links.size))
         # Completion scheduling stays global: the next finisher may sit
         # in an untouched component (rates there are frozen, not gone).
+        # The tracked minima index cached absolute etas, refreshed above
+        # only for rate-changed slots — no per-settle scan over every
+        # live flow.
         if n:
-            rates = arena.rate[:n]
-            remaining = arena.remaining[:n]
-            live = (rates > 0.0) & (remaining > 0.0)
-            if live.any():
-                next_done = float((remaining[live] / rates[live]).min())
-                self.sim.schedule(next_done, self._completion_tick, self._generation)
-            # flows already at/below zero remaining complete immediately
-            if bool(np.any(arena.alive[:n] & (remaining <= _DONE_EPS))):
+            now = self.sim.now
+            if upd.size:
+                self._refresh_etas(upd, now)
+            eta = self._min_eta0()
+            if eta < np.inf:
+                self.sim.schedule_at(
+                    eta if eta > now else now, self._completion_tick, self._generation
+                )
+            # flows already at/below the done-epsilon complete immediately
+            if self._min_etaE() <= now:
                 self.sim.schedule(0.0, self._completion_tick, self._generation)
         self.last_settle_scope = {
             "full": full,
@@ -815,20 +923,149 @@ class Network:
         for hook in self._settle_hooks:
             hook(self)
 
+    # ------------------------------------------------------------------
+    # indexed completion scheduling
+    # ------------------------------------------------------------------
+    def _refresh_residual(self) -> None:
+        """Refresh the maintained residual for links dirtied since last settle.
+
+        Every residual input (capacity, rigid rate, up/down state) is
+        changed only through paths that add the link to ``_dirty_links``
+        (or rebuild the arrays wholesale), so touching just the dirty
+        entries keeps the array bit-identical to a full recompute.
+        """
+        dl = self._dirty_links
+        if not dl:
+            return
+        lids = np.fromiter(dl, dtype=np.intp, count=len(dl))
+        lids = lids[(lids >= 0) & (lids < self._nlinks)]
+        if not lids.size:
+            return
+        c = self._lcap[lids]
+        r = np.maximum(Link.ELASTIC_FLOOR * c, c - self._lrigid[lids])
+        r[~self._lup[lids]] = 0.0
+        self._residual[lids] = r
+
+    def _refresh_etas(self, slots: np.ndarray, now: float) -> None:
+        """Recompute cached completion instants for rate-changed slots.
+
+        ``eta0`` (remaining hits zero) feeds the next-completion event;
+        ``etaE`` (remaining crosses the done-epsilon) feeds the done
+        scan.  Both are absolute times — invariant under integration
+        while the rate is unchanged, which is what makes caching sound.
+        The dirty set's own minimum then folds into the tracked global
+        minimum in O(1): every eta outside ``slots`` is unchanged, so
+        the new global minimum is min(old tracked value, dirty-set
+        candidate) — unless the tracked witness itself was re-rated or
+        has died, in which case the next query rescans.
+        """
+        arena = self._arena
+        r = arena.rate[slots]
+        rem = arena.remaining[slots]
+        pos = r > 0.0
+        q0 = np.divide(rem, r, out=np.full(slots.size, np.inf), where=pos)
+        eta0 = np.where(rem > 0.0, now + q0, np.inf)
+        qE = np.divide(rem - _DONE_EPS, r, out=np.full(slots.size, np.inf), where=pos)
+        etaE = np.where(
+            pos, now + qE, np.where(rem <= _DONE_EPS, -np.inf, np.inf)
+        )
+        arena.eta0[slots] = eta0
+        arena.etaE[slots] = etaE
+        n = arena.n
+        alive = arena.alive
+        j = int(np.argmin(eta0))
+        ptr = self._min0_slot
+        if 0 <= ptr < n and alive[ptr] and arena.eta0[ptr] == self._min0_val:
+            if eta0[j] < self._min0_val:
+                self._min0_val = float(eta0[j])
+                self._min0_slot = int(slots[j])
+        else:
+            self._min0_slot = -1
+        k = int(np.argmin(etaE))
+        ptr = self._minE_slot
+        if 0 <= ptr < n and alive[ptr] and arena.etaE[ptr] == self._minE_val:
+            if etaE[k] < self._minE_val:
+                self._minE_val = float(etaE[k])
+                self._minE_slot = int(slots[k])
+        else:
+            self._minE_slot = -1
+
+    def _min_eta0(self) -> float:
+        """Arena-wide minimum cached zero-crossing eta (inf when none).
+
+        O(1) while the tracked witness slot is still alive with an
+        unchanged eta; otherwise one allocation-free ``np.argmin`` over
+        the cached array (dead slots park at +inf, so no mask).  A
+        compaction may leave the witness index pointing at a different
+        slot — that is still sound: the value-match check only passes
+        when *some* alive slot holds exactly the tracked value, and the
+        tracked value stays a lower bound across kills (etas only move
+        to +inf) and compactions (a permutation).
+        """
+        arena = self._arena
+        n = arena.n
+        ptr = self._min0_slot
+        if 0 <= ptr < n and arena.alive[ptr] and arena.eta0[ptr] == self._min0_val:
+            return self._min0_val
+        if not n:
+            self._min0_slot = -1
+            return np.inf
+        eta = arena.eta0[:n]
+        j = int(np.argmin(eta))
+        self._min0_slot = j
+        self._min0_val = v = float(eta[j])
+        return v
+
+    def _min_etaE(self) -> float:
+        """Arena-wide minimum cached eps-crossing eta (inf when none)."""
+        arena = self._arena
+        n = arena.n
+        ptr = self._minE_slot
+        if 0 <= ptr < n and arena.alive[ptr] and arena.etaE[ptr] == self._minE_val:
+            return self._minE_val
+        if not n:
+            self._minE_slot = -1
+            return np.inf
+        eta = arena.etaE[:n]
+        j = int(np.argmin(eta))
+        self._minE_slot = j
+        self._minE_val = v = float(eta[j])
+        return v
+
+    def scratch_buffer_ids(self) -> dict[str, int]:
+        """Identities of the hoisted settle scratch buffers.
+
+        The storm microbench captures these after warm-up and asserts
+        they stay put — i.e. the per-settle path performs no fresh
+        allocation of any fabric- or arena-sized working array.
+        """
+        return {
+            "residual": id(self._residual),
+            "vis_slots": id(self._vis_slots),
+            "vis_links": id(self._vis_links),
+            "region_slots": id(self._region_slots),
+            "region_links": id(self._region_links),
+            "rate_scratch": id(self._arena.rate_scratch),
+        }
+
     def _completion_tick(self, generation: int) -> None:
         if generation != self._generation:
             return  # superseded by a later recompute
         self._integrate()
         arena = self._arena
         n = arena.n
-        done_slots = np.flatnonzero(
-            arena.alive[:n] & (arena.remaining[:n] <= _DONE_EPS)
-        )
-        if not done_slots.size:
+        now = self.sim.now
+        # The tracked minimum answers "anything at/past its eps-crossing?"
+        # in O(1); only a productive tick pays the vectorised collection
+        # scan (dead slots park at +inf, so no alive mask is needed).
+        # Ascending slot order preserves the historical callback order.
+        if not n or self._min_etaE() > now:
+            return
+        done_idx = np.flatnonzero(arena.etaE[:n] <= now)
+        if not done_idx.size:
             return
         done: list[Flow] = []
-        now = self.sim.now
-        for slot in done_slots.tolist():
+        for slot in done_idx.tolist():
             flow = arena.flows[slot]
             assert flow is not None
             del self._elastic[flow]
