@@ -431,6 +431,88 @@ def _cmd_lp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Run one Pythia job with message recording on and save the tape."""
+    from repro.core.config import PythiaConfig
+    from repro.pipeline import MessageTape
+
+    spec = make_workload(args.workload, scale=args.scale)
+    res = run_experiment(
+        spec,
+        scheduler="pythia",
+        ratio=args.ratio,
+        seed=args.seed,
+        pythia_config=PythiaConfig(record_messages=True),
+    )
+    tape = MessageTape.from_collector(res.collector)
+    tape.save(args.out)
+    print(
+        f"recorded {len(tape)} messages over {tape.duration:.1f}s "
+        f"({spec.name}, seed {args.seed}) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the controller as a staged-pipeline service.
+
+    With ``--tape`` the tape is replayed in-process at ``--rate``; with
+    ``--port`` the service accepts the same JSONL stream over TCP from
+    ``repro replay --connect`` until an eof record arrives.  Either way
+    the service drains fully and prints its stats ledger as JSON.
+    """
+    from repro.core.config import PythiaConfig
+    from repro.pipeline import MessageTape, PipelineService, ReplayClient
+    from repro.pipeline.service import TOPOLOGIES, serve_tcp
+
+    if args.tape is None and args.port is None:
+        print("serve needs --tape FILE (in-process) or --port N (TCP)",
+              file=sys.stderr)
+        return 2
+    config = PythiaConfig(
+        pipeline_mode="staged",
+        pipeline_shards=args.shards,
+        pipeline_queue_capacity=args.queue_capacity,
+        pipeline_batch_max=args.batch_max,
+        pipeline_coalesce=not args.no_coalesce,
+    )
+    service = PipelineService(
+        topology_factory=TOPOLOGIES[args.topology], config=config
+    )
+    service.start()
+    client_stats = None
+    try:
+        if args.tape is not None:
+            tape = MessageTape.load(args.tape)
+            client_stats = ReplayClient(tape, rate=args.rate).run(service.submit)
+        else:
+            done = serve_tcp(service, args.port)
+            print(f"listening on 127.0.0.1:{args.port} "
+                  "(send an eof record to finish)", file=sys.stderr)
+            done.wait()
+        drained = service.drain(timeout=args.drain_timeout)
+    finally:
+        service.stop()
+    snap = service.snapshot()
+    if client_stats is not None:
+        snap["client"] = client_stats
+    snap["drained"] = drained
+    print(json.dumps(snap, indent=2 if args.indent else None))
+    return 0 if drained else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Stream a recorded tape to a running ``repro serve --port``."""
+    from repro.pipeline import MessageTape
+    from repro.pipeline.service import replay_tcp
+
+    host, _, port = args.connect.rpartition(":")
+    tape = MessageTape.load(args.tape)
+    stats = replay_tcp(tape, host or "127.0.0.1", int(port), rate=args.rate)
+    print(json.dumps(stats))
+    return 0
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="sort", choices=sorted(HIBENCH))
     p.add_argument("--scale", type=float, default=0.05)
@@ -589,6 +671,46 @@ def build_parser() -> argparse.ArgumentParser:
     mix_p.add_argument("--seed", type=int, default=1)
     mix_p.add_argument("--schedulers", nargs="+", default=["ecmp", "pythia"])
 
+    rec_p = sub.add_parser(
+        "record", help="run one job and save its prediction stream as a tape"
+    )
+    _add_telemetry_args(rec_p)
+    rec_p.add_argument("--out", default="tape.jsonl", metavar="FILE",
+                       help="JSONL tape destination")
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="run the controller as a staged-pipeline service fed by a "
+             "replayed tape (in-process or over TCP)",
+    )
+    srv_p.add_argument("--topology", default="two_rack",
+                       choices=sorted(["two_rack", "leaf_spine", "fat_tree"]))
+    srv_p.add_argument("--shards", type=int, default=2,
+                       help="collector shards (one thread each)")
+    srv_p.add_argument("--queue-capacity", type=int, default=256)
+    srv_p.add_argument("--batch-max", type=int, default=64,
+                       help="max messages per stage batch / flow-mods per install")
+    srv_p.add_argument("--no-coalesce", action="store_true",
+                       help="disable superseded-prediction coalescing")
+    srv_p.add_argument("--tape", default=None, metavar="FILE",
+                       help="replay this tape in-process and exit when drained")
+    srv_p.add_argument("--rate", type=float, default=None,
+                       help="replay pacing in messages/sec (default: max rate)")
+    srv_p.add_argument("--port", type=int, default=None,
+                       help="accept the tape over TCP instead (see `repro replay`)")
+    srv_p.add_argument("--drain-timeout", type=float, default=30.0)
+    srv_p.add_argument("--indent", action="store_true",
+                       help="pretty-print the final stats JSON")
+
+    rep_p = sub.add_parser(
+        "replay", help="stream a recorded tape to a running `repro serve --port`"
+    )
+    rep_p.add_argument("--tape", required=True, metavar="FILE")
+    rep_p.add_argument("--connect", default="127.0.0.1:9177",
+                       metavar="HOST:PORT")
+    rep_p.add_argument("--rate", type=float, default=None,
+                       help="pacing in messages/sec (default: max rate)")
+
     return parser
 
 
@@ -607,6 +729,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "record": _cmd_record,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
     }[args.command]
     return handler(args)
 

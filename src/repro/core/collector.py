@@ -73,6 +73,10 @@ class PredictionCollector:
             Callable[[PredictionMessage], Optional[PredictionMessage]]
         ] = None
         self.predictions_dropped = 0
+        #: when set (to a list), every incoming message is recorded as
+        #: ``(sim.now, kind, msg)`` *before* fault filtering — the
+        #: replay tape :mod:`repro.pipeline.replay` serialises.
+        self.tape: Optional[list[tuple[float, str, object]]] = None
         registry = obs.get_registry()
         self._tracer = obs.get_tracer()
         self._m_dropped = registry.counter("collector.predictions_dropped")
@@ -86,6 +90,8 @@ class PredictionCollector:
     # ------------------------------------------------------------------
     def receive_prediction(self, msg: PredictionMessage) -> None:
         """Ingest one per-map shuffle-intent message."""
+        if self.tape is not None:
+            self.tape.append((self.sim.now, "pred", msg))
         if self.fault_filter is not None:
             filtered = self.fault_filter(msg)
             if filtered is None:
@@ -119,6 +125,8 @@ class PredictionCollector:
 
     def receive_reducer_location(self, msg: ReducerLocationMessage) -> None:
         """Ingest one reducer-location report, flushing waiters."""
+        if self.tape is not None:
+            self.tape.append((self.sim.now, "loc", msg))
         self.locations_received += 1
         key = (msg.job, msg.reducer_id)
         self._locations[key] = msg.server
@@ -187,6 +195,12 @@ class PredictionCollector:
     def pending_intents(self) -> int:
         """Intents still waiting for a reducer location."""
         return sum(len(v) for v in self._pending.values())
+
+    def pending_for(self, job: str, reducer_id: int) -> int:
+        """Intents parked waiting for this one reducer's location —
+        the fan-out a location message will release at once (the
+        staged pipeline sizes shard-queue headroom with this)."""
+        return len(self._pending.get((job, reducer_id), []))
 
     def predicted_egress(self, server: str, remote_only: bool = True) -> list[tuple[float, float]]:
         """(time, bytes) prediction events sourced at ``server``."""

@@ -101,6 +101,26 @@ class PythiaConfig:
     #: objective by at least this relative margin (hysteresis against
     #: churning rules for noise-level gains).
     lp_min_improvement: float = 0.0
+    #: prediction-ingestion pipeline: "off" (default — the monolithic
+    #: collector → allocate → install chain, bit-identical to the
+    #: original control path) or "staged" (bounded queues between
+    #: explicit bind/shard/allocate/install stages; see
+    #: :mod:`repro.pipeline`).
+    pipeline_mode: str = "off"
+    #: collector shards in staged mode; each shard owns the aggregate
+    #: partitions its (job, destination) hash range maps to.
+    pipeline_shards: int = 2
+    #: per-queue capacity between stages (items; full queues push back).
+    pipeline_queue_capacity: int = 256
+    #: max items one stage pump consumes / max flow-mods merged into a
+    #: single batched install transaction.
+    pipeline_batch_max: int = 64
+    #: drop superseded predictions for the same (job, map, reducer) key
+    #: within a shard batch before folding them into aggregates.
+    pipeline_coalesce: bool = True
+    #: record the collector-facing message stream (predictions and
+    #: reducer locations) so it can be saved as a replay tape.
+    record_messages: bool = False
 
     def __post_init__(self) -> None:
         if self.k_paths < 1:
@@ -148,3 +168,19 @@ class PythiaConfig:
             raise ValueError("lp_reroute_pause must be non-negative")
         if self.lp_min_improvement < 0:
             raise ValueError("lp_min_improvement must be non-negative")
+        if self.pipeline_mode not in ("off", "staged"):
+            raise ValueError(
+                f"unknown pipeline_mode {self.pipeline_mode!r}; "
+                "choose 'off' or 'staged'"
+            )
+        if self.pipeline_mode == "staged" and self.lp_mode != "off":
+            # The LP re-optimizer installs rule diffs outside the
+            # pipeline's transaction ledger, which would break its
+            # exactly-once accounting.
+            raise ValueError("pipeline_mode='staged' requires lp_mode='off'")
+        if self.pipeline_shards < 1:
+            raise ValueError("pipeline_shards must be >= 1")
+        if self.pipeline_queue_capacity < 1:
+            raise ValueError("pipeline_queue_capacity must be >= 1")
+        if self.pipeline_batch_max < 1:
+            raise ValueError("pipeline_batch_max must be >= 1")

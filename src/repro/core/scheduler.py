@@ -126,6 +126,10 @@ class PythiaScheduler:
         self.rerouter = None
         #: LpReoptimizer, wired in start() when config.lp_mode != "off".
         self.lp = None
+        #: PipelineCore + its inline driver, wired in start() when
+        #: config.pipeline_mode == "staged"; None otherwise.
+        self.pipeline = None
+        self._endpoint = None
         self._policy: Optional[PythiaPolicy] = None
         self._rules_by_key: dict[tuple, list[Rule]] = {}
         self._backbone_by_key: dict[tuple, tuple[str, ...]] = {}
@@ -142,9 +146,35 @@ class PythiaScheduler:
             agg_policy = RackPairAggregation(topology)
         else:
             agg_policy = ServerPairAggregation()
-        self.aggregator = FlowAggregator(agg_policy)
-        self.collector = PredictionCollector(controller.sim, self.aggregator)
-        self.collector.on_ready = self._on_ready
+        if self.config.pipeline_mode == "staged":
+            # Imported here so the monolithic path never touches the
+            # pipeline package (which stays genuinely optional at rest).
+            from repro.pipeline import InlinePipelineDriver, PipelineCore
+
+            self.pipeline = PipelineCore(
+                controller.sim,
+                agg_policy,
+                allocate=lambda entries: self.allocator.allocate(entries),
+                rules_for=self._rules_for,
+                programmer=controller.programmer,
+                nshards=self.config.pipeline_shards,
+                queue_capacity=self.config.pipeline_queue_capacity,
+                batch_max=self.config.pipeline_batch_max,
+                coalesce=self.config.pipeline_coalesce,
+            )
+            # The core owns the bind-stage collector; its router merges
+            # the shard aggregator partitions for read-side consumers
+            # (failure repair, diagnostics).
+            self.collector = self.pipeline.collector
+            self.aggregator = self.pipeline.router
+            self._endpoint = InlinePipelineDriver(controller.sim, self.pipeline)
+        else:
+            self.aggregator = FlowAggregator(agg_policy)
+            self.collector = PredictionCollector(controller.sim, self.aggregator)
+            self.collector.on_ready = self._on_ready
+            self._endpoint = self.collector
+        if self.config.record_messages:
+            self.collector.tape = []
         self.routing = RoutingGraph(controller.topology_service)
         self.routing.on_failure(self._on_link_failure)
         if self.config.forecast_mode != "off":
@@ -230,8 +260,17 @@ class PythiaScheduler:
         the table (installs lost while the controller was down); rules
         abandoned mid-outage that are no longer intent stay dead.
         Returns the number of rules re-installed.
+
+        In staged mode the pipeline performs the reconcile: it installs
+        the same missing-intent set and additionally adopts in-flight
+        transactions whose installs were abandoned mid-outage, so its
+        exactly-once intent ledger stays balanced across the failover.
         """
         assert self.controller is not None
+        if self.pipeline is not None:
+            return self.pipeline.resync(
+                rule for rules in self._rules_by_key.values() for rule in rules
+            )
         programmer = self.controller.programmer
         installed = {id(r) for r in programmer._rules}
         missing = [
@@ -252,6 +291,15 @@ class PythiaScheduler:
         if self._policy is None:
             raise RuntimeError("scheduler not started")
         return self._policy
+
+    @property
+    def collector_endpoint(self):
+        """Where the instrumentation middleware should deliver messages:
+        the collector itself (monolithic) or the staged pipeline's
+        ingress driver."""
+        if self._endpoint is None:
+            raise RuntimeError("scheduler not started")
+        return self._endpoint
 
     # ------------------------------------------------------------------
     # control chain

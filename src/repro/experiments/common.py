@@ -310,10 +310,12 @@ def _run_experiment_inner(
 
     if pythia is not None:
         assert pythia.collector is not None
+        # The endpoint is the collector itself in "off" mode and the
+        # staged pipeline's ingress driver in "staged" mode.
         InstrumentationMiddleware(
             sim,
             jobtracker,
-            pythia.collector,
+            pythia.collector_endpoint,
             InstrumentationConfig(
                 mgmt_latency=pythia_config.mgmt_latency,
                 decoder=SpillDecoder(spec.predicted_overhead),
@@ -440,6 +442,8 @@ def _run_experiment_inner(
             peak_rules=controller.programmer.peak_table_size,
             predictions=pythia.collector.predictions_received,  # type: ignore[union-attr]
         )
+        if pythia.pipeline is not None:
+            stats["pipeline"] = pythia.pipeline.snapshot()
         if pythia.lp is not None:
             stats.update(pythia.lp.snapshot())
         if pythia.forecast is not None:

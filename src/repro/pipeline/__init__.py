@@ -1,0 +1,34 @@
+"""Staged, backpressured prediction-ingestion pipeline.
+
+The monolithic collector → aggregation → allocation → rule-install
+chain, restructured as explicit stages connected by bounded queues so
+the controller can run as a long-lived service ingesting prediction
+streams at high rate (ROADMAP: "controller as a service").  The same
+:class:`PipelineCore` runs in two harnesses:
+
+- inline inside the simulator (:class:`InlinePipelineDriver`), where
+  each stage hop is a simulator event — selected with
+  ``PythiaConfig(pipeline_mode="staged")``;
+- as a threaded service (:class:`PipelineService`) driven by a
+  :class:`ReplayClient` feeding recorded message tapes at a
+  configurable rate (``repro serve`` / ``repro replay``).
+"""
+
+from repro.pipeline.core import BoundIntent, DemandDelta, InstallBatch, PipelineCore
+from repro.pipeline.inline import InlinePipelineDriver
+from repro.pipeline.queues import BoundedQueue
+from repro.pipeline.replay import MessageTape, ReplayClient, synthetic_tape
+from repro.pipeline.service import PipelineService
+
+__all__ = [
+    "BoundIntent",
+    "BoundedQueue",
+    "DemandDelta",
+    "InlinePipelineDriver",
+    "InstallBatch",
+    "MessageTape",
+    "PipelineCore",
+    "PipelineService",
+    "ReplayClient",
+    "synthetic_tape",
+]

@@ -1,0 +1,569 @@
+"""The staged prediction-ingestion core: bind → shard → allocate → install.
+
+One synchronous engine shared by both harnesses (the inline simulator
+driver and the threaded service).  The stages:
+
+1. **bind** — drains the ingress queue through the real
+   :class:`~repro.core.collector.PredictionCollector` (late binding,
+   prediction log, fault filter), whose aggregator is replaced by a
+   :class:`ShardRouter` that fans completed intents out to shards.
+2. **shard** — each shard owns a private
+   :class:`~repro.core.aggregation.FlowAggregator` partition.  Routing
+   hashes the *(job, destination)* part of the aggregation key, so one
+   aggregate key only ever lives in one shard and shards never contend
+   on an entry.  Drained batches coalesce superseded predictions for
+   the same (job, mapper, reducer) before folding.
+3. **allocate** — path allocation plus rule expansion for the union of
+   entries touched by the drained demand deltas.
+4. **install** — rule diffs merged into batched flow-mod transactions
+   through :meth:`FlowProgrammer.install_diff`.
+
+Accounting is conservation-checked at intent granularity: every intent
+accepted into a shard queue is eventually counted exactly once as
+installed (its delta's transaction committed, or adopted by a failover
+resync) or coalesced.  ``double_installs`` watches the programmer's
+rule events and must stay zero across crash/restore cycles.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro import obs
+from repro.core.aggregation import AggregateEntry, AggregationPolicy, FlowAggregator
+from repro.core.collector import PredictionCollector
+from repro.pipeline.queues import BoundedQueue
+from repro.sdn.programming import FlowProgrammer, Rule
+from repro.simnet.engine import Simulator
+
+
+@dataclass
+class BoundIntent:
+    """One location-bound (map, reducer) intent routed to a shard."""
+
+    job: str
+    map_id: int
+    reducer_id: int
+    src: str
+    dst: str
+    nbytes: float
+    #: clock() when the intent entered its shard queue.
+    t_enq: float
+
+
+@dataclass
+class DemandDelta:
+    """One shard drain: the aggregates a batch of intents touched."""
+
+    shard: int
+    entries: list[AggregateEntry]
+    #: intents folded into this delta (after coalescing).
+    intents: int
+    #: earliest enqueue stamp among the folded intents.
+    t_first: float
+
+
+@dataclass
+class InstallBatch:
+    """One flow-mod transaction: a rule diff plus the deltas it commits."""
+
+    add: list[Rule]
+    remove: list[Rule]
+    deltas: list[DemandDelta]
+    #: modelled switch-programming latency of the transaction, charged
+    #: on top of measured queueing delay by the wall-clock harness.
+    modeled_latency: float = 0.0
+
+
+@dataclass
+class _Shard:
+    index: int
+    queue: BoundedQueue
+    aggregator: FlowAggregator
+    coalesced: int = 0
+    folded: int = 0
+    entries_gauge: object = field(default=None, repr=False)
+
+
+class ShardRouter:
+    """Stands in for the bind-stage collector's FlowAggregator.
+
+    ``add`` routes completed intents to shard queues instead of folding
+    them; the read-side surface (``entries``, ``entries_on_link``,
+    ``total_predicted``) merges the shard partitions so failure repair
+    and diagnostics see one logical aggregator.
+    """
+
+    def __init__(self, core: "PipelineCore") -> None:
+        self._core = core
+
+    @property
+    def policy(self) -> AggregationPolicy:
+        return self._core.agg_policy
+
+    def add(
+        self,
+        src: str,
+        dst: str,
+        map_id: int,
+        reducer_id: int,
+        nbytes: float,
+        job: str = "",
+    ) -> None:
+        self._core._route(src, dst, map_id, reducer_id, nbytes, job)
+
+    def drain_dirty(self) -> list[AggregateEntry]:
+        # The bind-stage collector never drains; shards own dirtiness.
+        return []
+
+    @property
+    def entries(self) -> dict[tuple, AggregateEntry]:
+        merged: dict[tuple, AggregateEntry] = {}
+        for shard in self._core.shards:
+            merged.update(shard.aggregator.entries)
+        return merged
+
+    def entries_on_link(self, lid: int) -> list[AggregateEntry]:
+        out: list[AggregateEntry] = []
+        for shard in self._core.shards:
+            out.extend(shard.aggregator.entries_on_link(lid))
+        return out
+
+    @property
+    def total_predicted(self) -> float:
+        return sum(s.aggregator.total_predicted for s in self._core.shards)
+
+
+class PipelineCore:
+    """Synchronous staged engine; harnesses decide *when* stages pump."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agg_policy: AggregationPolicy,
+        allocate: Callable[[list[AggregateEntry]], list],
+        rules_for: Callable[..., list[Rule]],
+        programmer: FlowProgrammer,
+        *,
+        nshards: int = 2,
+        queue_capacity: int = 256,
+        batch_max: int = 64,
+        coalesce: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        charge_install_latency: bool = False,
+    ) -> None:
+        if nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.sim = sim
+        self.agg_policy = agg_policy
+        self.allocate = allocate
+        self.rules_for = rules_for
+        self.programmer = programmer
+        self.batch_max = batch_max
+        self.coalesce = coalesce
+        self.queue_capacity = queue_capacity
+        #: timestamp source for queueing-latency stamps: simulator time
+        #: inline (commits happen *at* the modelled install instant),
+        #: wall time in the service harness.
+        self.clock: Callable[[], float] = clock or (lambda: self.sim.now)
+        #: the service harness measures wall queueing delay, which does
+        #: not include the modelled switch-programming latency — charge
+        #: it explicitly there (inline mode already lives it).
+        self.charge_install_latency = charge_install_latency
+
+        registry = obs.get_registry()
+        self.ingress = BoundedQueue("ingress", queue_capacity)
+        self.shards = [
+            _Shard(
+                index=i,
+                queue=BoundedQueue(f"shard{i}", queue_capacity),
+                aggregator=FlowAggregator(agg_policy),
+                entries_gauge=registry.gauge(f"pipeline.shard{i}.entries"),
+            )
+            for i in range(nshards)
+        ]
+        self.alloc_q = BoundedQueue("alloc", queue_capacity)
+        self.install_q = BoundedQueue("install", queue_capacity)
+        self.router = ShardRouter(self)
+        #: the real collector is the bind stage: late binding, the
+        #: prediction log and the chaos fault filter all stay intact.
+        self.collector = PredictionCollector(sim, self.router)
+
+        # intent-conservation ledger ------------------------------------
+        self.predictions_in = 0
+        self.locations_in = 0
+        self.intents_in = 0
+        self.intents_installed = 0
+        self.intents_coalesced = 0
+        self.install_txns = 0
+        self.covered_txns = 0
+        self.max_txn_mods = 0
+        self.bind_stalls = 0
+        self.shard_stalls = 0
+        self.alloc_stalls = 0
+        self.overflow = 0
+        self.double_installs = 0
+        self.resync_adopted = 0
+        self.resyncs = 0
+
+        self._seq = 0
+        self._inflight: dict[int, InstallBatch] = {}
+        self._live_rule_ids: set[int] = set()
+        self._touched_shards: set[int] = set()
+        programmer.add_rule_hook(self._on_rule_event)
+
+        self._m_predictions = registry.counter("pipeline.predictions_in")
+        self._m_intents_in = registry.counter("pipeline.intents_in")
+        self._m_installed = registry.counter("pipeline.intents_installed")
+        self._m_coalesced = registry.counter("pipeline.intents_coalesced")
+        self._m_txns = registry.counter("pipeline.install_txns")
+        self._m_stalls = registry.counter("pipeline.stage_stalls")
+        self._m_double = registry.counter("pipeline.double_installs")
+        self._m_e2e = registry.histogram("pipeline.e2e_seconds")
+        self._m_txn_latency = registry.histogram("pipeline.install_batch_seconds")
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, msg) -> bool:
+        """Offer one raw message ("pred"/"loc"); False = backpressured."""
+        return self.ingress.offer((kind, msg))
+
+    # ------------------------------------------------------------------
+    # stage pumps (synchronous; harnesses schedule them)
+    # ------------------------------------------------------------------
+    def pump_bind(self, max_msgs: Optional[int] = None) -> tuple[int, set[int]]:
+        """Bind a batch of ingress messages, routing intents to shards.
+
+        Returns ``(messages processed, shard indexes touched)``.  Stops
+        early — leaving messages queued — when the shards lack headroom
+        for the next message's fan-out, so shard queues stay within
+        their bound instead of absorbing unbounded bursts.
+        """
+        limit = max_msgs if max_msgs is not None else self.batch_max
+        touched: set[int] = set()
+        self._touched_shards = touched
+        processed = 0
+        while processed < limit:
+            head = self.ingress.peek()
+            if head is None:
+                break
+            kind, msg = head
+            if not self._headroom_ok(kind, msg):
+                self.bind_stalls += 1
+                self._m_stalls.inc()
+                break
+            self.ingress.pop()
+            if kind == "pred":
+                self.predictions_in += 1
+                self._m_predictions.inc()
+                self.collector.receive_prediction(msg)
+            else:
+                self.locations_in += 1
+                self.collector.receive_reducer_location(msg)
+            processed += 1
+        return processed, touched
+
+    def _headroom_ok(self, kind: str, msg) -> bool:
+        """Will the message's intent fan-out fit every shard queue?
+
+        Conservative (checks the fullest shard against the whole
+        fan-out); a fan-out larger than the queue capacity itself can
+        never fit and is admitted through the force path instead of
+        deadlocking.
+        """
+        if kind == "pred":
+            need = len(msg.reducer_bytes)
+        else:
+            need = self.collector.pending_for(msg.job, msg.reducer_id)
+        if need == 0 or need > self.queue_capacity:
+            return True
+        return min(s.queue.free for s in self.shards) >= need
+
+    def _route(
+        self, src: str, dst: str, map_id: int, reducer_id: int, nbytes: float, job: str
+    ) -> None:
+        """Hash a bound intent to the shard owning its aggregate key.
+
+        Keyed on the *(job, destination)* half of the aggregation key —
+        crc32, not ``hash()``, so placement survives PYTHONHASHSEED —
+        which gives each shard exclusive ownership of the aggregate
+        entries (and hence rules) it produces.
+        """
+        dst_key = self.agg_policy.key(src, dst)[-1]
+        idx = zlib.crc32(repr((job, dst_key)).encode("utf-8")) % len(self.shards)
+        intent = BoundIntent(
+            job=job,
+            map_id=map_id,
+            reducer_id=reducer_id,
+            src=src,
+            dst=dst,
+            nbytes=float(nbytes),
+            t_enq=self.clock(),
+        )
+        self.intents_in += 1
+        self._m_intents_in.inc()
+        shard = self.shards[idx]
+        if not shard.queue.offer(intent):
+            # A message's fan-out is atomic: the headroom check already
+            # admitted it, so an overshoot (oversized fan-out, or the
+            # rare cross-thread race) lands anyway, counted.
+            shard.queue.force(intent)
+            self.overflow += 1
+        self._touched_shards.add(idx)
+
+    def pump_shard(self, i: int) -> bool:
+        """Coalesce and fold one batch of shard ``i``'s intents.
+
+        Returns True when a demand delta was pushed downstream; leaves
+        the batch queued (a stall) while the allocation queue is full.
+        """
+        shard = self.shards[i]
+        if len(shard.queue) == 0:
+            return False
+        if self.alloc_q.free == 0:
+            self.shard_stalls += 1
+            self._m_stalls.inc()
+            return False
+        batch = shard.queue.pop_batch(self.batch_max)
+        if not batch:
+            return False
+        t_first = min(it.t_enq for it in batch)
+        if self.coalesce:
+            # Keep only the newest prediction per (job, map, reducer):
+            # a re-prediction supersedes the value it replaces, and
+            # folding both would double-count the demand.
+            last: dict[tuple, BoundIntent] = {}
+            for it in batch:
+                last[(it.job, it.map_id, it.reducer_id)] = it
+            dropped = len(batch) - len(last)
+            if dropped:
+                shard.coalesced += dropped
+                self.intents_coalesced += dropped
+                self._m_coalesced.inc(dropped)
+            batch = list(last.values())
+        for it in batch:
+            shard.aggregator.add(
+                it.src, it.dst, it.map_id, it.reducer_id, it.nbytes, job=it.job
+            )
+        shard.folded += len(batch)
+        shard.entries_gauge.set(len(shard.aggregator.entries))
+        delta = DemandDelta(
+            shard=i,
+            entries=shard.aggregator.drain_dirty(),
+            intents=len(batch),
+            t_first=t_first,
+        )
+        if not self.alloc_q.offer(delta):
+            # Lost the free-slot race against another shard thread; the
+            # intents are already folded, so the delta must not drop.
+            self.alloc_q.force(delta)
+            self.overflow += 1
+        return True
+
+    def pump_alloc(self) -> bool:
+        """Allocate paths for drained deltas and expand the rule diff."""
+        if self.install_q.free == 0:
+            self.alloc_stalls += 1
+            self._m_stalls.inc()
+            return False
+        deltas = self.alloc_q.pop_batch(self.batch_max)
+        if not deltas:
+            return False
+        # Union of touched aggregates — the same entry may be dirty in
+        # several deltas; allocating it once is both correct and cheaper.
+        entries: list[AggregateEntry] = []
+        seen: set[int] = set()
+        for delta in deltas:
+            for entry in delta.entries:
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    entries.append(entry)
+        add: list[Rule] = []
+        removed: list[Rule] = []
+        if entries:
+            for entry, path in self.allocate(entries):
+                add.extend(self.rules_for(entry, path, removed))
+        self.install_q.offer(InstallBatch(add=add, remove=removed, deltas=deltas))
+        return True
+
+    def pump_install(self) -> bool:
+        """Merge queued diffs into one bounded flow-mod transaction."""
+        merged: Optional[InstallBatch] = None
+        mods = 0
+        while True:
+            head = self.install_q.peek()
+            if head is None:
+                break
+            head_mods = len(head.add) + len(head.remove)
+            if merged is not None and mods + head_mods > self.batch_max:
+                break
+            self.install_q.pop()
+            if merged is None:
+                merged = InstallBatch(
+                    add=list(head.add), remove=list(head.remove), deltas=list(head.deltas)
+                )
+            else:
+                merged.add.extend(head.add)
+                merged.remove.extend(head.remove)
+                merged.deltas.extend(head.deltas)
+            mods += head_mods
+        if merged is None:
+            return False
+        if not merged.add and not merged.remove:
+            # Demand already covered by rules in the table: nothing to
+            # program, the deltas commit immediately.
+            self.covered_txns += 1
+            self._commit(merged)
+            return True
+        self.install_txns += 1
+        self._m_txns.inc()
+        self.max_txn_mods = max(self.max_txn_mods, mods)
+        self._seq += 1
+        seq = self._seq
+        self._inflight[seq] = merged
+        before = self.sim.now
+        done_at = self.programmer.install_diff(
+            merged.add,
+            merged.remove,
+            on_installed=lambda _rules, seq=seq: self._committed(seq),
+        )
+        merged.modeled_latency = done_at - before
+        self._m_txn_latency.observe(merged.modeled_latency)
+        return True
+
+    # ------------------------------------------------------------------
+    # commit / failover accounting
+    # ------------------------------------------------------------------
+    def _committed(self, seq: int) -> None:
+        batch = self._inflight.pop(seq, None)
+        if batch is None:
+            # Already adopted by a failover resync; the programmer's
+            # late commit must not double-count the intents.
+            return
+        self._commit(batch)
+
+    def _commit(self, batch: InstallBatch) -> None:
+        now = self.clock()
+        extra = batch.modeled_latency if self.charge_install_latency else 0.0
+        for delta in batch.deltas:
+            self.intents_installed += delta.intents
+            self._m_installed.inc(delta.intents)
+            self._m_e2e.observe(max(0.0, now - delta.t_first) + extra)
+
+    def _on_rule_event(self, event: str, rule: Rule) -> None:
+        rid = id(rule)
+        if event == "install":
+            if rid in self._live_rule_ids:
+                self.double_installs += 1
+                self._m_double.inc()
+            else:
+                self._live_rule_ids.add(rid)
+        else:
+            self._live_rule_ids.discard(rid)
+
+    def resync(self, intent_rules: Iterable[Rule]) -> int:
+        """Post-outage reconcile: reinstall lost intent, adopt orphans.
+
+        Mirrors the monolithic scheduler's resync for the rule table —
+        every intent rule in neither the table nor a still-pending
+        batch is reinstalled — and additionally settles the pipeline's
+        ledger: in-flight transactions whose installs were abandoned
+        mid-outage (no rule pending or installed) are *adopted*, their
+        intents committed exactly once here because the reinstall above
+        is what actually lands their rules.
+        """
+        self.resyncs += 1
+        installed = {id(r) for r in self.programmer._rules}
+        # Snapshot *before* the reinstall below marks the missing rules
+        # pending again — an abandoned transaction whose rules are about
+        # to be re-installed is exactly the orphan case.
+        pending = set(self.programmer._pending_rule_ids)
+        orphans = [
+            seq
+            for seq, batch in self._inflight.items()
+            if not any(
+                id(r) in pending or id(r) in installed for r in batch.add
+            )
+        ]
+        missing = [
+            rule
+            for rule in intent_rules
+            if id(rule) not in installed and id(rule) not in pending
+        ]
+        if missing:
+            self.programmer.install(missing)
+        for seq in orphans:
+            batch = self._inflight.pop(seq)
+            self.resync_adopted += len(batch.deltas)
+            self._commit(batch)
+        return len(missing)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Items anywhere between ingress and an uncommitted install."""
+        return (
+            len(self.ingress)
+            + sum(len(s.queue) for s in self.shards)
+            + len(self.alloc_q)
+            + len(self.install_q)
+            + len(self._inflight)
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Install transactions issued but not yet committed/adopted."""
+        return len(self._inflight)
+
+    def conservation_ok(self) -> bool:
+        """After a drain: every accepted intent has exactly one fate."""
+        return (
+            self.backlog() == 0
+            and self.intents_in == self.intents_installed + self.intents_coalesced
+        )
+
+    def snapshot(self) -> dict:
+        """Ledger and queue counters as one JSON-ready dict."""
+        return {
+            "predictions_in": self.predictions_in,
+            "locations_in": self.locations_in,
+            "intents_in": self.intents_in,
+            "intents_installed": self.intents_installed,
+            "intents_coalesced": self.intents_coalesced,
+            "install_txns": self.install_txns,
+            "covered_txns": self.covered_txns,
+            "max_txn_mods": self.max_txn_mods,
+            "bind_stalls": self.bind_stalls,
+            "shard_stalls": self.shard_stalls,
+            "alloc_stalls": self.alloc_stalls,
+            "overflow": self.overflow,
+            "double_installs": self.double_installs,
+            "resyncs": self.resyncs,
+            "resync_adopted": self.resync_adopted,
+            "in_flight": self.in_flight,
+            "backlog": self.backlog(),
+            "queues": {
+                q.name: q.snapshot()
+                for q in [
+                    self.ingress,
+                    *[s.queue for s in self.shards],
+                    self.alloc_q,
+                    self.install_q,
+                ]
+            },
+            "shards": [
+                {
+                    "index": s.index,
+                    "entries": len(s.aggregator.entries),
+                    "folded": s.folded,
+                    "coalesced": s.coalesced,
+                }
+                for s in self.shards
+            ],
+        }

@@ -1,0 +1,113 @@
+"""Inline harness: the staged core driven through simulator events.
+
+The middleware-facing endpoint in ``pipeline_mode="staged"`` runs.
+Each stage hop is its own zero-delay simulator event, so the staged
+path keeps the discrete-event model's determinism while exercising the
+same pumps the threaded service uses.  Backpressure becomes time: a
+bounced ingress offer redelivers after ``retry_delay`` and a stalled
+stage re-pumps after the same pause, mirroring a blocked producer.
+"""
+
+from __future__ import annotations
+
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+from repro.pipeline.core import PipelineCore
+from repro.simnet.engine import Simulator
+
+
+class InlinePipelineDriver:
+    """CollectorEndpoint that schedules the core's pumps as sim events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: PipelineCore,
+        *,
+        stage_delay: float = 0.0,
+        retry_delay: float = 0.001,
+    ) -> None:
+        self.sim = sim
+        self.core = core
+        #: latency of one stage hop (0 keeps staged runs time-comparable
+        #: with the monolithic chain; raise it to model a real bus).
+        self.stage_delay = stage_delay
+        #: redelivery/stall pause when a queue pushes back.
+        self.retry_delay = retry_delay
+        self.redeliveries = 0
+        self._bind_scheduled = False
+        self._shard_scheduled = [False] * len(core.shards)
+        self._alloc_scheduled = False
+        self._install_scheduled = False
+
+    # ------------------------------------------------------------------
+    # middleware-facing endpoints
+    # ------------------------------------------------------------------
+    def receive_prediction(self, msg: PredictionMessage) -> None:
+        self._ingest("pred", msg)
+
+    def receive_reducer_location(self, msg: ReducerLocationMessage) -> None:
+        self._ingest("loc", msg)
+
+    def _ingest(self, kind: str, msg) -> None:
+        if not self.core.submit(kind, msg):
+            # Ingress full: the management network redelivers later —
+            # bounded queues turn overload into latency, never loss.
+            self.redeliveries += 1
+            self.sim.schedule(self.retry_delay, self._ingest, kind, msg)
+            return
+        self._kick_bind(self.stage_delay)
+
+    # ------------------------------------------------------------------
+    # stage events — each pump re-kicks itself while its input is
+    # non-empty (zero delay after progress, retry_delay after a stall,
+    # so a blocked stage never spins within one simulation instant).
+    # ------------------------------------------------------------------
+    def _kick_bind(self, delay: float) -> None:
+        if not self._bind_scheduled:
+            self._bind_scheduled = True
+            self.sim.schedule(delay, self._run_bind)
+
+    def _run_bind(self) -> None:
+        self._bind_scheduled = False
+        processed, touched = self.core.pump_bind()
+        for i in touched:
+            self._kick_shard(i, self.stage_delay)
+        if len(self.core.ingress):
+            self._kick_bind(self.stage_delay if processed else self.retry_delay)
+
+    def _kick_shard(self, i: int, delay: float) -> None:
+        if not self._shard_scheduled[i]:
+            self._shard_scheduled[i] = True
+            self.sim.schedule(delay, self._run_shard, i)
+
+    def _run_shard(self, i: int) -> None:
+        self._shard_scheduled[i] = False
+        pushed = self.core.pump_shard(i)
+        if pushed:
+            self._kick_alloc(self.stage_delay)
+        if len(self.core.shards[i].queue):
+            self._kick_shard(i, self.stage_delay if pushed else self.retry_delay)
+
+    def _kick_alloc(self, delay: float) -> None:
+        if not self._alloc_scheduled:
+            self._alloc_scheduled = True
+            self.sim.schedule(delay, self._run_alloc)
+
+    def _run_alloc(self) -> None:
+        self._alloc_scheduled = False
+        pushed = self.core.pump_alloc()
+        if pushed:
+            self._kick_install(self.stage_delay)
+        if len(self.core.alloc_q):
+            self._kick_alloc(self.stage_delay if pushed else self.retry_delay)
+
+    def _kick_install(self, delay: float) -> None:
+        if not self._install_scheduled:
+            self._install_scheduled = True
+            self.sim.schedule(delay, self._run_install)
+
+    def _run_install(self) -> None:
+        self._install_scheduled = False
+        self.core.pump_install()
+        if len(self.core.install_q):
+            self._kick_install(self.stage_delay)

@@ -1,0 +1,137 @@
+"""Bounded inter-stage queues: the pipeline's backpressure primitive.
+
+Every stage boundary is a :class:`BoundedQueue`; a full queue rejects
+offers (counted, surfaced as a metric) instead of growing without
+bound, which is what turns a producer overrun into *backpressure* the
+upstream stage can act on — the ingress retries later, internal stages
+stall their pump until downstream drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro import obs
+
+
+class BoundedQueue:
+    """Thread-safe FIFO with a hard capacity and backpressure counters.
+
+    Used both single-threaded (the inline simulator driver) and across
+    threads (the service harness); the lock is uncontended in the
+    former.  Consumers are expected to be single per queue, so
+    ``peek()`` followed by ``pop()`` is race-free.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self.offered = 0
+        self.accepted = 0
+        #: offers rejected because the queue was at capacity.
+        self.rejected = 0
+        #: items admitted past capacity through :meth:`force`.
+        self.forced = 0
+        self.high_water = 0
+        registry = obs.get_registry()
+        self._m_depth = registry.gauge(f"pipeline.{name}.depth")
+        self._m_backpressure = registry.counter(f"pipeline.{name}.backpressure")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def free(self) -> int:
+        """Slots left before offers start bouncing (0 when over-full)."""
+        with self._lock:
+            return max(0, self.capacity - len(self._items))
+
+    def _note_depth(self) -> None:
+        d = len(self._items)
+        if d > self.high_water:
+            self.high_water = d
+        self._m_depth.set(d)
+
+    def offer(self, item: Any) -> bool:
+        """Append if there is room; False (counted) otherwise."""
+        with self._nonempty:
+            self.offered += 1
+            if len(self._items) >= self.capacity:
+                self.rejected += 1
+                self._m_backpressure.inc()
+                return False
+            self._items.append(item)
+            self.accepted += 1
+            self._note_depth()
+            self._nonempty.notify()
+            return True
+
+    def force(self, item: Any) -> None:
+        """Append past capacity (counted) — the deadlock escape hatch.
+
+        Used only where rejecting would wedge the pipeline: an atomic
+        unit (one message's fan-out, one drained delta) that was
+        already admitted upstream must land even if it momentarily
+        overshoots the bound.
+        """
+        with self._nonempty:
+            self.offered += 1
+            self.accepted += 1
+            self.forced += 1
+            self._items.append(item)
+            self._note_depth()
+            self._nonempty.notify()
+
+    def peek(self) -> Optional[Any]:
+        """Head item without removing it (None when empty)."""
+        with self._lock:
+            return self._items[0] if self._items else None
+
+    def pop(self) -> Optional[Any]:
+        """Remove and return the head item (None when empty)."""
+        with self._lock:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._m_depth.set(len(self._items))
+            return item
+
+    def pop_batch(self, max_n: int) -> list:
+        """Remove up to ``max_n`` items from the head."""
+        with self._lock:
+            out = []
+            while self._items and len(out) < max_n:
+                out.append(self._items.popleft())
+            if out:
+                self._m_depth.set(len(self._items))
+            return out
+
+    def wait_nonempty(self, timeout: float) -> bool:
+        """Block up to ``timeout`` seconds for an item to appear."""
+        with self._nonempty:
+            if self._items:
+                return True
+            self._nonempty.wait(timeout)
+            return bool(self._items)
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict (for service stats endpoints)."""
+        with self._lock:
+            depth = len(self._items)
+        return {
+            "depth": depth,
+            "capacity": self.capacity,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "forced": self.forced,
+            "high_water": self.high_water,
+        }

@@ -1,0 +1,208 @@
+"""Message tapes and the rate-paced replay client.
+
+A tape is the collector-facing message stream of a run — per-map
+prediction messages plus reducer-location reports — recorded by the
+collector (``PythiaConfig(record_messages=True)``) or synthesised, and
+saved as JSONL so ``repro serve`` / ``repro replay`` can drive the
+controller service with realistic input at configurable rates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.instrumentation.messages import PredictionMessage, ReducerLocationMessage
+
+
+@dataclass(frozen=True)
+class TapeRecord:
+    """One recorded message: arrival time, kind ("pred"/"loc"), payload."""
+
+    t: float
+    kind: str
+    msg: object
+
+
+class MessageTape:
+    """An ordered prediction-message stream, serialisable as JSONL."""
+
+    def __init__(self, records: list[TapeRecord]) -> None:
+        self.records = sorted(records, key=lambda r: r.t)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Span of recorded arrival times (seconds)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].t - self.records[0].t
+
+    @classmethod
+    def from_collector(cls, collector) -> "MessageTape":
+        """Lift a recording collector's tape (see ``record_messages``)."""
+        if collector is None or collector.tape is None:
+            raise ValueError("collector did not record messages")
+        return cls([TapeRecord(t, kind, msg) for t, kind, msg in collector.tape])
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(_encode(rec)) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MessageTape":
+        records = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(_decode(json.loads(line)))
+        return cls(records)
+
+
+def _encode(rec: TapeRecord) -> dict:
+    msg = rec.msg
+    if rec.kind == "pred":
+        assert isinstance(msg, PredictionMessage)
+        return {
+            "t": rec.t,
+            "kind": "pred",
+            "job": msg.job,
+            "map_id": msg.map_id,
+            "src_server": msg.src_server,
+            "reducer_bytes": [float(b) for b in msg.reducer_bytes],
+            "created_at": msg.created_at,
+        }
+    assert isinstance(msg, ReducerLocationMessage)
+    return {
+        "t": rec.t,
+        "kind": "loc",
+        "job": msg.job,
+        "reducer_id": msg.reducer_id,
+        "server": msg.server,
+        "created_at": msg.created_at,
+    }
+
+
+def _decode(obj: dict) -> TapeRecord:
+    if obj["kind"] == "pred":
+        msg: object = PredictionMessage(
+            job=obj["job"],
+            map_id=int(obj["map_id"]),
+            src_server=obj["src_server"],
+            reducer_bytes=np.asarray(obj["reducer_bytes"], dtype=float),
+            created_at=float(obj["created_at"]),
+        )
+    elif obj["kind"] == "loc":
+        msg = ReducerLocationMessage(
+            job=obj["job"],
+            reducer_id=int(obj["reducer_id"]),
+            server=obj["server"],
+            created_at=float(obj["created_at"]),
+        )
+    else:
+        raise ValueError(f"unknown tape record kind {obj['kind']!r}")
+    return TapeRecord(t=float(obj["t"]), kind=obj["kind"], msg=msg)
+
+
+def synthetic_tape(
+    hosts: list[str],
+    njobs: int = 2,
+    nmaps: int = 20,
+    nreducers: int = 4,
+    repredict: int = 1,
+    mean_bytes: float = 4e7,
+    seed: int = 0,
+) -> MessageTape:
+    """Benchmark fodder: a dense, duplicate-bearing prediction stream.
+
+    Locations come first (every intent binds immediately, so replay
+    throughput measures the pipeline, not late-binding waits), then one
+    prediction message per (job, map) repeated ``repredict`` times —
+    later repeats supersede earlier ones, which is exactly what the
+    coalescing stage exists to drop.
+    """
+    if not hosts:
+        raise ValueError("synthetic_tape needs at least one host")
+    rng = np.random.default_rng(seed)
+    records: list[TapeRecord] = []
+    t = 0.0
+    for j in range(njobs):
+        job = f"bench{j}"
+        for r in range(nreducers):
+            server = hosts[(j + r) % len(hosts)]
+            records.append(
+                TapeRecord(
+                    t, "loc", ReducerLocationMessage(job, r, server, created_at=t)
+                )
+            )
+    for j in range(njobs):
+        job = f"bench{j}"
+        for m in range(nmaps):
+            src = hosts[(j * 3 + m) % len(hosts)]
+            nbytes = rng.uniform(0.5, 1.5, size=nreducers) * mean_bytes
+            for _ in range(max(1, repredict)):
+                t += 1e-4
+                records.append(
+                    TapeRecord(
+                        t,
+                        "pred",
+                        PredictionMessage(job, m, src, nbytes.copy(), created_at=t),
+                    )
+                )
+    return MessageTape(records)
+
+
+class ReplayClient:
+    """Feeds a tape into a submit endpoint at a configurable rate.
+
+    ``rate`` is messages/second of wall time (None = as fast as the
+    endpoint accepts).  A bounced offer is retried after a short pause
+    — the client experiences the pipeline's backpressure instead of
+    dropping messages — and every retry is counted.
+    """
+
+    def __init__(self, tape: MessageTape, rate: Optional[float] = None) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive")
+        self.tape = tape
+        self.rate = rate
+
+    def run(
+        self,
+        submit: Callable[[str, object], bool],
+        *,
+        retry_pause: float = 0.0005,
+    ) -> dict:
+        """Replay the whole tape; returns send-side statistics."""
+        sent = 0
+        retries = 0
+        start = time.monotonic()
+        for i, rec in enumerate(self.tape.records):
+            if self.rate is not None:
+                due = start + i / self.rate
+                pause = due - time.monotonic()
+                if pause > 0:
+                    time.sleep(pause)
+            while not submit(rec.kind, rec.msg):
+                retries += 1
+                time.sleep(retry_pause)
+            sent += 1
+        wall = time.monotonic() - start
+        return {
+            "sent": sent,
+            "retries": retries,
+            "wall_seconds": wall,
+            "offered_rate": self.rate,
+            "achieved_rate": sent / wall if wall > 0 else float("inf"),
+        }

@@ -58,6 +58,7 @@ class Controller:
         )
         self.apps: list[ControllerApp] = []
         self._started = False
+        self._stats_enabled = True
         #: False while crashed: services halt, rule installs retry/fail,
         #: and policies degrade to default (ECMP) behaviour.
         self.online = True
@@ -91,12 +92,20 @@ class Controller:
         if self._started:
             app.start(self)
 
-    def start(self) -> None:
-        """Boot services and every registered application."""
+    def start(self, start_stats: bool = True) -> None:
+        """Boot services and every registered application.
+
+        ``start_stats=False`` skips the periodic link-stats poller —
+        the service harness (``repro serve``) runs with no data-plane
+        flows, where an eternally self-rescheduling poll would keep
+        the event queue from ever draining.
+        """
         if self._started:
             return
         self._started = True
-        self.stats_service.start()
+        self._stats_enabled = start_stats
+        if start_stats:
+            self.stats_service.start()
         for app in self.apps:
             app.start(self)
 
@@ -142,7 +151,7 @@ class Controller:
             return
         self.online = True
         self.programmer.online = True
-        if self._started:
+        if self._started and self._stats_enabled:
             self.stats_service.start()
         self.resyncs += 1
         # Drop the raw backlog: apps reinstall from *current* intent,

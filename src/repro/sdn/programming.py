@@ -75,6 +75,26 @@ class Rule:
     hits: int = 0
 
 
+def rule_sort_key(rule: Rule) -> tuple:
+    """Canonical total order over rules (match fields, priority, path).
+
+    Batched diff transactions sort their deletions with this key so a
+    replayed batch emits byte-identical FLOW_MOD sequences regardless of
+    the dict/set iteration order the caller accumulated the rules in.
+    """
+    m = rule.match
+    return (
+        m.src_ip or "",
+        m.dst_ip or "",
+        m.src_prefix or "",
+        m.dst_prefix or "",
+        -1 if m.src_port is None else m.src_port,
+        -1 if m.dst_port is None else m.dst_port,
+        rule.priority,
+        tuple(rule.path),
+    )
+
+
 class FlowProgrammer:
     """Installs forwarding rules with realistic programming latency."""
 
@@ -218,9 +238,12 @@ class FlowProgrammer:
         programming latency for every mod, deletions included.
         Deletions take effect immediately (the table stops matching the
         old rules as soon as the controller decides), exactly like the
-        incremental path's ``remove`` + ``install`` sequence.
+        incremental path's ``remove`` + ``install`` sequence.  They are
+        issued in canonical :func:`rule_sort_key` order — not whatever
+        dict order the caller collected them in — so a batched diff
+        replays byte-identically in golden traces.
         """
-        for rule in remove:
+        for rule in sorted(remove, key=rule_sort_key):
             self.remove(rule)
         return self.install(add, on_installed, extra_mods=len(remove))
 

@@ -59,6 +59,14 @@ class LinkStatsService:
         #: the in-flight periodic poll event, cancelled on stop() so a
         #: stop()/start() cycle cannot leave two live polling chains.
         self._pending_tick: Optional[Event] = None
+        #: polling-chain epoch, bumped on every start()/stop().  Each
+        #: tick carries the epoch it was scheduled under and drops
+        #: itself — exactly once, counted — when the epoch has moved on.
+        #: Belt-and-braces on top of event cancellation: a poll that was
+        #: scheduled during a controller outage can never survive the
+        #: failover resync into a second concurrent polling chain.
+        self.epoch = 0
+        self.polls_dropped_stale = 0
         #: called as fn(now, dt, gap) after each successfully folded
         #: sample — the forecast pipeline's ingestion point.  Hooks run
         #: in registration order and never fire for skipped/zero-dt
@@ -73,30 +81,41 @@ class LinkStatsService:
         self._m_zero_dt = registry.counter("stats.samples_zero_dt")
         self._m_lag = registry.gauge("stats.ewma_lag_seconds")
         self._m_gap = registry.gauge("stats.frozen_gap_seconds")
+        self._m_stale = registry.counter("stats.polls_dropped_stale")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Begin periodic polling."""
+        """Begin periodic polling (opens a new epoch)."""
         if self._running:
             return
         self._running = True
+        self.epoch += 1
         self._last_time = self.sim.now
         self._last_bytes = self.network.link_bytes()
-        self._pending_tick = self.sim.schedule(self.period, self._tick)
+        self._pending_tick = self.sim.schedule(self.period, self._tick, self.epoch)
 
     def stop(self) -> None:
-        """Stop polling (lets the event queue drain)."""
+        """Stop polling (lets the event queue drain, closes the epoch)."""
         self._running = False
+        self.epoch += 1
         if self._pending_tick is not None:
             self._pending_tick.cancel()
             self._pending_tick = None
 
-    def _tick(self) -> None:
+    def _tick(self, epoch: int) -> None:
+        if epoch != self.epoch:
+            # A poll from a superseded chain (scheduled before an
+            # outage's stop()/start() cycle).  Drop it exactly once —
+            # counted — instead of letting it sample *and* reschedule,
+            # which would leave two live polling chains after resync.
+            self.polls_dropped_stale += 1
+            self._m_stale.inc()
+            return
         self._pending_tick = None
         if not self._running:
             return
         self.sample()
-        self._pending_tick = self.sim.schedule(self.period, self._tick)
+        self._pending_tick = self.sim.schedule(self.period, self._tick, self.epoch)
 
     def freeze(self) -> None:
         """Enter staleness: polls are skipped, the EWMA stops updating.

@@ -12,12 +12,76 @@ written with flat numpy arrays (``np.bincount`` over a precomputed
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 #: Links with less than this fraction of residual headroom count as saturated.
 _REL_EPS = 1e-9
+
+
+class FairShareScratch:
+    """Grow-only working buffers for the per-settle fair-share solve.
+
+    The delta engine settles thousands of times per run, and every solve
+    used to allocate about a dozen arena/fabric-sized arrays (component
+    closure labels, remap tables, progressive-filling state).  A caller
+    that owns one of these passes it through
+    :func:`maxmin_rates_componentwise`; results are bit-identical to the
+    scratchless path because every buffer is fully (re)initialised
+    before use.  ``scratch=None`` (the default everywhere) preserves the
+    allocate-per-call behaviour for one-shot callers.
+
+    Buffers double on growth and never shrink; :attr:`grows` counts
+    reallocations so no-allocation gates can assert that a warmed-up
+    solve path has stopped allocating (``on_grow`` lets an owner fold
+    the count into its own gauge, e.g. ``Network.scratch_grows``).
+    """
+
+    def __init__(self, on_grow: Optional[Callable[[], None]] = None) -> None:
+        self.grows = 0
+        self.on_grow = on_grow
+        self._slabs: dict[str, np.ndarray] = {}
+
+    def _slab(self, name: str, n: int, dtype) -> np.ndarray:
+        arr = self._slabs.get(name)
+        if arr is None or arr.shape[0] < n:
+            cap = max(64, n)
+            if arr is not None:
+                cap = max(cap, 2 * arr.shape[0])
+            new = np.empty(cap, dtype=dtype)
+            if name == "iota":
+                new[:] = np.arange(cap, dtype=dtype)
+            elif name == "ones":
+                new.fill(1.0)
+            self._slabs[name] = new
+            self.grows += 1
+            if self.on_grow is not None:
+                self.on_grow()
+            arr = new
+        return arr
+
+    def empty(self, name: str, n: int, dtype=float) -> np.ndarray:
+        """Uninitialised length-``n`` view of the named slab."""
+        return self._slab(name, n, dtype)[:n]
+
+    def zeros(self, name: str, n: int, dtype=float) -> np.ndarray:
+        """Zero-filled length-``n`` view of the named slab."""
+        out = self.empty(name, n, dtype)
+        out.fill(0)
+        return out
+
+    def iota(self, n: int) -> np.ndarray:
+        """``arange(n)`` view of the shared iota slab (treat read-only)."""
+        return self._slab("iota", n, np.intp)[:n]
+
+    def ones(self, n: int) -> np.ndarray:
+        """All-ones length-``n`` view (treat read-only)."""
+        return self._slab("ones", n, float)[:n]
+
+    def buffer_ids(self) -> dict[str, int]:
+        """Identity of every live slab, for hoisting gates."""
+        return {name: id(arr) for name, arr in sorted(self._slabs.items())}
 
 
 def maxmin_rates_pairs(
@@ -26,6 +90,7 @@ def maxmin_rates_pairs(
     nflows: int,
     residual: np.ndarray,
     weights: Optional[np.ndarray] = None,
+    scratch: Optional[FairShareScratch] = None,
 ) -> np.ndarray:
     """Core progressive-filling solver over a flat (flow, link) incidence.
 
@@ -55,13 +120,16 @@ def maxmin_rates_pairs(
         reducer-0 receives five times more data then ... the flows
         terminated at reducer-0 should get five times more network
         capacity (bandwidth) than reducer-1".
+    scratch:
+        Optional :class:`FairShareScratch`; reuses grow-only buffers for
+        the solver state instead of allocating per call (bit-identical).
     """
-    rates = np.zeros(nflows)
+    rates = np.zeros(nflows) if scratch is None else scratch.zeros("p_rates", nflows)
     if nflows == 0 or pair_flow.size == 0:
         return rates
     nlinks = residual.shape[0]
     if weights is None:
-        w = np.ones(nflows)
+        w = np.ones(nflows) if scratch is None else scratch.ones(nflows)
     else:
         w = np.asarray(weights, dtype=float)
         if w.shape != (nflows,):
@@ -70,11 +138,21 @@ def maxmin_rates_pairs(
             raise ValueError("weights must be positive")
     pair_weight = w[pair_flow]
 
-    cap = residual.astype(float).copy()
-    # Per-link saturation threshold: relative to that link's own
-    # residual so a tiny link next to a huge one is not frozen early.
-    eps = _REL_EPS * np.maximum(cap, 1.0)
-    active = np.zeros(nflows, dtype=bool)
+    if scratch is None:
+        cap = residual.astype(float).copy()
+        # Per-link saturation threshold: relative to that link's own
+        # residual so a tiny link next to a huge one is not frozen early.
+        eps = _REL_EPS * np.maximum(cap, 1.0)
+        active = np.zeros(nflows, dtype=bool)
+        sat_buf = None
+    else:
+        cap = scratch.empty("p_cap", nlinks)
+        np.copyto(cap, residual)
+        eps = scratch.empty("p_eps", nlinks)
+        np.maximum(cap, 1.0, out=eps)
+        eps *= _REL_EPS
+        active = scratch.zeros("p_active", nflows, bool)
+        sat_buf = scratch.empty("p_sat", nlinks, bool)
     active[pair_flow] = True
     level = 0.0
 
@@ -94,7 +172,11 @@ def maxmin_rates_pairs(
         if delta > 0:
             level += delta
             cap[loaded] -= delta * wsum[loaded]
-        saturated = np.zeros(nlinks, dtype=bool)
+        if sat_buf is None:
+            saturated = np.zeros(nlinks, dtype=bool)
+        else:
+            saturated = sat_buf
+            saturated.fill(False)
         saturated[loaded] = cap[loaded] <= eps[loaded]
         frozen_pairs = live_pairs & saturated[pair_link]
         # Duplicate flow ids are fine below: fancy assignment writes the
@@ -117,6 +199,7 @@ def incidence_components(
     pair_link: np.ndarray,
     nflows: int,
     nlinks: int,
+    scratch: Optional[FairShareScratch] = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Connected components of the bipartite (flow, link) incidence graph.
 
@@ -137,22 +220,47 @@ def incidence_components(
     back; sweeps needed = half the graph diameter (small on Clos
     fabrics, where any two flows sharing a pod meet within a few hops).
     """
-    flow_lab = np.arange(nflows, dtype=np.intp)
-    link_lab = np.full(nlinks, np.iinfo(np.intp).max, dtype=np.intp)
+    if scratch is None:
+        flow_lab = np.arange(nflows, dtype=np.intp)
+        link_lab = np.full(nlinks, np.iinfo(np.intp).max, dtype=np.intp)
+        prev = None
+    else:
+        flow_lab = scratch.empty("c_flow_lab", nflows, np.intp)
+        np.copyto(flow_lab, scratch.iota(nflows))
+        link_lab = scratch.empty("c_link_lab", nlinks, np.intp)
+        link_lab.fill(np.iinfo(np.intp).max)
+        prev = scratch.empty("c_prev_lab", nflows, np.intp)
     if pair_flow.size:
         while True:
             np.minimum.at(link_lab, pair_link, flow_lab[pair_flow])
-            before = flow_lab.copy()
+            if prev is None:
+                before = flow_lab.copy()
+            else:
+                before = prev
+                np.copyto(before, flow_lab)
             np.minimum.at(flow_lab, pair_flow, link_lab[pair_link])
             if np.array_equal(before, flow_lab):
                 break
-    has_pairs = np.zeros(nflows, dtype=bool)
+    if scratch is None:
+        has_pairs = np.zeros(nflows, dtype=bool)
+    else:
+        has_pairs = scratch.zeros("c_has_pairs", nflows, bool)
     has_pairs[pair_flow] = True
     roots = np.unique(flow_lab[has_pairs])  # sorted ⇒ ordered by min flow id
-    remap = np.full(nflows, -1, dtype=np.intp)
-    remap[roots] = np.arange(roots.size, dtype=np.intp)
-    flow_comp = np.where(has_pairs, remap[flow_lab], -1)
-    link_comp = np.full(nlinks, -1, dtype=np.intp)
+    if scratch is None:
+        remap = np.full(nflows, -1, dtype=np.intp)
+        remap[roots] = np.arange(roots.size, dtype=np.intp)
+        flow_comp = np.where(has_pairs, remap[flow_lab], -1)
+        link_comp = np.full(nlinks, -1, dtype=np.intp)
+    else:
+        remap = scratch.empty("c_remap", nflows, np.intp)
+        remap.fill(-1)
+        remap[roots] = scratch.iota(roots.size)
+        flow_comp = scratch.empty("c_flow_comp", nflows, np.intp)
+        np.take(remap, flow_lab, out=flow_comp)
+        flow_comp[~has_pairs] = -1
+        link_comp = scratch.empty("c_link_comp", nlinks, np.intp)
+        link_comp.fill(-1)
     if pair_link.size:
         link_comp[pair_link] = flow_comp[pair_flow]
     return flow_comp, link_comp, int(roots.size)
@@ -164,6 +272,7 @@ def maxmin_rates_componentwise(
     nflows: int,
     residual: np.ndarray,
     weights: Optional[np.ndarray] = None,
+    scratch: Optional[FairShareScratch] = None,
 ) -> np.ndarray:
     """Canonical component-decomposed max-min solve.
 
@@ -180,19 +289,23 @@ def maxmin_rates_componentwise(
 
     Flows outside every component in the given pairs keep rate 0 — the
     incremental caller overwrites only the slots it scoped.
+
+    With ``scratch``, all solver state (including the component-closure
+    labels) lives in grow-only buffers; the returned array is a view
+    into one, valid until the next solve against the same scratch.
     """
-    rates = np.zeros(nflows)
+    rates = np.zeros(nflows) if scratch is None else scratch.zeros("w_rates", nflows)
     if nflows == 0 or pair_flow.size == 0:
         return rates
     nlinks = residual.shape[0]
     flow_comp, link_comp, ncomp = incidence_components(
-        pair_flow, pair_link, nflows, nlinks
+        pair_flow, pair_link, nflows, nlinks, scratch=scratch
     )
     if ncomp == 1:
         # Identical to the sliced path (same loaded set, same order) —
         # skips the remap when the incidence is one component anyway.
         return maxmin_rates_pairs(
-            pair_flow, pair_link, nflows, residual, weights=weights
+            pair_flow, pair_link, nflows, residual, weights=weights, scratch=scratch
         )
     w = None if weights is None else np.asarray(weights, dtype=float)
     pair_comp = flow_comp[pair_flow]
@@ -212,6 +325,7 @@ def maxmin_rates_componentwise(
             slots.size,
             residual[links],
             weights=None if w is None else w[slots],
+            scratch=scratch,
         )
         rates[slots] = local
     return rates

@@ -51,7 +51,7 @@ import numpy as np
 from repro import obs
 from repro.faults import runtime as faults_runtime
 from repro.simnet.engine import Simulator
-from repro.simnet.fairshare import maxmin_rates_componentwise
+from repro.simnet.fairshare import FairShareScratch, maxmin_rates_componentwise
 from repro.simnet.flows import Flow
 from repro.simnet.links import Link
 from repro.simnet.topology import Topology
@@ -294,18 +294,22 @@ class _SlotArena:
             return pf[live], pl[live]
         return pf, pl
 
-    def solve(self, residual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def solve(
+        self, residual: np.ndarray, scratch=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Solve max-min over the live incidence; returns the live pairs.
 
         Componentwise (see :func:`maxmin_rates_componentwise`): each
         connected component of the incidence is filled in isolation, so
         a later *delta* solve of any one component reproduces these
-        rates bit-for-bit.
+        rates bit-for-bit.  ``scratch`` (a
+        :class:`~repro.simnet.fairshare.FairShareScratch`) reuses the
+        owner's grow-only solver buffers.
         """
         pf, pl = self.live_pairs()
         n = self.n
         rates = maxmin_rates_componentwise(
-            pf, pl, n, residual, weights=self.weight[:n]
+            pf, pl, n, residual, weights=self.weight[:n], scratch=scratch
         )
         self.rate[:n] = rates
         return pf, pl
@@ -368,6 +372,11 @@ class Network:
         #: reallocations of any hoisted scratch buffer — the storm
         #: microbench asserts this stops moving after warm-up.
         self.scratch_grows = 0
+        #: grow-only fair-share solver workspace (component-closure
+        #: labels + progressive-filling state), shared by the full and
+        #: scoped settle solves; its reallocations count as scratch
+        #: grows so the no-allocation gates cover it too.
+        self._fs_scratch = FairShareScratch(on_grow=self._note_scratch_grow)
         #: links whose residual or flow membership changed since the
         #: last settle — the seeds of the next delta solve's scope.
         self._dirty_links: set[int] = set()
@@ -740,6 +749,10 @@ class Network:
             self._pending_admits = []
             self._arena.add_batch(pending)
 
+    def _note_scratch_grow(self) -> None:
+        """Fold fair-share workspace reallocations into the grow gauge."""
+        self.scratch_grows += 1
+
     def _ensure_slot_scratch(self) -> None:
         """Grow the slot-sized scratch to the arena's slot capacity."""
         cap = len(self._arena.rate)
@@ -844,7 +857,7 @@ class Network:
             if self._elastic:
                 prev = arena.rate_scratch
                 prev[:n] = arena.rate[:n]
-                pf, pl = arena.solve(residual)
+                pf, pl = arena.solve(residual, scratch=self._fs_scratch)
                 self._lelastic = np.bincount(
                     pl, weights=arena.rate[:n][pf], minlength=self._nlinks
                 )
@@ -871,7 +884,8 @@ class Network:
                 pf_r = pf_all[mask]
                 pl_r = pl_all[mask]
                 rates_r = maxmin_rates_componentwise(
-                    pf_r, pl_r, n, residual, weights=arena.weight[:n]
+                    pf_r, pl_r, n, residual,
+                    weights=arena.weight[:n], scratch=self._fs_scratch,
                 )
                 new_rates = rates_r[scope_slots]
                 upd = scope_slots[
@@ -1039,7 +1053,7 @@ class Network:
         they stay put — i.e. the per-settle path performs no fresh
         allocation of any fabric- or arena-sized working array.
         """
-        return {
+        ids = {
             "residual": id(self._residual),
             "vis_slots": id(self._vis_slots),
             "vis_links": id(self._vis_links),
@@ -1047,6 +1061,9 @@ class Network:
             "region_links": id(self._region_links),
             "rate_scratch": id(self._arena.rate_scratch),
         }
+        for name, bid in self._fs_scratch.buffer_ids().items():
+            ids[f"fairshare.{name}"] = bid
+        return ids
 
     def _completion_tick(self, generation: int) -> None:
         if generation != self._generation:

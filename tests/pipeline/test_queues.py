@@ -1,0 +1,82 @@
+"""Unit tests for the bounded inter-stage queue primitive."""
+
+import pytest
+
+from repro.pipeline.queues import BoundedQueue
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedQueue("bad", 0)
+
+
+def test_fifo_order_and_free_slots():
+    q = BoundedQueue("q", 3)
+    assert q.free == 3
+    assert q.offer(1) and q.offer(2)
+    assert q.free == 1
+    assert q.peek() == 1
+    assert q.pop() == 1
+    assert q.pop() == 2
+    assert q.pop() is None
+    assert q.peek() is None
+
+
+def test_offer_rejects_at_capacity_and_counts():
+    q = BoundedQueue("q", 2)
+    assert q.offer("a") and q.offer("b")
+    assert not q.offer("c")
+    assert not q.offer("d")
+    assert q.offered == 4
+    assert q.accepted == 2
+    assert q.rejected == 2
+    assert len(q) == 2
+
+
+def test_force_admits_past_capacity():
+    q = BoundedQueue("q", 1)
+    assert q.offer("a")
+    q.force("b")
+    assert len(q) == 2
+    assert q.free == 0
+    assert q.forced == 1
+    assert q.high_water == 2
+    # offers keep bouncing while over-full, pops recover headroom
+    assert not q.offer("c")
+    q.pop()
+    q.pop()
+    assert q.offer("c")
+
+
+def test_pop_batch_takes_up_to_n():
+    q = BoundedQueue("q", 8)
+    for i in range(5):
+        q.offer(i)
+    assert q.pop_batch(3) == [0, 1, 2]
+    assert q.pop_batch(10) == [3, 4]
+    assert q.pop_batch(1) == []
+
+
+def test_wait_nonempty():
+    q = BoundedQueue("q", 2)
+    assert not q.wait_nonempty(0.01)
+    q.offer(1)
+    assert q.wait_nonempty(0.01)
+
+
+def test_snapshot_counters():
+    q = BoundedQueue("q", 2)
+    q.offer(1)
+    q.offer(2)
+    q.offer(3)  # rejected
+    q.pop()
+    snap = q.snapshot()
+    assert snap == {
+        "depth": 1,
+        "capacity": 2,
+        "offered": 3,
+        "accepted": 2,
+        "rejected": 1,
+        "forced": 0,
+        "high_water": 2,
+    }

@@ -1,0 +1,101 @@
+"""Message tapes: recording, JSONL round-trips, paced replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PythiaConfig
+from repro.experiments.common import run_experiment
+from repro.pipeline import MessageTape, ReplayClient, synthetic_tape
+from repro.pipeline.replay import _encode
+from repro.workloads import sort_job
+
+HOSTS = [f"h{i}" for i in range(4)]
+
+
+def test_synthetic_tape_shape():
+    tape = synthetic_tape(HOSTS, njobs=2, nmaps=5, nreducers=3, repredict=2)
+    # 2 jobs x 3 locations + 2 jobs x 5 maps x 2 repredictions
+    assert len(tape) == 2 * 3 + 2 * 5 * 2
+    kinds = [r.kind for r in tape.records]
+    assert kinds[: 2 * 3] == ["loc"] * 6  # locations first: immediate binding
+    assert tape.duration > 0
+    # repredictions carry the same (job, map) so coalescing has fodder
+    preds = [(r.msg.job, r.msg.map_id) for r in tape.records if r.kind == "pred"]
+    assert len(preds) == 2 * len(set(preds))
+
+
+def test_tape_round_trips_through_jsonl(tmp_path):
+    tape = synthetic_tape(HOSTS, njobs=1, nmaps=4, nreducers=2, repredict=2)
+    path = tmp_path / "tape.jsonl"
+    tape.save(str(path))
+    loaded = MessageTape.load(str(path))
+    assert len(loaded) == len(tape)
+    for a, b in zip(tape.records, loaded.records):
+        assert _encode(a) == _encode(b)
+    assert isinstance(loaded.records[-1].msg.reducer_bytes, np.ndarray)
+
+
+def test_tape_rejects_unknown_kind(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t": 0.0, "kind": "mystery"}\n')
+    with pytest.raises(ValueError):
+        MessageTape.load(str(path))
+
+
+def test_record_messages_end_to_end(tmp_path):
+    res = run_experiment(
+        sort_job(input_gb=2.0, num_reducers=4),
+        scheduler="pythia",
+        ratio=10.0,
+        seed=1,
+        pythia_config=PythiaConfig(record_messages=True),
+    )
+    tape = MessageTape.from_collector(res.collector)
+    assert len(tape) == (
+        res.collector.predictions_received + res.collector.locations_received
+    )
+    assert {r.kind for r in tape.records} == {"pred", "loc"}
+    path = tmp_path / "run.jsonl"
+    tape.save(str(path))
+    assert len(MessageTape.load(str(path))) == len(tape)
+
+
+def test_recording_is_off_by_default():
+    res = run_experiment(
+        sort_job(input_gb=2.0, num_reducers=4),
+        scheduler="pythia",
+        ratio=10.0,
+        seed=1,
+    )
+    assert res.collector.tape is None
+    with pytest.raises(ValueError):
+        MessageTape.from_collector(res.collector)
+
+
+def test_replay_client_counts_backpressure_retries():
+    tape = synthetic_tape(HOSTS, njobs=1, nmaps=3, nreducers=2)
+    bounced = {"n": 0}
+
+    def flaky_submit(kind, msg):
+        if bounced["n"] < 4:
+            bounced["n"] += 1
+            return False
+        return True
+
+    stats = ReplayClient(tape).run(flaky_submit, retry_pause=0.0)
+    assert stats["sent"] == len(tape)
+    assert stats["retries"] == 4
+
+
+def test_replay_client_paces_to_rate():
+    tape = synthetic_tape(HOSTS, njobs=1, nmaps=1, nreducers=2)  # 3 records
+    stats = ReplayClient(tape, rate=100.0).run(lambda k, m: True)
+    # 3 messages at 100/s: the last is due 20ms after the first
+    assert stats["wall_seconds"] >= 0.019
+    assert stats["offered_rate"] == 100.0
+
+
+def test_replay_client_rejects_bad_rate():
+    tape = synthetic_tape(HOSTS, njobs=1, nmaps=1, nreducers=1)
+    with pytest.raises(ValueError):
+        ReplayClient(tape, rate=0.0)

@@ -97,3 +97,46 @@ def test_install_callback_fires_after_latency():
     sim.run()
     assert len(seen) == 1
     assert sim.now == pytest.approx(0.01)
+
+
+def test_install_diff_removals_in_canonical_order():
+    """Regression: install_diff used to issue deletions in whatever
+    order the caller accumulated them, so two runs that collected the
+    same removal set through different dict orders replayed different
+    FLOW_MOD sequences.  Deletions must follow rule_sort_key order."""
+    import random
+
+    from repro.sdn.programming import rule_sort_key
+
+    sim = Simulator()
+    prog = FlowProgrammer(sim, per_rule_latency=0.001, control_rtt=0.001)
+    rules = [
+        Rule(match=Match(src_ip=f"10.0.{i}", dst_ip=f"10.1.{9 - i}"), path=[i])
+        for i in range(8)
+    ]
+    prog.install(rules)
+    sim.run()
+    events = []
+    prog.add_rule_hook(lambda ev, r: events.append((ev, r)))
+    shuffled = list(rules)
+    random.Random(4).shuffle(shuffled)
+    prog.install_diff([], shuffled)
+    removed = [r for ev, r in events if ev == "remove"]
+    assert removed == sorted(rules, key=rule_sort_key)
+    sim.run()
+    assert prog.table_size == 0
+
+
+def test_install_diff_charges_for_removals():
+    sim = Simulator()
+    prog = FlowProgrammer(sim, per_rule_latency=0.004, control_rtt=0.002)
+    old = Rule(match=Match(src_ip="10.0.0"), path=[0])
+    prog.install([old])
+    sim.run()
+    new = Rule(match=Match(src_ip="10.0.1"), path=[1])
+    done_at = prog.install_diff([new], [old])
+    # one add + one delete in a single transaction: 2 mods, 1 RTT
+    assert done_at == pytest.approx(sim.now + 0.002 + 2 * 0.004)
+    assert prog.lookup(mk_flow(src_ip="10.0.0")) is None  # delete immediate
+    sim.run()
+    assert prog.table_size == 1

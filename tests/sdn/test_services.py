@@ -283,3 +283,47 @@ def test_stats_hooks_run_in_registration_order():
     svc.start()
     sim.run(until=1.5)
     assert order == ["first", "second"]
+
+
+def test_stats_stale_tick_dropped_exactly_once():
+    """A tick scheduled under a superseded epoch (stop()/start() cycled
+    before it fired — the failover-resync pattern) must drop itself
+    without sampling, without rescheduling, and be counted."""
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0)
+    svc.start()
+    stale_epoch = svc.epoch
+    svc.stop()
+    svc.start()
+    pending_before = svc._pending_tick
+    svc._tick(stale_epoch)  # a stale poll delivered late
+    assert svc.polls_dropped_stale == 1
+    assert svc.samples == 0
+    # the live chain's pending tick is untouched by the stale drop
+    assert svc._pending_tick is pending_before
+    svc._tick(stale_epoch)
+    assert svc.polls_dropped_stale == 2  # each stale tick drops once
+    svc.stop()
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_stats_outage_cycle_single_chain_via_epoch():
+    """stop()+start() mid-period (what Controller.crash()/restore()
+    does) leaves exactly one live polling chain: the epoch guard plus
+    cancellation means samples accrue at the configured period only."""
+    sim = Simulator()
+    topo = two_rack()
+    net = Network(sim, topo)
+    svc = LinkStatsService(sim, net, period=1.0)
+    svc.start()
+    sim.schedule(2.5, svc.stop)     # outage at t=2.5
+    sim.schedule(4.5, svc.start)    # restore at t=4.5
+    sim.run(until=10.25)
+    svc.stop()
+    sim.run()
+    # chain 1 ticks at 1,2 (stopped before 3); chain 2 at 5.5..9.5
+    assert svc.samples == 2 + 5
+    assert sim.pending == 0

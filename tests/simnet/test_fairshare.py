@@ -143,3 +143,88 @@ def test_many_flows_vectorized_path_is_consistent():
         load[p] += r
     assert (load <= caps * (1 + 1e-9) + 1e-3).all()
     assert rates.min() > 0
+
+
+# ----------------------------------------------------------------------
+# grow-only scratch buffers (hoisted per-settle allocations)
+# ----------------------------------------------------------------------
+
+def _random_incidence(rng, nflows, nlinks, npairs):
+    pair_flow = rng.integers(0, nflows, size=npairs).astype(np.intp)
+    pair_link = rng.integers(0, nlinks, size=npairs).astype(np.intp)
+    residual = rng.uniform(1.0, 100.0, size=nlinks)
+    return pair_flow, pair_link, residual
+
+
+def test_scratch_solves_are_bit_identical():
+    """scratch= reuses buffers but must never change a single bit of
+    the solution, weighted or not, across many random instances."""
+    from repro.simnet.fairshare import (
+        FairShareScratch,
+        maxmin_rates_componentwise,
+    )
+
+    rng = np.random.default_rng(11)
+    scratch = FairShareScratch()
+    for trial in range(25):
+        nflows = int(rng.integers(1, 40))
+        nlinks = int(rng.integers(1, 20))
+        npairs = int(rng.integers(0, 120))
+        pf, pl, residual = _random_incidence(rng, nflows, nlinks, npairs)
+        weights = rng.uniform(0.1, 5.0, size=nflows) if trial % 2 else None
+        plain = maxmin_rates_componentwise(pf, pl, nflows, residual, weights)
+        scratched = maxmin_rates_componentwise(
+            pf, pl, nflows, residual, weights, scratch=scratch
+        )
+        assert np.array_equal(plain, np.asarray(scratched)), f"trial {trial}"
+
+
+def test_scratch_components_are_bit_identical():
+    from repro.simnet.fairshare import FairShareScratch, incidence_components
+
+    rng = np.random.default_rng(5)
+    scratch = FairShareScratch()
+    for _ in range(25):
+        nflows = int(rng.integers(1, 30))
+        nlinks = int(rng.integers(1, 15))
+        npairs = int(rng.integers(0, 90))
+        pf, pl, _res = _random_incidence(rng, nflows, nlinks, npairs)
+        fc0, lc0, n0 = incidence_components(pf, pl, nflows, nlinks)
+        fc1, lc1, n1 = incidence_components(pf, pl, nflows, nlinks, scratch=scratch)
+        assert n0 == n1
+        assert np.array_equal(fc0, np.asarray(fc1))
+        assert np.array_equal(lc0, np.asarray(lc1))
+
+
+def test_scratch_stops_allocating_once_warm():
+    """The no-allocation gate: after a warm-up solve at the working-set
+    size, repeated same-size solves must reuse every slab — zero grows,
+    stable buffer identities."""
+    from repro.simnet.fairshare import (
+        FairShareScratch,
+        maxmin_rates_componentwise,
+    )
+
+    rng = np.random.default_rng(3)
+    scratch = FairShareScratch()
+    pf, pl, residual = _random_incidence(rng, 32, 16, 100)
+    maxmin_rates_componentwise(pf, pl, 32, residual, scratch=scratch)
+    warm_ids = scratch.buffer_ids()
+    warm_grows = scratch.grows
+    for _ in range(10):
+        pf, pl, residual = _random_incidence(rng, 32, 16, 100)
+        maxmin_rates_componentwise(pf, pl, 32, residual, scratch=scratch)
+    assert scratch.grows == warm_grows
+    assert scratch.buffer_ids() == warm_ids
+
+
+def test_scratch_grow_callback_fires():
+    from repro.simnet.fairshare import FairShareScratch
+
+    ticks = []
+    scratch = FairShareScratch(on_grow=lambda: ticks.append(1))
+    scratch.zeros("a", 10)
+    scratch.zeros("a", 10)   # reuse, no grow
+    scratch.zeros("a", 200)  # doubles
+    assert scratch.grows == 2
+    assert len(ticks) == 2
